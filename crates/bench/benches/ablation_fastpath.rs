@@ -1,0 +1,46 @@
+//! Ablation (§4.3.2): the two-stage incremental update (fast path) vs a
+//! full recompilation per BGP update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdx_bgp::Update;
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn setup() -> (SdxRuntime, sdx_core::ParticipantId, Update) {
+    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(80, 3_000) };
+    let topology = IxpTopology::generate(profile, 45);
+    let mix = generate_policies_with_groups(&topology, 200, 45);
+    let mut sdx = SdxRuntime::new(CompileOptions::default());
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    sdx.compile().unwrap();
+    let prefix = *sdx.compilation().unwrap().group_index.keys().next().unwrap();
+    let a = topology
+        .announcements
+        .iter()
+        .find(|a| a.prefixes.contains(&prefix))
+        .unwrap();
+    let mut attrs = a.attrs.clone();
+    attrs.as_path = attrs.as_path.prepend(sdx_bgp::Asn(64_999));
+    (sdx, a.from, Update::announce([prefix], attrs))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fastpath");
+    g.sample_size(10);
+    let (mut sdx, from, update) = setup();
+    g.bench_function("update_fast_path", |b| b.iter(|| sdx.apply_update(from, &update)));
+    let (mut sdx, from, update) = setup();
+    g.bench_function("update_full_recompile", |b| {
+        b.iter(|| {
+            sdx.apply_update(from, &update);
+            sdx.reoptimize().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation (§4.2): VNH/VMAC tagging vs naive destination-prefix filters.
+//! Measures compilation with the optimization on and off; the naive mode's
+//! rule explosion is reported once on stderr.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn build(options: CompileOptions) -> SdxRuntime {
+    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(60, 3_000) };
+    let topology = IxpTopology::generate(profile, 42);
+    let mix = generate_policies_with_groups(&topology, 150, 42);
+    let mut sdx = SdxRuntime::new(options);
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    sdx
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mds");
+    g.sample_size(10);
+    for &use_vnh in &[true, false] {
+        let options = CompileOptions { use_vnh, ..Default::default() };
+        let mut sdx = build(options);
+        let stats = sdx.compile().unwrap();
+        eprintln!(
+            "ablation_mds: use_vnh={use_vnh} -> {} rules, {} groups",
+            stats.rules, stats.groups
+        );
+        g.bench_with_input(BenchmarkId::new("compile", format!("vnh_{use_vnh}")), &(), |b, _| {
+            b.iter(|| sdx.compile().unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation (§4.3.1): memoized receiver-stage compilation vs recompiling
+//! every participant block on each pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_memo");
+    g.sample_size(10);
+    for &memoize in &[true, false] {
+        let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(80, 3_000) };
+        let topology = IxpTopology::generate(profile, 44);
+        let mix = generate_policies_with_groups(&topology, 200, 44);
+        let mut sdx = SdxRuntime::new(CompileOptions { memoize, ..Default::default() });
+        topology.install(&mut sdx);
+        for (id, policy) in &mix.policies {
+            sdx.set_policy(*id, policy.clone());
+        }
+        sdx.compile().unwrap(); // warm the cache
+        g.bench_with_input(
+            BenchmarkId::new("recompile", format!("memo_{memoize}")),
+            &(),
+            |b, _| b.iter(|| sdx.reoptimize().unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation (§4.3.1): pruned sequential composition (only participants that
+//! exchange traffic are composed — implemented as the port index) vs the
+//! naive all-pairs composition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_policy::{sequential_compose, sequential_compose_naive};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pairwise");
+    g.sample_size(10);
+    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(60, 3_000) };
+    let topology = IxpTopology::generate(profile, 43);
+    let mix = generate_policies_with_groups(&topology, 150, 43);
+    let mut sdx = SdxRuntime::new(CompileOptions::default());
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    sdx.compile().unwrap();
+    let compilation = sdx.compilation().unwrap();
+    let (s1, s2) = (compilation.stage1.clone(), compilation.stage2.clone());
+
+    // The two variants must agree.
+    assert_eq!(sequential_compose(&s1, &s2), sequential_compose_naive(&s1, &s2));
+
+    g.bench_function("compose_pruned", |b| b.iter(|| sequential_compose(&s1, &s2)));
+    g.bench_function("compose_all_pairs", |b| b.iter(|| sequential_compose_naive(&s1, &s2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

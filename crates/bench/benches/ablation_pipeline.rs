@@ -1,0 +1,75 @@
+//! Ablation: single-table composed fabric vs a two-table OpenFlow pipeline
+//! (the iSDX direction). The pipeline avoids the composition cross-product:
+//! fewer total rules and faster compilation, at the cost of multi-table
+//! hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn build(multi_table: bool) -> SdxRuntime {
+    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(100, 5_000) };
+    let topology = IxpTopology::generate(profile, 46);
+    let mix = generate_policies_with_groups(&topology, 300, 46);
+    let mut sdx = SdxRuntime::new(CompileOptions { multi_table, ..Default::default() });
+    topology.install(&mut sdx);
+
+    // Composition's cost is the cross-product of sender rules with receiver
+    // clauses, so give every policy target an inbound-engineering block
+    // (the §6.1 mix shape: eyeballs steer inbound traffic).
+    let targets: std::collections::BTreeSet<sdx_core::ParticipantId> = mix
+        .policies
+        .values()
+        .flat_map(|p| p.outbound.iter())
+        .filter_map(|c| match c.dest {
+            sdx_core::Dest::Participant(t) => Some(t),
+            _ => None,
+        })
+        .collect();
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    for target in targets {
+        let port = topology
+            .participants
+            .iter()
+            .find(|p| p.id == target)
+            .and_then(|p| p.primary_port())
+            .map(|p| p.port)
+            .unwrap();
+        let mut policy = sdx_core::ParticipantPolicy::new();
+        for i in 0..6u32 {
+            policy = policy.inbound(sdx_core::Clause::to_port(
+                sdx_policy::Predicate::test_prefix(
+                    sdx_policy::Field::SrcIp,
+                    sdx_ip::Prefix::from_bits(i << 29, 3),
+                ),
+                port,
+            ));
+        }
+        sdx.set_policy(target, policy);
+    }
+    sdx
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pipeline");
+    g.sample_size(10);
+    for &multi_table in &[false, true] {
+        let mut sdx = build(multi_table);
+        let stats = sdx.compile().unwrap();
+        eprintln!(
+            "ablation_pipeline: multi_table={multi_table} -> {} rules ({} stage1 + {} stage2)",
+            stats.rules, stats.stage1_rules, stats.stage2_rules
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compile", format!("multi_table_{multi_table}")),
+            &(),
+            |b, _| b.iter(|| sdx.compile().unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench backing Figure 10: processing one BGP update through the
+//! §4.3.2 fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdx_bgp::Update;
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_update");
+    g.sample_size(20);
+    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(100, 5_000) };
+    let topology = IxpTopology::generate(profile, 10);
+    let mix = generate_policies_with_groups(&topology, 300, 10);
+    let mut sdx = SdxRuntime::new(CompileOptions::default());
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    sdx.compile().unwrap();
+    let prefix = *sdx.compilation().unwrap().group_index.keys().next().unwrap();
+    let a = topology
+        .announcements
+        .iter()
+        .find(|a| a.prefixes.contains(&prefix))
+        .unwrap();
+    let from = a.from;
+    let mut attrs = a.attrs.clone();
+    attrs.as_path = attrs.as_path.prepend(sdx_bgp::Asn(64_999));
+    let update = Update::announce([prefix], attrs);
+
+    g.bench_function("single_update_fast_path", |b| {
+        b.iter(|| sdx.apply_update(from, &update))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

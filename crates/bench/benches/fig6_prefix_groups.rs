@@ -1,0 +1,27 @@
+//! Criterion bench backing Figure 6: the Minimum Disjoint Subsets
+//! computation over per-participant announcement sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdx_core::minimum_disjoint_subsets;
+use sdx_ip::PrefixSet;
+use sdx_workload::{IxpProfile, IxpTopology};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_mds");
+    g.sample_size(10);
+    for &(n, x) in &[(100usize, 5_000usize), (300, 10_000)] {
+        let topology = IxpTopology::generate(IxpProfile::ams_ix(n, x), 6);
+        let collection: Vec<PrefixSet> = topology
+            .participants
+            .iter()
+            .map(|p| topology.announced_by(p.id))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("mds", format!("{n}x{x}")), &collection, |b, coll| {
+            b.iter(|| minimum_disjoint_subsets(coll))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench backing Figure 7: full policy compilation at a
+//! controlled prefix-group count (rule counts are printed by the
+//! `fig7` binary; this measures the compilation producing them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn build(n: usize, groups: usize) -> SdxRuntime {
+    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(n, 8_000) };
+    let topology = IxpTopology::generate(profile, 7);
+    let mix = generate_policies_with_groups(&topology, groups, 7);
+    let mut sdx = SdxRuntime::new(CompileOptions::default());
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    sdx
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_compile");
+    g.sample_size(10);
+    for &(n, groups) in &[(100usize, 200usize), (100, 400)] {
+        g.bench_with_input(
+            BenchmarkId::new("compile", format!("{n}p_{groups}g")),
+            &(n, groups),
+            |b, &(n, groups)| {
+                let mut sdx = build(n, groups);
+                b.iter(|| sdx.compile().unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

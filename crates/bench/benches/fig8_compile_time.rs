@@ -1,0 +1,32 @@
+//! Criterion bench backing Figure 8: initial compilation time scaling with
+//! prefix groups and participants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_compile_time");
+    g.sample_size(10);
+    for &(n, groups) in &[(100usize, 200usize), (200, 200), (100, 600)] {
+        let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(n, 8_000) };
+        let topology = IxpTopology::generate(profile, 8);
+        let mix = generate_policies_with_groups(&topology, groups, 8);
+        g.bench_with_input(
+            BenchmarkId::new("initial_compile", format!("{n}p_{groups}g")),
+            &(),
+            |b, _| {
+                let mut sdx = SdxRuntime::new(CompileOptions::default());
+                topology.install(&mut sdx);
+                for (id, policy) in &mix.policies {
+                    sdx.set_policy(*id, policy.clone());
+                }
+                b.iter(|| sdx.compile().unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench backing Figure 9: applying a burst of BGP updates
+//! through the fast path (rules installed are reported by the `fig9`
+//! binary; this measures the work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdx_bgp::Update;
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_burst");
+    g.sample_size(10);
+    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(100, 5_000) };
+    let topology = IxpTopology::generate(profile, 9);
+    let mix = generate_policies_with_groups(&topology, 300, 9);
+    let mut sdx = SdxRuntime::new(CompileOptions::default());
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    sdx.compile().unwrap();
+    let prefixes: Vec<_> = sdx.compilation().unwrap().group_index.keys().copied().take(20).collect();
+    let updates: Vec<_> = prefixes
+        .iter()
+        .map(|prefix| {
+            let a = topology
+                .announcements
+                .iter()
+                .find(|a| a.prefixes.contains(prefix))
+                .unwrap();
+            let mut attrs = a.attrs.clone();
+            attrs.as_path = attrs.as_path.prepend(sdx_bgp::Asn(64_999));
+            (a.from, Update::announce([*prefix], attrs))
+        })
+        .collect();
+
+    g.bench_function("burst_of_20_updates", |b| {
+        b.iter(|| {
+            for (from, update) in &updates {
+                sdx.apply_update(*from, update);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench backing Table 1: the cost of synthesizing an IXP table
+//! and a week-long update trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdx_workload::{trace_stats, IxpProfile, IxpTopology, TraceConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("generate_topology_100x5k", |b| {
+        b.iter(|| IxpTopology::generate(IxpProfile::ams_ix(100, 5_000), 1))
+    });
+    let topology = IxpTopology::generate(IxpProfile::ams_ix(100, 5_000), 1);
+    g.bench_function("trace_stats_week_100x5k", |b| {
+        b.iter(|| trace_stats(&topology, TraceConfig::default(), 2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates Figure 10: the distribution (CDF) of the time to process a
+//! single BGP update through the fast path, for 100/200/300 participants.
+
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use sdx_bgp::Update;
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_bench::percentile;
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+/// Figures 7–10 control the prefix-group count directly, so the table is
+/// generated without multi-homing (each prefix has one announcer and the
+/// group count tracks the policy partition).
+fn single_homed(participants: usize, prefixes: usize) -> IxpProfile {
+    IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(participants, prefixes) }
+}
+
+fn main() {
+    println!("# Figure 10 — time to process a single BGP update (fast path)");
+    println!("participants\tpercentile\ttime_ms");
+    let mut rng = StdRng::seed_from_u64(10);
+    for &n in &[100usize, 200, 300] {
+        let topology = IxpTopology::generate(single_homed(n, 10_000), 10);
+        let mix = generate_policies_with_groups(&topology, 500, 10);
+        let mut sdx = SdxRuntime::new(CompileOptions::default());
+        topology.install(&mut sdx);
+        for (id, policy) in &mix.policies {
+            sdx.set_policy(*id, policy.clone());
+        }
+        sdx.compile().expect("compiles");
+
+        let mut prefixes: Vec<_> = sdx
+            .compilation()
+            .unwrap()
+            .group_index
+            .keys()
+            .copied()
+            .collect();
+        prefixes.shuffle(&mut rng);
+
+        let mut times_us = Vec::new();
+        for prefix in prefixes.into_iter().take(400) {
+            let owner = topology
+                .announcements
+                .iter()
+                .find(|a| a.prefixes.contains(&prefix))
+                .map(|a| (a.from, a.attrs.clone()))
+                .expect("announced prefix has an owner");
+            let mut attrs = owner.1;
+            attrs.as_path = attrs.as_path.prepend(sdx_bgp::Asn(64_999));
+            sdx.apply_update(owner.0, &Update::announce([prefix], attrs));
+            times_us.push(sdx.incremental_stats().last_update_us);
+        }
+        times_us.sort_unstable();
+        for p in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.00] {
+            println!("{n}\t{:.2}\t{:.3}", p, percentile(&times_us, p) as f64 / 1_000.0);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 5a (application-specific peering over time). The
+//! scenario is identical to `examples/app_specific_peering.rs`; this binary
+//! exists so every figure has a `sdx-bench` target.
+
+fn main() {
+    let status = std::process::Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "app_specific_peering"])
+        .status()
+        .expect("run example");
+    std::process::exit(status.code().unwrap_or(1));
+}

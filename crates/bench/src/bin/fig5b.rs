@@ -1,0 +1,11 @@
+//! Regenerates Figure 5b (wide-area load balance over time). The scenario is
+//! identical to `examples/wide_area_load_balancer.rs`; this binary exists so
+//! every figure has a `sdx-bench` target.
+
+fn main() {
+    let status = std::process::Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "wide_area_load_balancer"])
+        .status()
+        .expect("run example");
+    std::process::exit(status.code().unwrap_or(1));
+}

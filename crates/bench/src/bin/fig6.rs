@@ -1,0 +1,37 @@
+//! Regenerates Figure 6: the number of prefix groups as a function of the
+//! number of prefixes with SDX policies, for 100/200/300 participants —
+//! the paper's exact methodology: MDS over P' = { pᵢ ∩ pₓ }.
+
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use sdx_bench::arg_scale;
+use sdx_core::minimum_disjoint_subsets;
+use sdx_ip::PrefixSet;
+use sdx_workload::{IxpProfile, IxpTopology};
+
+fn main() {
+    let scale = arg_scale(1.0);
+    println!("# Figure 6 — prefix groups vs prefixes with SDX policies");
+    println!("participants\tprefixes\tprefix_groups");
+    let mut rng = StdRng::seed_from_u64(6);
+    for &n in &[100usize, 200, 300] {
+        // Like the paper: the top-N ASes (those announcing more than one
+        // prefix) of an AMS-IX-sized table.
+        let topology =
+            IxpTopology::generate(IxpProfile::ams_ix(n, (30_000.0 * scale) as usize), 6);
+        let mut all = topology.all_prefixes();
+        all.shuffle(&mut rng);
+        for &x in &[0usize, 5_000, 10_000, 15_000, 20_000, 25_000] {
+            let x = ((x as f64) * scale) as usize;
+            let px: PrefixSet = all.iter().take(x).copied().collect();
+            let collection: Vec<PrefixSet> = topology
+                .participants
+                .iter()
+                .map(|p| topology.announced_by(p.id).intersection(&px))
+                .filter(|s| !s.is_empty())
+                .collect();
+            let groups = minimum_disjoint_subsets(&collection);
+            println!("{n}\t{x}\t{}", groups.len());
+        }
+    }
+}

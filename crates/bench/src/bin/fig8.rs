@@ -1,0 +1,30 @@
+//! Regenerates Figure 8: initial compilation time as a function of prefix
+//! groups, for 100/200/300 participants.
+
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
+
+/// Figures 7–10 control the prefix-group count directly, so the table is
+/// generated without multi-homing (each prefix has one announcer and the
+/// group count tracks the policy partition).
+fn single_homed(participants: usize, prefixes: usize) -> IxpProfile {
+    IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(participants, prefixes) }
+}
+
+fn main() {
+    println!("# Figure 8 — initial compilation time vs prefix groups");
+    println!("participants\ttarget_groups\tmeasured_groups\tcompile_ms");
+    for &n in &[100usize, 200, 300] {
+        let topology = IxpTopology::generate(single_homed(n, 25_000), 8);
+        for &target in &[200usize, 400, 600, 800, 1_000] {
+            let mix = generate_policies_with_groups(&topology, target, 8);
+            let mut sdx = SdxRuntime::new(CompileOptions::default());
+            topology.install(&mut sdx);
+            for (id, policy) in &mix.policies {
+                sdx.set_policy(*id, policy.clone());
+            }
+            let stats = sdx.compile().expect("compiles");
+            println!("{n}\t{target}\t{}\t{:.2}", stats.groups, stats.duration_us as f64 / 1_000.0);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared harness for the evaluation benchmarks: workload construction and
+//! small statistics helpers used by the figure binaries and Criterion
+//! benches.
+
+use sdx_core::{CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies, IxpProfile, IxpTopology, PolicyMix};
+
+/// Build a fully configured SDX (topology installed, §6.1 policies set) of
+/// the given size, ready to compile.
+pub fn build_sdx(
+    participants: usize,
+    prefixes: usize,
+    seed: u64,
+    options: CompileOptions,
+) -> (SdxRuntime, IxpTopology, PolicyMix) {
+    let topology = IxpTopology::generate(IxpProfile::ams_ix(participants, prefixes), seed);
+    let mix = generate_policies(&topology, seed.wrapping_add(1));
+    let mut sdx = SdxRuntime::new(options);
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    (sdx, topology, mix)
+}
+
+/// The `p`-th percentile (0.0–1.0) of a sorted sample.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Parse `--scale <f64>` style arguments; returns the default when absent.
+pub fn arg_scale(default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--scale")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sdx_compiles() {
+        let (mut sdx, topology, mix) = build_sdx(30, 600, 1, CompileOptions::default());
+        assert_eq!(topology.participants.len(), 30);
+        assert!(mix.clauses > 0);
+        let stats = sdx.compile().unwrap();
+        assert!(stats.rules > 0);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = [1, 2, 3, 4, 5];
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.5), 3);
+        assert_eq!(percentile(&v, 1.0), 5);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Regular-expression matching on AS paths, supporting the paper's
+//! `RIB.filter('as_path', .*43515$)` policy idiom (§3.2, "Grouping traffic
+//! based on BGP attributes").
+//!
+//! The pattern language is the practical subset operators actually use in
+//! route-server and looking-glass configs:
+//!
+//! * `^` / `$` — anchor at the first / last AS of the path;
+//! * a number — match one AS exactly;
+//! * `.` — match any single AS;
+//! * `.*` — match any (possibly empty) run of ASes;
+//! * whitespace separates tokens (and is optional around `.*`).
+//!
+//! Unanchored patterns use search semantics, like a regex: `3356` matches
+//! any path containing AS3356.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AsPath, Asn};
+
+/// A compiled AS-path pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsPathPattern {
+    tokens: Vec<Token>,
+    source: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Token {
+    /// `.*` — any run of ASes, including empty.
+    Gap,
+    /// `.` — exactly one AS, any value.
+    AnyOne,
+    /// A literal AS number.
+    Literal(u32),
+}
+
+/// Pattern parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError(pub String);
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AS-path pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl AsPathPattern {
+    /// Does the pattern match this AS path?
+    pub fn matches(&self, path: &AsPath) -> bool {
+        let asns = path.asns();
+        wildcard_match(&self.tokens, &asns)
+    }
+
+    /// Does the pattern match this flat ASN sequence?
+    pub fn matches_asns(&self, asns: &[Asn]) -> bool {
+        wildcard_match(&self.tokens, asns)
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+impl FromStr for AsPathPattern {
+    type Err = PatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Err(PatternError("empty pattern".into()));
+        }
+        let mut rest = trimmed;
+        let anchored_start = rest.starts_with('^');
+        if anchored_start {
+            rest = &rest[1..];
+        }
+        let anchored_end = rest.ends_with('$');
+        if anchored_end {
+            rest = &rest[..rest.len() - 1];
+        }
+        if rest.contains('^') || rest.contains('$') {
+            return Err(PatternError(format!("misplaced anchor in {trimmed:?}")));
+        }
+
+        let mut tokens = Vec::new();
+        if !anchored_start {
+            tokens.push(Token::Gap);
+        }
+        let mut chars = rest.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                ws if ws.is_whitespace() => {
+                    chars.next();
+                }
+                '.' => {
+                    chars.next();
+                    if chars.peek() == Some(&'*') {
+                        chars.next();
+                        tokens.push(Token::Gap);
+                    } else {
+                        tokens.push(Token::AnyOne);
+                    }
+                }
+                d if d.is_ascii_digit() => {
+                    let mut n: u64 = 0;
+                    while let Some(&d) = chars.peek() {
+                        if !d.is_ascii_digit() {
+                            break;
+                        }
+                        n = n * 10 + (d as u64 - '0' as u64);
+                        if n > u32::MAX as u64 {
+                            return Err(PatternError(format!("AS number too large in {trimmed:?}")));
+                        }
+                        chars.next();
+                    }
+                    tokens.push(Token::Literal(n as u32));
+                }
+                other => {
+                    return Err(PatternError(format!(
+                        "unexpected character {other:?} in {trimmed:?}"
+                    )))
+                }
+            }
+        }
+        if !anchored_end {
+            tokens.push(Token::Gap);
+        }
+        // Collapse adjacent gaps (e.g. from an unanchored `.*174.*`).
+        tokens.dedup_by(|a, b| *a == Token::Gap && *b == Token::Gap);
+        Ok(AsPathPattern { tokens, source: trimmed.to_string() })
+    }
+}
+
+impl fmt::Display for AsPathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+/// Classic wildcard matching DP: `dp[j]` = can tokens consumed so far match
+/// the first `j` ASes.
+fn wildcard_match(tokens: &[Token], asns: &[Asn]) -> bool {
+    let n = asns.len();
+    let mut dp = vec![false; n + 1];
+    dp[0] = true;
+    for token in tokens {
+        match token {
+            Token::Gap => {
+                // Gap extends any reachable position to all later positions.
+                let mut reachable = false;
+                for slot in dp.iter_mut() {
+                    reachable |= *slot;
+                    *slot = reachable;
+                }
+            }
+            Token::AnyOne => {
+                for j in (1..=n).rev() {
+                    dp[j] = dp[j - 1];
+                }
+                dp[0] = false;
+            }
+            Token::Literal(asn) => {
+                for j in (1..=n).rev() {
+                    dp[j] = dp[j - 1] && asns[j - 1].0 == *asn;
+                }
+                dp[0] = false;
+            }
+        }
+    }
+    dp[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(s: &str) -> AsPathPattern {
+        s.parse().unwrap()
+    }
+
+    fn path(asns: &[u32]) -> AsPath {
+        AsPath::sequence(asns.iter().copied())
+    }
+
+    #[test]
+    fn paper_youtube_example() {
+        // ".*43515$" — all routes ending in AS 43515 (YouTube).
+        let p = pat(".*43515$");
+        assert!(p.matches(&path(&[174, 3356, 43515])));
+        assert!(p.matches(&path(&[43515])));
+        assert!(!p.matches(&path(&[43515, 174])));
+        assert!(!p.matches(&path(&[174])));
+    }
+
+    #[test]
+    fn anchored_start() {
+        let p = pat("^174 .*");
+        assert!(p.matches(&path(&[174, 3356])));
+        assert!(p.matches(&path(&[174])));
+        assert!(!p.matches(&path(&[3356, 174])));
+    }
+
+    #[test]
+    fn fully_anchored_exact() {
+        let p = pat("^174 3356$");
+        assert!(p.matches(&path(&[174, 3356])));
+        assert!(!p.matches(&path(&[174, 3356, 1])));
+        assert!(!p.matches(&path(&[174])));
+    }
+
+    #[test]
+    fn unanchored_is_search() {
+        let p = pat("3356");
+        assert!(p.matches(&path(&[174, 3356, 43515])));
+        assert!(p.matches(&path(&[3356])));
+        assert!(!p.matches(&path(&[174, 43515])));
+    }
+
+    #[test]
+    fn any_one_token() {
+        let p = pat("^174 . 43515$");
+        assert!(p.matches(&path(&[174, 9999, 43515])));
+        assert!(!p.matches(&path(&[174, 43515])));
+        assert!(!p.matches(&path(&[174, 1, 2, 43515])));
+    }
+
+    #[test]
+    fn gap_matches_empty() {
+        let p = pat("^174.*43515$");
+        assert!(p.matches(&path(&[174, 43515])));
+        assert!(p.matches(&path(&[174, 1, 2, 43515])));
+    }
+
+    #[test]
+    fn empty_path_cases() {
+        assert!(pat(".*").matches(&path(&[])));
+        assert!(!pat("174").matches(&path(&[])));
+        assert!(pat("^$").matches(&path(&[])));
+        assert!(!pat("^$").matches(&path(&[1])));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<AsPathPattern>().is_err());
+        assert!("abc".parse::<AsPathPattern>().is_err());
+        assert!("17^4".parse::<AsPathPattern>().is_err());
+        assert!("99999999999999999999".parse::<AsPathPattern>().is_err());
+    }
+
+    #[test]
+    fn display_preserves_source() {
+        assert_eq!(pat(".*43515$").to_string(), ".*43515$");
+    }
+}

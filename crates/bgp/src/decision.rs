@@ -1,0 +1,129 @@
+//! The BGP decision process used by the route server to pick one best route
+//! per prefix on behalf of each participant (§3.2 of the paper).
+
+use std::cmp::Ordering;
+
+use crate::{PeerId, Route, RouterId};
+
+/// A route candidate: the route plus where it was learned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The peer (participant border router) that announced the route.
+    pub peer: PeerId,
+    /// That peer's BGP identifier, the final tie-breaker.
+    pub router_id: RouterId,
+    /// The announced route.
+    pub route: Route,
+}
+
+/// Compare two candidates; `Ordering::Greater` means `a` is preferred.
+///
+/// The steps, in order (a route-server flavor of RFC 4271 §9.1):
+/// 1. higher LOCAL_PREF (absent treated as 100, the conventional default);
+/// 2. shorter AS_PATH;
+/// 3. lower ORIGIN (IGP < EGP < INCOMPLETE);
+/// 4. lower MED (absent treated as 0; compared across neighbors, i.e.
+///    "always-compare-med", which keeps the process deterministic);
+/// 5. lower router ID;
+/// 6. lower peer ID (total order even for identical router IDs).
+pub fn prefer(a: &Candidate, b: &Candidate) -> Ordering {
+    let lp = |c: &Candidate| c.route.attrs.local_pref.unwrap_or(100);
+    let med = |c: &Candidate| c.route.attrs.med.unwrap_or(0);
+    lp(a)
+        .cmp(&lp(b))
+        .then_with(|| {
+            b.route
+                .attrs
+                .as_path
+                .path_len()
+                .cmp(&a.route.attrs.as_path.path_len())
+        })
+        .then_with(|| (b.route.attrs.origin as u8).cmp(&(a.route.attrs.origin as u8)))
+        .then_with(|| med(b).cmp(&med(a)))
+        .then_with(|| b.router_id.cmp(&a.router_id))
+        .then_with(|| b.peer.cmp(&a.peer))
+}
+
+/// Select the best candidate, if any.
+pub fn select<'a>(candidates: impl IntoIterator<Item = &'a Candidate>) -> Option<&'a Candidate> {
+    candidates.into_iter().max_by(|a, b| prefer(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsPath, Origin, PathAttributes};
+    use std::net::Ipv4Addr;
+
+    fn cand(peer: u32, path_len: usize, lp: Option<u32>) -> Candidate {
+        let path = AsPath::sequence((0..path_len as u32).map(|i| 65000 + i));
+        let mut attrs = PathAttributes::new(path, Ipv4Addr::new(10, 0, 0, peer as u8));
+        attrs.local_pref = lp;
+        Candidate {
+            peer: PeerId(peer),
+            router_id: RouterId(peer),
+            route: Route::new("203.0.113.0/24".parse().unwrap(), attrs),
+        }
+    }
+
+    #[test]
+    fn local_pref_dominates_path_length() {
+        let long_but_preferred = cand(1, 5, Some(200));
+        let short = cand(2, 1, Some(100));
+        assert_eq!(prefer(&long_but_preferred, &short), Ordering::Greater);
+    }
+
+    #[test]
+    fn absent_local_pref_defaults_to_100() {
+        let explicit = cand(1, 2, Some(100));
+        let implicit = cand(2, 1, None);
+        // Same local-pref; the shorter path wins.
+        assert_eq!(prefer(&implicit, &explicit), Ordering::Greater);
+    }
+
+    #[test]
+    fn shorter_as_path_wins() {
+        assert_eq!(prefer(&cand(1, 1, None), &cand(2, 3, None)), Ordering::Greater);
+    }
+
+    #[test]
+    fn origin_breaks_path_tie() {
+        let mut igp = cand(1, 2, None);
+        igp.route.attrs.origin = Origin::Igp;
+        let mut incomplete = cand(2, 2, None);
+        incomplete.route.attrs.origin = Origin::Incomplete;
+        assert_eq!(prefer(&igp, &incomplete), Ordering::Greater);
+    }
+
+    #[test]
+    fn med_breaks_origin_tie() {
+        let mut low = cand(1, 2, None);
+        low.route.attrs.med = Some(5);
+        let mut high = cand(2, 2, None);
+        high.route.attrs.med = Some(50);
+        assert_eq!(prefer(&low, &high), Ordering::Greater);
+    }
+
+    #[test]
+    fn router_id_final_tiebreak() {
+        let a = cand(1, 2, None);
+        let b = cand(2, 2, None);
+        assert_eq!(prefer(&a, &b), Ordering::Greater); // lower router id
+    }
+
+    #[test]
+    fn select_picks_maximum() {
+        let cands = [cand(3, 4, None), cand(1, 2, Some(300)), cand(2, 1, None)];
+        let best = select(cands.iter()).unwrap();
+        assert_eq!(best.peer, PeerId(1));
+        assert!(select(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn prefer_is_total_and_antisymmetric() {
+        let a = cand(1, 2, None);
+        let b = cand(2, 2, None);
+        assert_eq!(prefer(&a, &b), prefer(&b, &a).reverse());
+        assert_eq!(prefer(&a, &a), Ordering::Equal);
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-participant export policies: which of a peer's routes the route
+//! server re-advertises to which other peers.
+//!
+//! This is how the paper's Figure 1b arises: "AS B does not export a BGP
+//! route for destination prefix p4 to AS A", so the SDX must never direct
+//! A's traffic for p4 through B.
+
+use std::collections::BTreeSet;
+
+use sdx_ip::Prefix;
+use serde::{Deserialize, Serialize};
+
+use crate::PeerId;
+
+/// The export policy a peer attaches to its announcements.
+///
+/// Default is export-to-everyone; denials can be per-peer (classic "do not
+/// peer with X via the route server") or per-(prefix, peer) (selective
+/// advertisement).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExportPolicy {
+    deny_peers: BTreeSet<PeerId>,
+    deny_prefix_to: BTreeSet<(Prefix, PeerId)>,
+}
+
+impl ExportPolicy {
+    /// Export everything to everyone.
+    pub fn export_all() -> Self {
+        Self::default()
+    }
+
+    /// Never export any route to `peer`.
+    pub fn deny_peer(mut self, peer: PeerId) -> Self {
+        self.deny_peers.insert(peer);
+        self
+    }
+
+    /// Do not export `prefix` to `peer` (other prefixes unaffected).
+    pub fn deny_prefix_to(mut self, prefix: Prefix, peer: PeerId) -> Self {
+        self.deny_prefix_to.insert((prefix, peer));
+        self
+    }
+
+    /// Remove a per-peer denial.
+    pub fn allow_peer(mut self, peer: PeerId) -> Self {
+        self.deny_peers.remove(&peer);
+        self
+    }
+
+    /// May `prefix` be exported to `to`?
+    pub fn allows(&self, prefix: &Prefix, to: PeerId) -> bool {
+        !self.deny_peers.contains(&to) && !self.deny_prefix_to.contains(&(*prefix, to))
+    }
+
+    /// Is anything denied at all? (Fast path for the common open policy.)
+    pub fn is_open(&self) -> bool {
+        self.deny_peers.is_empty() && self.deny_prefix_to.is_empty()
+    }
+
+    /// The peers explicitly denied this prefix (per-peer denials plus
+    /// per-(prefix, peer) denials). The SDX uses this to find participants
+    /// whose default best route diverges from the global one.
+    pub fn explicit_denials(&self, prefix: &Prefix) -> impl Iterator<Item = PeerId> + '_ {
+        let prefix = *prefix;
+        self.deny_peers.iter().copied().chain(
+            self.deny_prefix_to
+                .iter()
+                .filter(move |(p, _)| *p == prefix)
+                .map(|(_, peer)| *peer),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn default_allows_everything() {
+        let pol = ExportPolicy::export_all();
+        assert!(pol.allows(&p("10.0.0.0/8"), PeerId(1)));
+        assert!(pol.is_open());
+    }
+
+    #[test]
+    fn per_peer_denial() {
+        let pol = ExportPolicy::export_all().deny_peer(PeerId(1));
+        assert!(!pol.allows(&p("10.0.0.0/8"), PeerId(1)));
+        assert!(pol.allows(&p("10.0.0.0/8"), PeerId(2)));
+        assert!(!pol.is_open());
+    }
+
+    #[test]
+    fn per_prefix_denial_is_selective() {
+        let pol = ExportPolicy::export_all().deny_prefix_to(p("10.3.0.0/16"), PeerId(1));
+        assert!(!pol.allows(&p("10.3.0.0/16"), PeerId(1)));
+        assert!(pol.allows(&p("10.3.0.0/16"), PeerId(2)));
+        assert!(pol.allows(&p("10.4.0.0/16"), PeerId(1)));
+    }
+
+    #[test]
+    fn allow_peer_reverses_denial() {
+        let pol = ExportPolicy::export_all().deny_peer(PeerId(1)).allow_peer(PeerId(1));
+        assert!(pol.allows(&p("10.0.0.0/8"), PeerId(1)));
+    }
+}

@@ -1,0 +1,42 @@
+//! A from-scratch BGP implementation for the SDX: RFC 4271 wire codec,
+//! session FSM, RIBs, the decision process, and the SDX-flavored route
+//! server of §3.2/§5.1 of the paper (per-participant best routes, export
+//! policies, feasible-route queries, AS-path pattern filters, and next-hop
+//! rewriting hooks for virtual next hops).
+//!
+//! ```
+//! use sdx_bgp::{AsPath, Asn, PathAttributes, PeerId, RouteServer, RouterId};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut rs = RouteServer::new();
+//! rs.add_peer(PeerId(1), Asn(65001), RouterId(1));
+//! rs.add_peer(PeerId(2), Asn(65002), RouterId(2));
+//! rs.announce(
+//!     PeerId(2),
+//!     ["203.0.113.0/24".parse().unwrap()],
+//!     PathAttributes::new(AsPath::sequence([65002]), Ipv4Addr::new(10, 0, 0, 2)),
+//! );
+//! let best = rs.best_route(&"203.0.113.0/24".parse().unwrap(), PeerId(1)).unwrap();
+//! assert_eq!(best.peer, PeerId(2));
+//! ```
+
+mod aspath_pattern;
+pub mod decision;
+mod export;
+mod rib;
+mod route;
+mod route_server;
+pub mod rpki;
+pub mod session;
+mod types;
+pub mod wire;
+
+pub use aspath_pattern::{AsPathPattern, PatternError};
+pub use decision::Candidate;
+pub use export::ExportPolicy;
+pub use rib::{AdjRibIn, CandidateTable};
+pub use route::{PathAttributes, Route, Update};
+pub use route_server::{PeerInfo, RouteServer, RsEvent};
+pub use rpki::{Roa, RpkiStatus, RpkiValidator};
+pub use session::{Session, SessionAction, SessionConfig, SessionEvent, SessionState};
+pub use types::{AsPath, AsPathSegment, Asn, Community, Origin, PeerId, RouterId};

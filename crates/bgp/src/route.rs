@@ -1,0 +1,206 @@
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use sdx_ip::Prefix;
+use serde::{Deserialize, Serialize};
+
+use crate::{AsPath, Community, Origin};
+
+/// The path attributes attached to a BGP route.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathAttributes {
+    /// ORIGIN (well-known mandatory).
+    pub origin: Origin,
+    /// AS_PATH (well-known mandatory).
+    pub as_path: AsPath,
+    /// NEXT_HOP (well-known mandatory). The SDX rewrites this to a virtual
+    /// next hop (VNH) before re-advertising (§4.2).
+    pub next_hop: Ipv4Addr,
+    /// MULTI_EXIT_DISC (optional non-transitive).
+    pub med: Option<u32>,
+    /// LOCAL_PREF (well-known on iBGP/route-server sessions).
+    pub local_pref: Option<u32>,
+    /// COMMUNITIES (optional transitive, RFC 1997).
+    pub communities: Vec<Community>,
+}
+
+impl PathAttributes {
+    /// Minimal attributes: IGP origin, the given AS path and next hop.
+    pub fn new(as_path: AsPath, next_hop: Ipv4Addr) -> Self {
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path,
+            next_hop,
+            med: None,
+            local_pref: None,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Builder: set LOCAL_PREF.
+    pub fn with_local_pref(mut self, lp: u32) -> Self {
+        self.local_pref = Some(lp);
+        self
+    }
+
+    /// Builder: set MED.
+    pub fn with_med(mut self, med: u32) -> Self {
+        self.med = Some(med);
+        self
+    }
+
+    /// Builder: add a community.
+    pub fn with_community(mut self, c: Community) -> Self {
+        self.communities.push(c);
+        self
+    }
+
+    /// Builder: set ORIGIN.
+    pub fn with_origin(mut self, origin: Origin) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// A copy with the next hop replaced (how the SDX injects VNHs).
+    pub fn with_next_hop(mut self, nh: Ipv4Addr) -> Self {
+        self.next_hop = nh;
+        self
+    }
+}
+
+/// A route: a destination prefix plus its path attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// The attributes announced with it.
+    pub attrs: PathAttributes,
+}
+
+impl Route {
+    /// Construct a route.
+    pub fn new(prefix: Prefix, attrs: PathAttributes) -> Self {
+        Route { prefix, attrs }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} via {} path [{}]",
+            self.prefix, self.attrs.next_hop, self.attrs.as_path
+        )
+    }
+}
+
+/// A model-level BGP UPDATE: withdrawals plus announcements.
+///
+/// On the wire a single UPDATE carries one attribute set for all its NLRI;
+/// this model form matches that (one `attrs` for all `announce` prefixes).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Update {
+    /// Prefixes no longer reachable via the sender.
+    pub withdraw: Vec<Prefix>,
+    /// Prefixes announced with `attrs`.
+    pub announce: Vec<Prefix>,
+    /// Attributes for the announced prefixes (`None` iff `announce` empty).
+    pub attrs: Option<PathAttributes>,
+}
+
+impl Update {
+    /// An update announcing prefixes with the given attributes.
+    pub fn announce(prefixes: impl IntoIterator<Item = Prefix>, attrs: PathAttributes) -> Self {
+        Update {
+            withdraw: Vec::new(),
+            announce: prefixes.into_iter().collect(),
+            attrs: Some(attrs),
+        }
+    }
+
+    /// An update withdrawing prefixes.
+    pub fn withdraw(prefixes: impl IntoIterator<Item = Prefix>) -> Self {
+        Update {
+            withdraw: prefixes.into_iter().collect(),
+            announce: Vec::new(),
+            attrs: None,
+        }
+    }
+
+    /// Every prefix the update touches (withdrawn and announced).
+    pub fn touched_prefixes(&self) -> impl Iterator<Item = &Prefix> {
+        self.withdraw.iter().chain(self.announce.iter())
+    }
+
+    /// The announced routes as `Route` values.
+    pub fn routes(&self) -> Vec<Route> {
+        match &self.attrs {
+            Some(attrs) => self
+                .announce
+                .iter()
+                .map(|p| Route::new(*p, attrs.clone()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asn;
+
+    fn attrs() -> PathAttributes {
+        PathAttributes::new(AsPath::sequence([65001, 65002]), Ipv4Addr::new(10, 0, 0, 1))
+    }
+
+    #[test]
+    fn builders_compose() {
+        let a = attrs()
+            .with_local_pref(200)
+            .with_med(5)
+            .with_community(Community::new(65000, 1))
+            .with_origin(Origin::Egp);
+        assert_eq!(a.local_pref, Some(200));
+        assert_eq!(a.med, Some(5));
+        assert_eq!(a.communities.len(), 1);
+        assert_eq!(a.origin, Origin::Egp);
+        assert_eq!(a.as_path.origin_as(), Some(Asn(65002)));
+    }
+
+    #[test]
+    fn next_hop_rewrite() {
+        let a = attrs().with_next_hop(Ipv4Addr::new(172, 0, 0, 9));
+        assert_eq!(a.next_hop, Ipv4Addr::new(172, 0, 0, 9));
+    }
+
+    #[test]
+    fn update_roundtrip_to_routes() {
+        let u = Update::announce(
+            [
+                "10.0.0.0/8".parse().unwrap(),
+                "20.0.0.0/8".parse().unwrap(),
+            ],
+            attrs(),
+        );
+        let routes = u.routes();
+        assert_eq!(routes.len(), 2);
+        assert!(routes.iter().all(|r| r.attrs == attrs()));
+        assert_eq!(u.touched_prefixes().count(), 2);
+    }
+
+    #[test]
+    fn withdraw_update_has_no_routes() {
+        let u = Update::withdraw(["10.0.0.0/8".parse().unwrap()]);
+        assert!(u.routes().is_empty());
+        assert_eq!(u.touched_prefixes().count(), 1);
+    }
+
+    #[test]
+    fn route_display() {
+        let r = Route::new("10.0.0.0/8".parse().unwrap(), attrs());
+        let s = r.to_string();
+        assert!(s.contains("10.0.0.0/8"), "{s}");
+        assert!(s.contains("65001 65002"), "{s}");
+    }
+}

@@ -1,0 +1,149 @@
+//! RPKI route-origin validation (RFC 6811 semantics), used by the SDX to
+//! verify prefix ownership before accepting announcements — the paper's
+//! "the SDX would verify that AS D indeed owns the IP prefix (e.g., using
+//! the RPKI)" for remote participants originating anycast prefixes (§3.2).
+
+use sdx_ip::{Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+
+use crate::Asn;
+
+/// A Route Origin Authorization: `asn` may originate `prefix` and any of
+/// its subnets up to `max_length`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Roa {
+    /// The authorized prefix.
+    pub prefix: Prefix,
+    /// Longest authorized subnet length (≥ `prefix.len()`).
+    pub max_length: u8,
+    /// The authorized origin AS.
+    pub asn: Asn,
+}
+
+/// RFC 6811 validation states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpkiStatus {
+    /// A covering ROA authorizes the (prefix, origin) pair.
+    Valid,
+    /// Covering ROAs exist but none authorizes the pair.
+    Invalid,
+    /// No covering ROA exists.
+    NotFound,
+}
+
+/// A validated ROA database.
+#[derive(Debug, Clone, Default)]
+pub struct RpkiValidator {
+    roas: PrefixTrie<Vec<Roa>>,
+}
+
+impl RpkiValidator {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a ROA. A `max_length` below the prefix length is clamped up
+    /// to it (such ROAs would otherwise authorize nothing, which is never
+    /// the publisher's intent).
+    pub fn add_roa(&mut self, mut roa: Roa) {
+        roa.max_length = roa.max_length.max(roa.prefix.len()).min(32);
+        match self.roas.get_mut(&roa.prefix) {
+            Some(list) => list.push(roa),
+            None => {
+                self.roas.insert(roa.prefix, vec![roa]);
+            }
+        }
+    }
+
+    /// Number of ROAs registered.
+    pub fn len(&self) -> usize {
+        self.roas.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.roas.is_empty()
+    }
+
+    /// Validate an announced (prefix, origin) pair.
+    pub fn validate(&self, prefix: &Prefix, origin: Asn) -> RpkiStatus {
+        // Covering ROAs: every stored entry whose prefix contains the
+        // announcement. Walk the trie along the announced prefix.
+        let mut covered = false;
+        for (_, roas) in self.roas.matches(prefix.addr()) {
+            for roa in roas {
+                if !roa.prefix.contains(prefix) {
+                    continue;
+                }
+                covered = true;
+                if roa.asn == origin && prefix.len() <= roa.max_length {
+                    return RpkiStatus::Valid;
+                }
+            }
+        }
+        if covered {
+            RpkiStatus::Invalid
+        } else {
+            RpkiStatus::NotFound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn validator() -> RpkiValidator {
+        let mut v = RpkiValidator::new();
+        v.add_roa(Roa { prefix: p("74.125.0.0/16"), max_length: 24, asn: Asn(15169) });
+        v.add_roa(Roa { prefix: p("10.0.0.0/8"), max_length: 8, asn: Asn(65001) });
+        v
+    }
+
+    #[test]
+    fn valid_origin_and_length() {
+        let v = validator();
+        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(15169)), RpkiStatus::Valid);
+        assert_eq!(v.validate(&p("74.125.0.0/16"), Asn(15169)), RpkiStatus::Valid);
+    }
+
+    #[test]
+    fn wrong_origin_is_invalid() {
+        let v = validator();
+        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(666)), RpkiStatus::Invalid);
+    }
+
+    #[test]
+    fn too_specific_is_invalid() {
+        let v = validator();
+        assert_eq!(v.validate(&p("74.125.1.0/25"), Asn(15169)), RpkiStatus::Invalid);
+        assert_eq!(v.validate(&p("10.1.0.0/16"), Asn(65001)), RpkiStatus::Invalid);
+    }
+
+    #[test]
+    fn uncovered_is_not_found() {
+        let v = validator();
+        assert_eq!(v.validate(&p("192.0.2.0/24"), Asn(15169)), RpkiStatus::NotFound);
+    }
+
+    #[test]
+    fn multiple_roas_any_match_wins() {
+        let mut v = validator();
+        v.add_roa(Roa { prefix: p("74.125.0.0/16"), max_length: 24, asn: Asn(64500) });
+        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(64500)), RpkiStatus::Valid);
+        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(15169)), RpkiStatus::Valid);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn short_max_length_clamped() {
+        let mut v = RpkiValidator::new();
+        v.add_roa(Roa { prefix: p("192.0.2.0/24"), max_length: 8, asn: Asn(1) });
+        assert_eq!(v.validate(&p("192.0.2.0/24"), Asn(1)), RpkiStatus::Valid);
+    }
+}

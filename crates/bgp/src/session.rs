@@ -1,0 +1,435 @@
+//! A BGP session finite-state machine (RFC 4271 §8, simplified to the events
+//! that occur over an IXP's in-fabric TCP sessions) plus an in-memory
+//! transport so two speakers can be wired together in tests and simulations
+//! without sockets.
+//!
+//! The FSM is sans-I/O: `handle` consumes an event and returns the actions
+//! (messages to send, updates to deliver) for the caller to execute, which
+//! keeps it deterministic and directly testable.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use bytes::{Bytes, BytesMut};
+
+use crate::wire::{self, Message, NotificationMsg, OpenMsg};
+use crate::{Asn, RouterId, Update};
+
+/// RFC 4271 session states. `Connect`/`Active` are collapsed into `Connect`
+/// since the in-memory transport has no half-open TCP distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Not started.
+    Idle,
+    /// Waiting for the transport to come up.
+    Connect,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPEN exchanged, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+/// Inputs to the FSM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// Operator starts the session.
+    ManualStart,
+    /// Operator stops the session.
+    ManualStop,
+    /// The underlying transport connected.
+    TransportUp,
+    /// The underlying transport failed.
+    TransportDown,
+    /// A complete message arrived.
+    Message(Message),
+    /// The hold timer fired without hearing from the peer.
+    HoldTimerExpired,
+    /// Time to refresh the peer's hold timer.
+    KeepaliveTimerExpired,
+}
+
+/// Outputs of the FSM for the caller to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionAction {
+    /// Transmit a message to the peer.
+    Send(Message),
+    /// The session just reached `Established`.
+    Established,
+    /// The session went down; the state is back to `Idle`.
+    Closed(CloseReason),
+    /// An UPDATE arrived on an established session.
+    Deliver(Update),
+}
+
+/// Why a session closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Operator action.
+    ManualStop,
+    /// Transport failure.
+    TransportDown,
+    /// Hold timer expiry.
+    HoldTimeExpired,
+    /// Peer sent a NOTIFICATION.
+    PeerNotification(NotificationMsg),
+    /// We sent a NOTIFICATION due to a protocol error.
+    ProtocolError(&'static str),
+}
+
+/// Local configuration of one session endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Our AS number.
+    pub asn: Asn,
+    /// Our BGP identifier.
+    pub router_id: RouterId,
+    /// Hold time we propose, in seconds.
+    pub hold_time: u16,
+}
+
+/// The session FSM.
+#[derive(Debug)]
+pub struct Session {
+    config: SessionConfig,
+    state: SessionState,
+    peer_open: Option<OpenMsg>,
+}
+
+impl Session {
+    /// A new session in `Idle`.
+    pub fn new(config: SessionConfig) -> Self {
+        Session { config, state: SessionState::Idle, peer_open: None }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The peer's OPEN parameters, once received.
+    pub fn peer_open(&self) -> Option<&OpenMsg> {
+        self.peer_open.as_ref()
+    }
+
+    /// The negotiated hold time (minimum of both proposals), once open.
+    pub fn negotiated_hold_time(&self) -> Option<u16> {
+        self.peer_open.map(|o| o.hold_time.min(self.config.hold_time))
+    }
+
+    fn our_open(&self) -> Message {
+        Message::Open(OpenMsg {
+            version: 4,
+            asn: self.config.asn,
+            hold_time: self.config.hold_time,
+            router_id: self.config.router_id,
+        })
+    }
+
+    fn close(&mut self, reason: CloseReason) -> Vec<SessionAction> {
+        self.state = SessionState::Idle;
+        self.peer_open = None;
+        vec![SessionAction::Closed(reason)]
+    }
+
+    fn protocol_error(&mut self, code: u8, subcode: u8, what: &'static str) -> Vec<SessionAction> {
+        let notify = SessionAction::Send(Message::Notification(NotificationMsg {
+            code,
+            subcode,
+            data: Vec::new(),
+        }));
+        let mut actions = vec![notify];
+        actions.extend(self.close(CloseReason::ProtocolError(what)));
+        actions
+    }
+
+    /// Advance the FSM on an event.
+    pub fn handle(&mut self, event: SessionEvent) -> Vec<SessionAction> {
+        use SessionEvent as Ev;
+        use SessionState::*;
+        match (self.state, event) {
+            (_, Ev::ManualStop) => self.close(CloseReason::ManualStop),
+            (_, Ev::TransportDown) => self.close(CloseReason::TransportDown),
+            (_, Ev::HoldTimerExpired) => {
+                let mut actions = vec![SessionAction::Send(Message::Notification(
+                    NotificationMsg { code: 4, subcode: 0, data: Vec::new() },
+                ))];
+                actions.extend(self.close(CloseReason::HoldTimeExpired));
+                actions
+            }
+
+            (Idle, Ev::ManualStart) => {
+                self.state = Connect;
+                Vec::new()
+            }
+            (Idle, _) => Vec::new(),
+
+            (Connect, Ev::TransportUp) => {
+                self.state = OpenSent;
+                vec![SessionAction::Send(self.our_open())]
+            }
+            (Connect, _) => Vec::new(),
+
+            (OpenSent, Ev::Message(Message::Open(open))) => {
+                self.peer_open = Some(open);
+                self.state = OpenConfirm;
+                vec![SessionAction::Send(Message::Keepalive)]
+            }
+            (OpenSent, Ev::Message(Message::Notification(n))) => {
+                self.close(CloseReason::PeerNotification(n))
+            }
+            (OpenSent, Ev::Message(_)) => {
+                // FSM error: anything but OPEN here is fatal.
+                self.protocol_error(5, 0, "expected OPEN")
+            }
+            (OpenSent, _) => Vec::new(),
+
+            (OpenConfirm, Ev::Message(Message::Keepalive)) => {
+                self.state = Established;
+                vec![SessionAction::Established]
+            }
+            (OpenConfirm, Ev::Message(Message::Notification(n))) => {
+                self.close(CloseReason::PeerNotification(n))
+            }
+            (OpenConfirm, Ev::Message(_)) => self.protocol_error(5, 0, "expected KEEPALIVE"),
+            (OpenConfirm, Ev::KeepaliveTimerExpired) => {
+                vec![SessionAction::Send(Message::Keepalive)]
+            }
+            (OpenConfirm, _) => Vec::new(),
+
+            (Established, Ev::Message(Message::Update(update))) => {
+                vec![SessionAction::Deliver(update)]
+            }
+            (Established, Ev::Message(Message::Keepalive)) => Vec::new(),
+            (Established, Ev::Message(Message::Notification(n))) => {
+                self.close(CloseReason::PeerNotification(n))
+            }
+            (Established, Ev::Message(Message::Open(_))) => self.protocol_error(5, 0, "OPEN while up"),
+            (Established, Ev::KeepaliveTimerExpired) => {
+                vec![SessionAction::Send(Message::Keepalive)]
+            }
+            (Established, Ev::ManualStart | Ev::TransportUp) => Vec::new(),
+        }
+    }
+}
+
+/// One end of an in-memory, byte-stream transport (a stand-in for the TCP
+/// connection across the IXP fabric).
+#[derive(Debug)]
+pub struct Endpoint {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    inbox: BytesMut,
+}
+
+/// Create a connected pair of endpoints.
+pub fn pipe() -> (Endpoint, Endpoint) {
+    let (atx, brx) = unbounded();
+    let (btx, arx) = unbounded();
+    (
+        Endpoint { tx: atx, rx: arx, inbox: BytesMut::new() },
+        Endpoint { tx: btx, rx: brx, inbox: BytesMut::new() },
+    )
+}
+
+impl Endpoint {
+    /// Send a BGP message to the peer.
+    pub fn send(&self, msg: &Message) -> bool {
+        self.tx.send(wire::encode(msg)).is_ok()
+    }
+
+    /// Receive the next complete message, if one has arrived. Bytes are
+    /// buffered across calls, so partial deliveries reassemble correctly.
+    pub fn recv(&mut self) -> Result<Option<Message>, wire::WireError> {
+        loop {
+            if let Some(msg) = wire::read_message(&mut self.inbox)? {
+                return Ok(Some(msg));
+            }
+            match self.rx.try_recv() {
+                Ok(chunk) => self.inbox.extend_from_slice(&chunk),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Drive two sessions over a pipe until neither has anything left to do.
+/// Returns the updates each side delivered. Used by tests and simulations to
+/// bring a pair up to `Established` and exchange routes.
+pub fn run_pair(
+    a: &mut Session,
+    b: &mut Session,
+    a_end: &mut Endpoint,
+    b_end: &mut Endpoint,
+    mut outbound_a: Vec<Update>,
+    mut outbound_b: Vec<Update>,
+) -> (Vec<Update>, Vec<Update>) {
+    let mut delivered_a = Vec::new();
+    let mut delivered_b = Vec::new();
+
+    let mut pending_a = a.handle(SessionEvent::ManualStart);
+    pending_a.extend(a.handle(SessionEvent::TransportUp));
+    let mut pending_b = b.handle(SessionEvent::ManualStart);
+    pending_b.extend(b.handle(SessionEvent::TransportUp));
+
+    loop {
+        let mut progressed = false;
+
+        for action in std::mem::take(&mut pending_a) {
+            progressed = true;
+            match action {
+                SessionAction::Send(msg) => {
+                    a_end.send(&msg);
+                }
+                SessionAction::Established => {
+                    for u in outbound_a.drain(..) {
+                        a_end.send(&Message::Update(u));
+                    }
+                }
+                SessionAction::Deliver(u) => delivered_a.push(u),
+                SessionAction::Closed(_) => {}
+            }
+        }
+        for action in std::mem::take(&mut pending_b) {
+            progressed = true;
+            match action {
+                SessionAction::Send(msg) => {
+                    b_end.send(&msg);
+                }
+                SessionAction::Established => {
+                    for u in outbound_b.drain(..) {
+                        b_end.send(&Message::Update(u));
+                    }
+                }
+                SessionAction::Deliver(u) => delivered_b.push(u),
+                SessionAction::Closed(_) => {}
+            }
+        }
+
+        while let Ok(Some(msg)) = a_end.recv() {
+            progressed = true;
+            pending_a.extend(a.handle(SessionEvent::Message(msg)));
+        }
+        while let Ok(Some(msg)) = b_end.recv() {
+            progressed = true;
+            pending_b.extend(b.handle(SessionEvent::Message(msg)));
+        }
+
+        if !progressed && pending_a.is_empty() && pending_b.is_empty() {
+            break;
+        }
+    }
+    (delivered_a, delivered_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsPath, PathAttributes};
+    use std::net::Ipv4Addr;
+
+    fn config(asn: u32) -> SessionConfig {
+        SessionConfig { asn: Asn(asn), router_id: RouterId(asn), hold_time: 90 }
+    }
+
+    fn update() -> Update {
+        Update::announce(
+            ["10.0.0.0/8".parse().unwrap()],
+            PathAttributes::new(AsPath::sequence([65001]), Ipv4Addr::new(10, 0, 0, 1)),
+        )
+    }
+
+    #[test]
+    fn happy_path_to_established() {
+        let mut s = Session::new(config(65001));
+        assert_eq!(s.state(), SessionState::Idle);
+        assert!(s.handle(SessionEvent::ManualStart).is_empty());
+        assert_eq!(s.state(), SessionState::Connect);
+
+        let actions = s.handle(SessionEvent::TransportUp);
+        assert!(matches!(actions[0], SessionAction::Send(Message::Open(_))));
+        assert_eq!(s.state(), SessionState::OpenSent);
+
+        let peer_open = OpenMsg { version: 4, asn: Asn(65002), hold_time: 30, router_id: RouterId(2) };
+        let actions = s.handle(SessionEvent::Message(Message::Open(peer_open)));
+        assert_eq!(actions, vec![SessionAction::Send(Message::Keepalive)]);
+        assert_eq!(s.state(), SessionState::OpenConfirm);
+        assert_eq!(s.negotiated_hold_time(), Some(30));
+
+        let actions = s.handle(SessionEvent::Message(Message::Keepalive));
+        assert_eq!(actions, vec![SessionAction::Established]);
+        assert_eq!(s.state(), SessionState::Established);
+    }
+
+    #[test]
+    fn update_delivered_only_when_established() {
+        let mut s = Session::new(config(65001));
+        s.handle(SessionEvent::ManualStart);
+        s.handle(SessionEvent::TransportUp);
+        // UPDATE before OPEN: protocol error, notification sent, back to Idle.
+        let actions = s.handle(SessionEvent::Message(Message::Update(update())));
+        assert!(matches!(actions[0], SessionAction::Send(Message::Notification(_))));
+        assert_eq!(s.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn hold_timer_closes_with_notification() {
+        let mut s = Session::new(config(65001));
+        s.handle(SessionEvent::ManualStart);
+        s.handle(SessionEvent::TransportUp);
+        let actions = s.handle(SessionEvent::HoldTimerExpired);
+        assert!(matches!(
+            actions.as_slice(),
+            [SessionAction::Send(Message::Notification(n)), SessionAction::Closed(CloseReason::HoldTimeExpired)]
+            if n.code == 4
+        ));
+    }
+
+    #[test]
+    fn peer_notification_closes() {
+        let mut s = Session::new(config(65001));
+        s.handle(SessionEvent::ManualStart);
+        s.handle(SessionEvent::TransportUp);
+        let n = NotificationMsg { code: 6, subcode: 4, data: vec![] };
+        let actions = s.handle(SessionEvent::Message(Message::Notification(n.clone())));
+        assert_eq!(actions, vec![SessionAction::Closed(CloseReason::PeerNotification(n))]);
+    }
+
+    #[test]
+    fn keepalive_timer_sends_keepalive_when_up() {
+        let mut s = Session::new(config(65001));
+        s.handle(SessionEvent::ManualStart);
+        s.handle(SessionEvent::TransportUp);
+        s.handle(SessionEvent::Message(Message::Open(OpenMsg {
+            version: 4,
+            asn: Asn(2),
+            hold_time: 90,
+            router_id: RouterId(2),
+        })));
+        s.handle(SessionEvent::Message(Message::Keepalive));
+        let actions = s.handle(SessionEvent::KeepaliveTimerExpired);
+        assert_eq!(actions, vec![SessionAction::Send(Message::Keepalive)]);
+    }
+
+    #[test]
+    fn full_pair_exchanges_updates_over_wire() {
+        let mut a = Session::new(config(65001));
+        let mut b = Session::new(config(65002));
+        let (mut ea, mut eb) = pipe();
+        let (got_a, got_b) =
+            run_pair(&mut a, &mut b, &mut ea, &mut eb, vec![update()], Vec::new());
+        assert_eq!(a.state(), SessionState::Established);
+        assert_eq!(b.state(), SessionState::Established);
+        assert_eq!(got_b, vec![update()]); // B received A's update
+        assert!(got_a.is_empty());
+    }
+
+    #[test]
+    fn manual_stop_from_any_state() {
+        let mut s = Session::new(config(65001));
+        s.handle(SessionEvent::ManualStart);
+        let actions = s.handle(SessionEvent::ManualStop);
+        assert_eq!(actions, vec![SessionAction::Closed(CloseReason::ManualStop)]);
+        assert_eq!(s.state(), SessionState::Idle);
+    }
+}

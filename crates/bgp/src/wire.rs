@@ -1,0 +1,619 @@
+//! RFC 4271 wire codec for the BGP message subset the SDX route server
+//! speaks: OPEN, UPDATE, KEEPALIVE, and NOTIFICATION, with the path
+//! attributes ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF, and COMMUNITIES.
+//!
+//! AS numbers in AS_PATH are encoded as four octets (the RFC 6793 convention
+//! used by modern speakers that negotiate 4-octet-AS capability); the OPEN
+//! "My Autonomous System" field stays two octets, with `AS_TRANS` (23456)
+//! substituted for ASNs that do not fit, as RFC 6793 prescribes.
+
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sdx_ip::Prefix;
+
+use crate::{AsPath, AsPathSegment, Asn, Community, Origin, PathAttributes, RouterId, Update};
+
+/// RFC 4271 maximum message size.
+pub const MAX_MESSAGE: usize = 4096;
+/// Message header size (marker + length + type).
+pub const HEADER_LEN: usize = 19;
+/// The substitute 2-octet ASN for 4-octet AS numbers (RFC 6793).
+pub const AS_TRANS: u16 = 23456;
+
+/// A decoded BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Session negotiation.
+    Open(OpenMsg),
+    /// Route announcements and withdrawals.
+    Update(Update),
+    /// Error report; the sender closes the session after it.
+    Notification(NotificationMsg),
+    /// Hold-timer refresh.
+    Keepalive,
+}
+
+/// The OPEN message body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenMsg {
+    /// Protocol version, always 4.
+    pub version: u8,
+    /// Sender's AS number (full 4-octet value; see module docs for the wire
+    /// representation).
+    pub asn: Asn,
+    /// Proposed hold time in seconds (0 disables keepalives).
+    pub hold_time: u16,
+    /// Sender's BGP identifier.
+    pub router_id: RouterId,
+}
+
+/// The NOTIFICATION message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMsg {
+    /// Error code (RFC 4271 §4.5).
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+/// Decoding/encoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Not enough bytes for a complete message.
+    Truncated,
+    /// The 16-byte marker was not all ones.
+    BadMarker,
+    /// The length field was outside `[19, 4096]` or inconsistent.
+    BadLength(u16),
+    /// Unknown message type code.
+    UnknownType(u8),
+    /// OPEN carried an unsupported version.
+    BadVersion(u8),
+    /// A path attribute was malformed.
+    Attribute(&'static str),
+    /// An NLRI/withdrawn prefix was malformed.
+    BadPrefix,
+    /// A mandatory attribute was missing from an UPDATE with NLRI.
+    MissingMandatoryAttr(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadMarker => write!(f, "bad marker"),
+            WireError::BadLength(l) => write!(f, "bad length {l}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadVersion(v) => write!(f, "unsupported BGP version {v}"),
+            WireError::Attribute(what) => write!(f, "malformed path attribute: {what}"),
+            WireError::BadPrefix => write!(f, "malformed NLRI prefix"),
+            WireError::MissingMandatoryAttr(a) => write!(f, "missing mandatory attribute {a}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+mod msg_type {
+    pub const OPEN: u8 = 1;
+    pub const UPDATE: u8 = 2;
+    pub const NOTIFICATION: u8 = 3;
+    pub const KEEPALIVE: u8 = 4;
+}
+
+mod attr_type {
+    pub const ORIGIN: u8 = 1;
+    pub const AS_PATH: u8 = 2;
+    pub const NEXT_HOP: u8 = 3;
+    pub const MED: u8 = 4;
+    pub const LOCAL_PREF: u8 = 5;
+    pub const COMMUNITIES: u8 = 8;
+}
+
+mod attr_flags {
+    pub const OPTIONAL: u8 = 0x80;
+    pub const TRANSITIVE: u8 = 0x40;
+    pub const EXTENDED_LENGTH: u8 = 0x10;
+}
+
+/// Encode a message to its wire form.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut body = BytesMut::new();
+    let type_code = match msg {
+        Message::Open(open) => {
+            body.put_u8(open.version);
+            let as16 = u16::try_from(open.asn.0).unwrap_or(AS_TRANS);
+            body.put_u16(as16);
+            body.put_u16(open.hold_time);
+            body.put_u32(open.router_id.0);
+            body.put_u8(0); // no optional parameters
+            msg_type::OPEN
+        }
+        Message::Update(update) => {
+            encode_update(update, &mut body);
+            msg_type::UPDATE
+        }
+        Message::Notification(n) => {
+            body.put_u8(n.code);
+            body.put_u8(n.subcode);
+            body.put_slice(&n.data);
+            msg_type::NOTIFICATION
+        }
+        Message::Keepalive => msg_type::KEEPALIVE,
+    };
+
+    let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+    out.put_slice(&[0xff; 16]);
+    out.put_u16((HEADER_LEN + body.len()) as u16);
+    out.put_u8(type_code);
+    out.put_slice(&body);
+    out.freeze()
+}
+
+fn encode_update(update: &Update, body: &mut BytesMut) {
+    // Withdrawn routes.
+    let mut withdrawn = BytesMut::new();
+    for p in &update.withdraw {
+        encode_prefix(p, &mut withdrawn);
+    }
+    body.put_u16(withdrawn.len() as u16);
+    body.put_slice(&withdrawn);
+
+    // Path attributes.
+    let mut attrs = BytesMut::new();
+    if let Some(a) = &update.attrs {
+        encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::ORIGIN, |b| {
+            b.put_u8(a.origin as u8)
+        });
+        encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::AS_PATH, |b| {
+            for seg in a.as_path.segments() {
+                let (code, asns) = match seg {
+                    AsPathSegment::Set(asns) => (1u8, asns),
+                    AsPathSegment::Sequence(asns) => (2u8, asns),
+                };
+                b.put_u8(code);
+                b.put_u8(asns.len() as u8);
+                for asn in asns {
+                    b.put_u32(asn.0);
+                }
+            }
+        });
+        encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::NEXT_HOP, |b| {
+            b.put_u32(u32::from(a.next_hop))
+        });
+        if let Some(med) = a.med {
+            encode_attr(&mut attrs, attr_flags::OPTIONAL, attr_type::MED, |b| {
+                b.put_u32(med)
+            });
+        }
+        if let Some(lp) = a.local_pref {
+            encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::LOCAL_PREF, |b| {
+                b.put_u32(lp)
+            });
+        }
+        if !a.communities.is_empty() {
+            encode_attr(
+                &mut attrs,
+                attr_flags::OPTIONAL | attr_flags::TRANSITIVE,
+                attr_type::COMMUNITIES,
+                |b| {
+                    for c in &a.communities {
+                        b.put_u32(c.0);
+                    }
+                },
+            );
+        }
+    }
+    body.put_u16(attrs.len() as u16);
+    body.put_slice(&attrs);
+
+    // NLRI.
+    for p in &update.announce {
+        encode_prefix(p, body);
+    }
+}
+
+fn encode_attr(out: &mut BytesMut, flags: u8, type_code: u8, fill: impl FnOnce(&mut BytesMut)) {
+    let mut value = BytesMut::new();
+    fill(&mut value);
+    if value.len() > 255 {
+        out.put_u8(flags | attr_flags::EXTENDED_LENGTH);
+        out.put_u8(type_code);
+        out.put_u16(value.len() as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(type_code);
+        out.put_u8(value.len() as u8);
+    }
+    out.put_slice(&value);
+}
+
+fn encode_prefix(p: &Prefix, out: &mut BytesMut) {
+    out.put_u8(p.len());
+    let nbytes = (p.len() as usize).div_ceil(8);
+    out.put_slice(&p.bits().to_be_bytes()[..nbytes]);
+}
+
+/// Decode one message from the front of `buf`, returning it and the number
+/// of bytes consumed. Returns `Err(Truncated)` if `buf` holds less than one
+/// full message (callers buffering a stream should wait for more bytes).
+pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[..16] != [0xff; 16] {
+        return Err(WireError::BadMarker);
+    }
+    let len = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+    if !(HEADER_LEN..=MAX_MESSAGE).contains(&len) {
+        return Err(WireError::BadLength(len as u16));
+    }
+    if buf.len() < len {
+        return Err(WireError::Truncated);
+    }
+    let type_code = buf[18];
+    let mut body = &buf[HEADER_LEN..len];
+    let msg = match type_code {
+        msg_type::OPEN => Message::Open(decode_open(&mut body)?),
+        msg_type::UPDATE => Message::Update(decode_update(&mut body)?),
+        msg_type::NOTIFICATION => {
+            if body.len() < 2 {
+                return Err(WireError::Truncated);
+            }
+            Message::Notification(NotificationMsg {
+                code: body.get_u8(),
+                subcode: body.get_u8(),
+                data: body.to_vec(),
+            })
+        }
+        msg_type::KEEPALIVE => Message::Keepalive,
+        other => return Err(WireError::UnknownType(other)),
+    };
+    Ok((msg, len))
+}
+
+/// Pull complete messages out of a growing stream buffer. Consumed bytes are
+/// removed from `buf`; returns `None` when no complete message remains.
+pub fn read_message(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
+    match decode(&buf[..]) {
+        Ok((msg, consumed)) => {
+            buf.advance(consumed);
+            Ok(Some(msg))
+        }
+        Err(WireError::Truncated) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn decode_open(body: &mut &[u8]) -> Result<OpenMsg, WireError> {
+    if body.len() < 10 {
+        return Err(WireError::Truncated);
+    }
+    let version = body.get_u8();
+    if version != 4 {
+        return Err(WireError::BadVersion(version));
+    }
+    let asn = Asn(body.get_u16() as u32);
+    let hold_time = body.get_u16();
+    let router_id = RouterId(body.get_u32());
+    let opt_len = body.get_u8() as usize;
+    if body.len() < opt_len {
+        return Err(WireError::Truncated);
+    }
+    body.advance(opt_len); // optional parameters ignored
+    Ok(OpenMsg { version, asn, hold_time, router_id })
+}
+
+fn decode_update(body: &mut &[u8]) -> Result<Update, WireError> {
+    if body.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let withdrawn_len = body.get_u16() as usize;
+    if body.len() < withdrawn_len {
+        return Err(WireError::Truncated);
+    }
+    let mut withdrawn_bytes = &body[..withdrawn_len];
+    body.advance(withdrawn_len);
+    let mut withdraw = Vec::new();
+    while !withdrawn_bytes.is_empty() {
+        withdraw.push(decode_prefix(&mut withdrawn_bytes)?);
+    }
+
+    if body.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let attrs_len = body.get_u16() as usize;
+    if body.len() < attrs_len {
+        return Err(WireError::Truncated);
+    }
+    let mut attr_bytes = &body[..attrs_len];
+    body.advance(attrs_len);
+
+    let mut origin = None;
+    let mut as_path = None;
+    let mut next_hop = None;
+    let mut med = None;
+    let mut local_pref = None;
+    let mut communities = Vec::new();
+
+    while !attr_bytes.is_empty() {
+        if attr_bytes.len() < 2 {
+            return Err(WireError::Attribute("attribute header"));
+        }
+        let flags = attr_bytes.get_u8();
+        let type_code = attr_bytes.get_u8();
+        let len = if flags & attr_flags::EXTENDED_LENGTH != 0 {
+            if attr_bytes.len() < 2 {
+                return Err(WireError::Attribute("extended length"));
+            }
+            attr_bytes.get_u16() as usize
+        } else {
+            if attr_bytes.is_empty() {
+                return Err(WireError::Attribute("length"));
+            }
+            attr_bytes.get_u8() as usize
+        };
+        if attr_bytes.len() < len {
+            return Err(WireError::Attribute("value"));
+        }
+        let mut value = &attr_bytes[..len];
+        attr_bytes.advance(len);
+
+        match type_code {
+            attr_type::ORIGIN => {
+                if value.len() != 1 {
+                    return Err(WireError::Attribute("ORIGIN length"));
+                }
+                origin =
+                    Some(Origin::from_u8(value[0]).ok_or(WireError::Attribute("ORIGIN value"))?);
+            }
+            attr_type::AS_PATH => {
+                let mut path = AsPath::empty();
+                while !value.is_empty() {
+                    if value.len() < 2 {
+                        return Err(WireError::Attribute("AS_PATH segment header"));
+                    }
+                    let seg_type = value.get_u8();
+                    let count = value.get_u8() as usize;
+                    if value.len() < count * 4 {
+                        return Err(WireError::Attribute("AS_PATH segment body"));
+                    }
+                    let asns: Vec<Asn> = (0..count).map(|_| Asn(value.get_u32())).collect();
+                    let seg = match seg_type {
+                        1 => AsPathSegment::Set(asns),
+                        2 => AsPathSegment::Sequence(asns),
+                        _ => return Err(WireError::Attribute("AS_PATH segment type")),
+                    };
+                    path.push_segment(seg);
+                }
+                as_path = Some(path);
+            }
+            attr_type::NEXT_HOP => {
+                if value.len() != 4 {
+                    return Err(WireError::Attribute("NEXT_HOP length"));
+                }
+                next_hop = Some(Ipv4Addr::from(value.get_u32()));
+            }
+            attr_type::MED => {
+                if value.len() != 4 {
+                    return Err(WireError::Attribute("MED length"));
+                }
+                med = Some(value.get_u32());
+            }
+            attr_type::LOCAL_PREF => {
+                if value.len() != 4 {
+                    return Err(WireError::Attribute("LOCAL_PREF length"));
+                }
+                local_pref = Some(value.get_u32());
+            }
+            attr_type::COMMUNITIES => {
+                if !value.len().is_multiple_of(4) {
+                    return Err(WireError::Attribute("COMMUNITIES length"));
+                }
+                while !value.is_empty() {
+                    communities.push(Community(value.get_u32()));
+                }
+            }
+            _ => {} // tolerate and skip unrecognized attributes
+        }
+    }
+
+    let mut announce = Vec::new();
+    let mut nlri = *body;
+    while !nlri.is_empty() {
+        announce.push(decode_prefix(&mut nlri)?);
+    }
+
+    let attrs = if announce.is_empty() {
+        None
+    } else {
+        let origin = origin.ok_or(WireError::MissingMandatoryAttr("ORIGIN"))?;
+        let as_path = as_path.ok_or(WireError::MissingMandatoryAttr("AS_PATH"))?;
+        let next_hop = next_hop.ok_or(WireError::MissingMandatoryAttr("NEXT_HOP"))?;
+        Some(PathAttributes {
+            origin,
+            as_path,
+            next_hop,
+            med,
+            local_pref,
+            communities,
+        })
+    };
+
+    Ok(Update { withdraw, announce, attrs })
+}
+
+fn decode_prefix(bytes: &mut &[u8]) -> Result<Prefix, WireError> {
+    if bytes.is_empty() {
+        return Err(WireError::BadPrefix);
+    }
+    let len = bytes.get_u8();
+    if len > 32 {
+        return Err(WireError::BadPrefix);
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    if bytes.len() < nbytes {
+        return Err(WireError::BadPrefix);
+    }
+    let mut octets = [0u8; 4];
+    octets[..nbytes].copy_from_slice(&bytes[..nbytes]);
+    bytes.advance(nbytes);
+    Ok(Prefix::from_bits(u32::from_be_bytes(octets), len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> PathAttributes {
+        PathAttributes::new(AsPath::sequence([65001, 3356, 43515]), Ipv4Addr::new(10, 0, 0, 9))
+            .with_local_pref(150)
+            .with_med(10)
+            .with_community(Community::new(65000, 80))
+    }
+
+    fn round_trip(msg: Message) -> Message {
+        let wire = encode(&msg);
+        let (decoded, consumed) = decode(&wire).expect("decode");
+        assert_eq!(consumed, wire.len());
+        decoded
+    }
+
+    #[test]
+    fn keepalive_round_trip() {
+        assert_eq!(round_trip(Message::Keepalive), Message::Keepalive);
+        assert_eq!(encode(&Message::Keepalive).len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn open_round_trip() {
+        let open = OpenMsg {
+            version: 4,
+            asn: Asn(65010),
+            hold_time: 90,
+            router_id: RouterId::from_addr(Ipv4Addr::new(172, 0, 0, 1)),
+        };
+        assert_eq!(round_trip(Message::Open(open)), Message::Open(open));
+    }
+
+    #[test]
+    fn open_large_asn_uses_as_trans() {
+        let open = OpenMsg {
+            version: 4,
+            asn: Asn(4_200_000_000),
+            hold_time: 90,
+            router_id: RouterId(1),
+        };
+        let got = round_trip(Message::Open(open));
+        match got {
+            Message::Open(o) => assert_eq!(o.asn, Asn(AS_TRANS as u32)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_round_trip_full() {
+        let u = Update {
+            withdraw: vec!["192.0.2.0/24".parse().unwrap()],
+            announce: vec!["10.0.0.0/8".parse().unwrap(), "203.0.113.0/25".parse().unwrap()],
+            attrs: Some(attrs()),
+        };
+        assert_eq!(round_trip(Message::Update(u.clone())), Message::Update(u));
+    }
+
+    #[test]
+    fn update_withdraw_only() {
+        let u = Update::withdraw(["10.0.0.0/8".parse().unwrap(), "0.0.0.0/0".parse().unwrap()]);
+        assert_eq!(round_trip(Message::Update(u.clone())), Message::Update(u));
+    }
+
+    #[test]
+    fn update_with_as_set_segment() {
+        let mut path = AsPath::sequence([65001]);
+        path.push_segment(AsPathSegment::Set(vec![Asn(1), Asn(2)]));
+        let u = Update::announce(
+            ["10.0.0.0/8".parse().unwrap()],
+            PathAttributes::new(path, Ipv4Addr::new(10, 0, 0, 1)),
+        );
+        assert_eq!(round_trip(Message::Update(u.clone())), Message::Update(u));
+    }
+
+    #[test]
+    fn notification_round_trip() {
+        let n = NotificationMsg { code: 6, subcode: 2, data: vec![1, 2, 3] };
+        assert_eq!(
+            round_trip(Message::Notification(n.clone())),
+            Message::Notification(n)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_marker() {
+        let mut wire = encode(&Message::Keepalive).to_vec();
+        wire[0] = 0;
+        assert_eq!(decode(&wire).unwrap_err(), WireError::BadMarker);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        let mut wire = encode(&Message::Keepalive).to_vec();
+        wire[18] = 99;
+        assert_eq!(decode(&wire).unwrap_err(), WireError::UnknownType(99));
+    }
+
+    #[test]
+    fn decode_truncated_asks_for_more() {
+        let wire = encode(&Message::Update(Update::announce(
+            ["10.0.0.0/8".parse().unwrap()],
+            attrs(),
+        )));
+        for cut in 0..wire.len() {
+            assert_eq!(decode(&wire[..cut]).unwrap_err(), WireError::Truncated, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn missing_mandatory_attr_rejected() {
+        // Hand-craft an UPDATE with NLRI but no attributes.
+        let mut body = BytesMut::new();
+        body.put_u16(0); // withdrawn len
+        body.put_u16(0); // attrs len
+        encode_prefix(&"10.0.0.0/8".parse().unwrap(), &mut body);
+        let mut wire = BytesMut::new();
+        wire.put_slice(&[0xff; 16]);
+        wire.put_u16((HEADER_LEN + body.len()) as u16);
+        wire.put_u8(msg_type::UPDATE);
+        wire.put_slice(&body);
+        assert!(matches!(
+            decode(&wire).unwrap_err(),
+            WireError::MissingMandatoryAttr(_)
+        ));
+    }
+
+    #[test]
+    fn stream_reader_extracts_messages() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode(&Message::Keepalive));
+        let u = Message::Update(Update::announce(["10.0.0.0/8".parse().unwrap()], attrs()));
+        buf.extend_from_slice(&encode(&u));
+        // Partial third message.
+        buf.extend_from_slice(&encode(&Message::Keepalive)[..5]);
+
+        assert_eq!(read_message(&mut buf).unwrap(), Some(Message::Keepalive));
+        assert_eq!(read_message(&mut buf).unwrap(), Some(u));
+        assert_eq!(read_message(&mut buf).unwrap(), None);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn default_prefix_encodes_to_one_byte() {
+        let mut out = BytesMut::new();
+        encode_prefix(&Prefix::DEFAULT, &mut out);
+        assert_eq!(out.len(), 1);
+        let mut slice = &out[..];
+        assert_eq!(decode_prefix(&mut slice).unwrap(), Prefix::DEFAULT);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests: wire-codec round trips and AS-path pattern matching
+//! against a brute-force oracle.
+
+use proptest::prelude::*;
+use sdx_bgp::wire::{decode, encode, Message, NotificationMsg, OpenMsg};
+use sdx_bgp::{
+    AsPath, AsPathPattern, AsPathSegment, Asn, Community, Origin, PathAttributes, RouterId, Update,
+};
+use sdx_ip::Prefix;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::from_bits(bits, len))
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(0u32..100_000, 1..5)
+                .prop_map(|v| AsPathSegment::Sequence(v.into_iter().map(Asn).collect())),
+            prop::collection::vec(0u32..100_000, 1..4)
+                .prop_map(|v| AsPathSegment::Set(v.into_iter().map(Asn).collect())),
+        ],
+        0..3,
+    )
+    .prop_map(|segments| {
+        let mut p = AsPath::empty();
+        for s in segments {
+            p.push_segment(s);
+        }
+        p
+    })
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        arb_as_path(),
+        any::<u32>(),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        prop::collection::vec(any::<u32>(), 0..4),
+        0u8..3,
+    )
+        .prop_map(|(as_path, nh, med, lp, comms, origin)| PathAttributes {
+            origin: Origin::from_u8(origin).unwrap(),
+            as_path,
+            next_hop: Ipv4Addr::from(nh),
+            med,
+            local_pref: lp,
+            communities: comms.into_iter().map(Community).collect(),
+        })
+}
+
+fn arb_update() -> impl Strategy<Value = Update> {
+    (
+        prop::collection::vec(arb_prefix(), 0..10),
+        prop::collection::vec(arb_prefix(), 0..10),
+        arb_attrs(),
+    )
+        .prop_map(|(withdraw, announce, attrs)| {
+            let attrs = if announce.is_empty() { None } else { Some(attrs) };
+            Update { withdraw, announce, attrs }
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::Keepalive),
+        (1u32..65_536, any::<u16>(), any::<u32>()).prop_map(|(asn, hold, id)| {
+            Message::Open(OpenMsg {
+                version: 4,
+                asn: Asn(asn & 0xffff),
+                hold_time: hold,
+                router_id: RouterId(id),
+            })
+        }),
+        arb_update().prop_map(Message::Update),
+        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..20))
+            .prop_map(|(code, subcode, data)| Message::Notification(NotificationMsg {
+                code,
+                subcode,
+                data
+            })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_round_trip(msg in arb_message()) {
+        let wire = encode(&msg);
+        prop_assume!(wire.len() <= sdx_bgp::wire::MAX_MESSAGE);
+        let (decoded, consumed) = decode(&wire).expect("decode");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncation_never_panics(msg in arb_message(), cut in 0usize..100) {
+        let wire = encode(&msg);
+        let cut = cut.min(wire.len());
+        let _ = decode(&wire[..cut]); // must not panic; Truncated or a parse error is fine
+    }
+
+    #[test]
+    fn corruption_never_panics(msg in arb_message(), idx in 0usize..200, byte in any::<u8>()) {
+        let mut wire = encode(&msg).to_vec();
+        let idx = idx % wire.len();
+        wire[idx] = byte;
+        let _ = decode(&wire); // any Result is acceptable; panics are not
+    }
+
+    #[test]
+    fn literal_only_pattern_matches_subsequence_oracle(
+        path in prop::collection::vec(0u32..50, 0..8),
+        needle in prop::collection::vec(0u32..50, 1..4),
+    ) {
+        // An unanchored literal pattern "a b c" means the path contains the
+        // contiguous run [a, b, c].
+        let source = needle.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ");
+        let pattern: AsPathPattern = source.parse().unwrap();
+        let as_path = AsPath::sequence(path.iter().copied());
+        let oracle = path.windows(needle.len()).any(|w| w == &needle[..]);
+        prop_assert_eq!(pattern.matches(&as_path), oracle);
+    }
+
+    #[test]
+    fn anchored_suffix_pattern_oracle(
+        path in prop::collection::vec(0u32..50, 0..8),
+        tail in 0u32..50,
+    ) {
+        let pattern: AsPathPattern = format!(".*{tail}$").parse().unwrap();
+        let as_path = AsPath::sequence(path.iter().copied());
+        prop_assert_eq!(pattern.matches(&as_path), path.last() == Some(&tail));
+    }
+}
+
+mod decision_props {
+    use proptest::prelude::*;
+    use sdx_bgp::decision::{prefer, select, Candidate};
+    use sdx_bgp::{AsPath, Origin, PathAttributes, PeerId, Route, RouterId};
+    use std::cmp::Ordering;
+    use std::net::Ipv4Addr;
+
+    fn arb_candidate() -> impl Strategy<Value = Candidate> {
+        (
+            1u32..6,
+            0usize..5,
+            prop::option::of(50u32..300),
+            prop::option::of(0u32..100),
+            0u8..3,
+        )
+            .prop_map(|(peer, path_len, lp, med, origin)| {
+                let mut attrs = PathAttributes::new(
+                    AsPath::sequence((0..path_len as u32).map(|i| 100 + i)),
+                    Ipv4Addr::new(10, 0, 0, peer as u8),
+                );
+                attrs.local_pref = lp;
+                attrs.med = med;
+                attrs.origin = Origin::from_u8(origin).unwrap();
+                Candidate {
+                    peer: PeerId(peer),
+                    router_id: RouterId(peer),
+                    route: Route::new("203.0.113.0/24".parse().unwrap(), attrs),
+                }
+            })
+    }
+
+    proptest! {
+        /// The decision process is a total order: antisymmetric and
+        /// transitive, so "best route" is well-defined.
+        #[test]
+        fn prefer_is_antisymmetric_and_transitive(
+            a in arb_candidate(),
+            b in arb_candidate(),
+            c in arb_candidate(),
+        ) {
+            prop_assert_eq!(prefer(&a, &b), prefer(&b, &a).reverse());
+            prop_assert_eq!(prefer(&a, &a), Ordering::Equal);
+            if prefer(&a, &b) != Ordering::Less && prefer(&b, &c) != Ordering::Less {
+                prop_assert_ne!(prefer(&a, &c), Ordering::Less);
+            }
+        }
+
+        /// `select` returns a candidate no other candidate beats.
+        #[test]
+        fn select_is_maximal(cands in prop::collection::vec(arb_candidate(), 1..8)) {
+            let best = select(cands.iter()).unwrap();
+            for c in &cands {
+                prop_assert_ne!(prefer(c, best), Ordering::Greater);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The participant-facing policy form the SDX controller analyzes.
+//!
+//! A [`ParticipantPolicy`] is a prioritized list of inbound and outbound
+//! [`Clause`]s. A clause reads like the paper's examples — a `match`, an
+//! optional destination-prefix scope, optional header rewrites, and a
+//! destination:
+//!
+//! * outbound `match(dstport=80) >> fwd(B)` — application-specific peering;
+//! * inbound `match(srcip=0/1) >> fwd(port B1)` — inbound traffic
+//!   engineering;
+//! * inbound `match(dstip=anycast) >> mod(dstip=replica) >> bgp-default` —
+//!   wide-area server load balancing;
+//! * outbound unfiltered `match(srcip in YouTubePrefixes) >> fwd(E)` —
+//!   middlebox steering.
+//!
+//! Clauses of one participant are first-match-wins (the SDX optimizes for
+//! unicast policies, §4.3.1); multicast requires explicitly overlapping
+//! participants, which the clause form deliberately does not express.
+
+use sdx_ip::PrefixSet;
+use sdx_policy::{Field, Predicate, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::ParticipantId;
+
+/// Where a clause sends matching traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dest {
+    /// To another participant's virtual switch (subject to BGP consistency
+    /// unless the clause is unfiltered).
+    Participant(ParticipantId),
+    /// To one of the participant's own physical ports (inbound engineering).
+    OwnPort(u32),
+    /// Drop the traffic.
+    Drop,
+    /// Follow BGP: resolve the (possibly rewritten) destination IP against
+    /// the route server's best route at compile time. Used by remote
+    /// participants whose rewrites redirect traffic onward.
+    BgpDefault,
+}
+
+/// One policy clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clause {
+    /// The non-destination-prefix part of the match (ports, source IPs, …).
+    pub match_: Predicate,
+    /// Destination-prefix scope, if the clause is scoped (`None` = all
+    /// destinations). Kept separate from `match_` so the controller can
+    /// intersect it with BGP reachability and group it into FECs.
+    pub dst_prefixes: Option<PrefixSet>,
+    /// Header rewrites applied to matching packets, in order.
+    pub rewrites: Vec<(Field, u64)>,
+    /// Where matching traffic goes.
+    pub dest: Dest,
+    /// Skip the BGP-consistency filter (service steering to a participant,
+    /// e.g. a middlebox, that does not announce routes). Use sparingly.
+    pub unfiltered: bool,
+}
+
+impl Clause {
+    /// `match >> fwd(to)` — the workhorse outbound clause.
+    pub fn fwd(match_: Predicate, to: ParticipantId) -> Self {
+        Clause { match_, dst_prefixes: None, rewrites: Vec::new(), dest: Dest::Participant(to), unfiltered: false }
+    }
+
+    /// `match >> fwd(own port)` — the workhorse inbound clause.
+    pub fn to_port(match_: Predicate, port: u32) -> Self {
+        Clause { match_, dst_prefixes: None, rewrites: Vec::new(), dest: Dest::OwnPort(port), unfiltered: false }
+    }
+
+    /// `match >> drop`.
+    pub fn drop(match_: Predicate) -> Self {
+        Clause { match_, dst_prefixes: None, rewrites: Vec::new(), dest: Dest::Drop, unfiltered: false }
+    }
+
+    /// Builder: scope the clause to destination prefixes.
+    pub fn for_prefixes(mut self, prefixes: PrefixSet) -> Self {
+        self.dst_prefixes = Some(prefixes);
+        self
+    }
+
+    /// Builder: add a header rewrite.
+    pub fn rewrite(mut self, field: Field, value: impl Into<Value>) -> Self {
+        self.rewrites.push((field, value.into().0));
+        self
+    }
+
+    /// Builder: bypass the BGP-consistency filter (service steering).
+    pub fn unfiltered(mut self) -> Self {
+        self.unfiltered = true;
+        self
+    }
+}
+
+/// A participant's complete SDX policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParticipantPolicy {
+    /// Clauses applied to traffic this participant sends into the fabric
+    /// (matched at its physical ports).
+    pub outbound: Vec<Clause>,
+    /// Clauses applied to traffic destined to this participant (matched at
+    /// its virtual port).
+    pub inbound: Vec<Clause>,
+}
+
+impl ParticipantPolicy {
+    /// The empty policy: all traffic follows BGP defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: append an outbound clause.
+    pub fn outbound(mut self, clause: Clause) -> Self {
+        self.outbound.push(clause);
+        self
+    }
+
+    /// Builder: append an inbound clause.
+    pub fn inbound(mut self, clause: Clause) -> Self {
+        self.inbound.push(clause);
+        self
+    }
+
+    /// Is this the empty (pure-default) policy?
+    pub fn is_empty(&self) -> bool {
+        self.outbound.is_empty() && self.inbound.is_empty()
+    }
+
+    /// Total number of clauses.
+    pub fn len(&self) -> usize {
+        self.outbound.len() + self.inbound.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_policy::match_;
+
+    #[test]
+    fn paper_application_specific_peering_shape() {
+        let b = ParticipantId(2);
+        let c = ParticipantId(3);
+        let policy = ParticipantPolicy::new()
+            .outbound(Clause::fwd(match_(Field::DstPort, 80u16), b))
+            .outbound(Clause::fwd(match_(Field::DstPort, 443u16), c));
+        assert_eq!(policy.outbound.len(), 2);
+        assert_eq!(policy.outbound[0].dest, Dest::Participant(b));
+        assert!(!policy.is_empty());
+        assert_eq!(policy.len(), 2);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let prefixes: PrefixSet = ["10.0.0.0/8".parse().unwrap()].into_iter().collect();
+        let c = Clause::fwd(Predicate::True, ParticipantId(9))
+            .for_prefixes(prefixes.clone())
+            .rewrite(Field::DstIp, 42u32)
+            .unfiltered();
+        assert_eq!(c.dst_prefixes, Some(prefixes));
+        assert_eq!(c.rewrites, vec![(Field::DstIp, 42)]);
+        assert!(c.unfiltered);
+    }
+
+    #[test]
+    fn inbound_engineering_shape() {
+        let policy = ParticipantPolicy::new()
+            .inbound(Clause::to_port(
+                Predicate::test_prefix(Field::SrcIp, "0.0.0.0/1".parse().unwrap()),
+                11,
+            ))
+            .inbound(Clause::to_port(
+                Predicate::test_prefix(Field::SrcIp, "128.0.0.0/1".parse().unwrap()),
+                12,
+            ));
+        assert_eq!(policy.inbound.len(), 2);
+        assert_eq!(policy.inbound[1].dest, Dest::OwnPort(12));
+    }
+
+    #[test]
+    fn empty_policy_is_default() {
+        assert!(ParticipantPolicy::new().is_empty());
+    }
+}

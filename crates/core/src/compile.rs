@@ -1,0 +1,701 @@
+//! The SDX policy compiler (§4 of the paper): lowers every participant's
+//! clauses, joined with BGP state, into one fabric classifier.
+//!
+//! The pipeline applies the paper's four transformations:
+//!
+//! 1. **Isolation** — outbound clauses are scoped to the author's physical
+//!    ports, inbound clauses to its virtual port.
+//! 2. **BGP consistency** — an outbound clause towards participant B is
+//!    restricted to the prefixes B actually exports to the author; with the
+//!    VNH optimization on, the restriction compiles to a handful of
+//!    VMAC-tag matches instead of thousands of prefix matches.
+//! 3. **Default forwarding** — packets not captured by a custom clause
+//!    follow their VMAC (or real router MAC) to the default BGP next hop.
+//! 4. **Composition** — the sender stage and the receiver stage are
+//!    sequentially composed into a single-table classifier.
+//!
+//! §4.3.1's optimizations appear as follows: clause rule-lists from
+//! different participants are concatenated rather than parallel-composed
+//! (sound because isolation makes them port-disjoint); composition is
+//! pairwise-pruned structurally (pushing a sender rule through the receiver
+//! stage statically resolves its virtual-port assignment, so only the actual
+//! target's rules are visited); and receiver-stage blocks are memoized
+//! across recompilations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+use sdx_bgp::RouteServer;
+use sdx_ip::{MacAddr, Prefix, PrefixSet};
+use sdx_policy::{
+    compile_predicate, sequential_compose, Action, Classifier, Field, Match, Pattern, Predicate,
+    Rule,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::fec::{self, DefaultView, PrefixGroup};
+use crate::vnh::VnhAllocator;
+use crate::{Clause, Dest, Participant, ParticipantId, ParticipantPolicy};
+
+/// Compiler configuration; the defaults are the paper's design, the flags
+/// exist for the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Group prefixes into FECs and match VMAC tags (§4.2). Off = splice
+    /// raw destination-prefix filters into every clause (the "naive
+    /// compilation" whose rule explosion §4.2 warns about).
+    pub use_vnh: bool,
+    /// Reuse receiver-stage rule blocks across recompilations (§4.3.1's
+    /// memoization of policy idioms).
+    pub memoize: bool,
+    /// Target a two-table OpenFlow pipeline instead of composing both
+    /// stages into one table: the sender stage goes to table 0 (with
+    /// `goto_table 1`) and the receiver stage to table 1. Avoids the
+    /// composition cross-product entirely — the direction iSDX later took —
+    /// at the cost of requiring multi-table hardware.
+    pub multi_table: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { use_vnh: true, memoize: true, multi_table: false }
+    }
+}
+
+/// What the compiler measures, for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Forwarding rules in the final fabric classifier.
+    pub rules: usize,
+    /// Forwarding equivalence classes (VNH count).
+    pub groups: usize,
+    /// Pass-1 policy prefix sets collected.
+    pub policy_sets: usize,
+    /// Sender-stage rules before composition.
+    pub stage1_rules: usize,
+    /// Receiver-stage rules before composition.
+    pub stage2_rules: usize,
+    /// Receiver-stage blocks served from the memo cache.
+    pub memo_hits: usize,
+    /// Receiver-stage blocks compiled fresh.
+    pub memo_misses: usize,
+    /// Wall-clock time of the whole compilation, in microseconds.
+    pub duration_us: u64,
+}
+
+/// Compiler failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A clause predicate used negation, which the clause layer forbids.
+    NegatedPredicate(ParticipantId),
+    /// A remote (portless) participant declared outbound clauses.
+    OutboundFromRemote(ParticipantId),
+    /// An inbound clause referenced a port the participant does not own.
+    UnknownOwnPort(ParticipantId, u32),
+    /// An outbound clause used a destination only valid inbound.
+    BadOutboundDest(ParticipantId),
+    /// The VNH pool ran out of addresses.
+    VnhExhausted,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NegatedPredicate(p) => {
+                write!(f, "{p}: clause predicates must be negation-free")
+            }
+            CompileError::OutboundFromRemote(p) => {
+                write!(f, "{p}: remote participants cannot have outbound clauses")
+            }
+            CompileError::UnknownOwnPort(p, port) => {
+                write!(f, "{p}: inbound clause references unknown own port {port}")
+            }
+            CompileError::BadOutboundDest(p) => {
+                write!(f, "{p}: outbound clauses must target a participant or drop")
+            }
+            CompileError::VnhExhausted => write!(f, "virtual next-hop pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Memo cache for receiver-stage blocks, keyed by participant and a version
+/// the runtime bumps whenever that participant's policy or ports change.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    stage2: BTreeMap<ParticipantId, (u64, Vec<Rule>)>,
+}
+
+impl MemoCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop everything (e.g. after wholesale reconfiguration).
+    pub fn clear(&mut self) {
+        self.stage2.clear();
+    }
+}
+
+/// Everything the compiler reads.
+pub struct CompileInput<'a> {
+    /// Participant configurations.
+    pub participants: &'a BTreeMap<ParticipantId, Participant>,
+    /// Participant policies (participants absent here have empty policies).
+    pub policies: &'a BTreeMap<ParticipantId, ParticipantPolicy>,
+    /// Per-participant policy versions for memoization (missing = 0).
+    pub policy_versions: &'a BTreeMap<ParticipantId, u64>,
+    /// The route server's current state.
+    pub route_server: &'a RouteServer,
+    /// Compiler configuration.
+    pub options: CompileOptions,
+}
+
+/// The compiler's output.
+#[derive(Debug, Clone)]
+pub struct Compilation {
+    /// The single-table fabric classifier (ingress physical port → egress
+    /// physical port).
+    pub fabric: Classifier,
+    /// The forwarding equivalence classes.
+    pub groups: Vec<PrefixGroup>,
+    /// Reverse index: prefix → group id.
+    pub group_index: BTreeMap<Prefix, usize>,
+    /// Per-group (VNH, VMAC) assignment, parallel to `groups`.
+    pub vnh: Vec<(Ipv4Addr, MacAddr)>,
+    /// The pass-1 effective prefix sets (by id, as referenced from groups).
+    pub policy_sets: Vec<PrefixSet>,
+    /// The sender stage before composition (kept for the composition
+    /// ablation benchmarks).
+    pub stage1: Classifier,
+    /// The receiver stage before composition; the incremental fast path
+    /// composes per-prefix sender fragments against it (§4.3.2).
+    pub stage2: Classifier,
+    /// Measurements.
+    pub stats: CompileStats,
+}
+
+impl Compilation {
+    /// The group id for a prefix, if it belongs to one.
+    pub fn group_of(&self, prefix: &Prefix) -> Option<usize> {
+        self.group_index.get(prefix).copied()
+    }
+
+    /// The VNH IP advertised for a prefix, if the prefix is grouped.
+    pub fn vnh_of(&self, prefix: &Prefix) -> Option<Ipv4Addr> {
+        self.group_of(prefix).map(|g| self.vnh[g].0)
+    }
+
+    /// The VMAC tag for a prefix, if the prefix is grouped.
+    pub fn vmac_of(&self, prefix: &Prefix) -> Option<MacAddr> {
+        self.group_of(prefix).map(|g| self.vnh[g].1)
+    }
+}
+
+/// Compile everything. See the module docs for the pipeline.
+pub fn compile(
+    input: &CompileInput<'_>,
+    alloc: &mut VnhAllocator,
+    memo: &mut MemoCache,
+) -> Result<Compilation, CompileError> {
+    let start = Instant::now();
+    let mut stats = CompileStats::default();
+
+    validate(input)?;
+
+    // ---- Pass 1: effective prefix sets per outbound clause --------------
+    let (policy_sets, clause_sets) = collect_policy_sets(input);
+    stats.policy_sets = policy_sets.len();
+
+    // ---- Passes 2+3: FEC computation and VNH assignment ------------------
+    // In naive mode (the §4.2 ablation) no FECs are formed: clauses match
+    // raw destination prefixes and default forwarding uses real router MACs.
+    let rs = input.route_server;
+    let groups = if input.options.use_vnh {
+        fec::compute_groups(&policy_sets, |prefix| default_view(rs, prefix))
+    } else {
+        Vec::new()
+    };
+    let group_index = fec::index_groups(&groups);
+    alloc.reset();
+    let mut vnh = Vec::with_capacity(groups.len());
+    for _ in &groups {
+        vnh.push(alloc.allocate().ok_or(CompileError::VnhExhausted)?);
+    }
+    stats.groups = groups.len();
+
+    // ---- Sender stage -----------------------------------------------------
+    let stage1 = build_stage1(input, &policy_sets, &clause_sets, &groups, &vnh)?;
+    stats.stage1_rules = stage1.len();
+
+    // ---- Receiver stage ---------------------------------------------------
+    let stage2 = build_stage2(input, memo, &mut stats)?;
+    stats.stage2_rules = stage2.len();
+
+    // ---- Composition ------------------------------------------------------
+    // In multi-table mode the stages stay separate (installed as a two-table
+    // pipeline); the composed single-table classifier is not built.
+    let fabric = if input.options.multi_table {
+        Classifier::drop_all()
+    } else {
+        sequential_compose(&stage1, &stage2)
+    };
+    stats.rules = if input.options.multi_table {
+        stage1.len() + stage2.len()
+    } else {
+        fabric.len()
+    };
+    stats.duration_us = duration_us(start.elapsed());
+
+    Ok(Compilation { fabric, groups, group_index, vnh, policy_sets, stage1, stage2, stats })
+}
+
+/// The §4.3.2 fast path's sender-stage fragment for a single prefix that
+/// just changed: every rule that would mention the prefix's *fresh* VMAC —
+/// custom outbound clauses whose effective set contains the prefix, plus its
+/// default-forwarding rules. Bypasses VNH optimality entirely, exactly as
+/// the paper describes ("it restricts compilation to the parts of the policy
+/// related to p").
+pub fn stage1_rules_for_prefix(
+    input: &CompileInput<'_>,
+    prefix: &Prefix,
+    vmac: MacAddr,
+) -> Vec<Rule> {
+    let rs = input.route_server;
+    let vmac_pred = Predicate::test(Field::DstMac, vmac);
+    let mut rules = Vec::new();
+
+    for (id, policy) in input.policies {
+        let Some(participant) = input.participants.get(id) else {
+            continue;
+        };
+        if policy.outbound.is_empty() {
+            continue;
+        }
+        let ports_pred =
+            Predicate::in_set(Field::Port, participant.port_numbers().map(|p| p as u64));
+        for clause in &policy.outbound {
+            let Dest::Participant(to) = clause.dest else {
+                continue;
+            };
+            if clause.unfiltered {
+                continue; // not destination-dependent
+            }
+            let in_scope = clause
+                .dst_prefixes
+                .as_ref()
+                .map(|s| s.contains(prefix))
+                .unwrap_or(true);
+            if !in_scope || !rs.exports_to(to.peer(), prefix, id.peer()) {
+                continue;
+            }
+            let pred = clause.match_.clone().and(ports_pred.clone()).and(vmac_pred.clone());
+            let action =
+                vec![rewrites_action(&clause.rewrites).with(Field::Port, to.vport())];
+            rules.extend(clause_rules(&pred, action));
+        }
+    }
+
+    // Default forwarding for the fresh VMAC.
+    let view = default_view(rs, prefix);
+    for (viewer, peer) in &view.exceptions {
+        let viewer_id = ParticipantId::from(*viewer);
+        let Some(viewer_cfg) = input.participants.get(&viewer_id) else {
+            continue;
+        };
+        for port in viewer_cfg.port_numbers() {
+            let m = Match::on(Field::Port, Pattern::Exact(port as u64))
+                .and(Field::DstMac, Pattern::Exact(vmac.to_u64()))
+                .expect("distinct fields");
+            let actions = match peer {
+                Some(p) => vec![Action::set(Field::Port, ParticipantId::from(*p).vport())],
+                None => Vec::new(),
+            };
+            rules.push(Rule { match_: m, actions });
+        }
+    }
+    if let Some(peer) = view.global {
+        rules.push(Rule {
+            match_: Match::on(Field::DstMac, Pattern::Exact(vmac.to_u64())),
+            actions: vec![Action::set(Field::Port, ParticipantId::from(peer).vport())],
+        });
+    }
+    rules
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn validate(input: &CompileInput<'_>) -> Result<(), CompileError> {
+    for (id, policy) in input.policies {
+        let Some(participant) = input.participants.get(id) else {
+            continue;
+        };
+        if !participant.is_physical() && !policy.outbound.is_empty() {
+            return Err(CompileError::OutboundFromRemote(*id));
+        }
+        for clause in policy.outbound.iter().chain(policy.inbound.iter()) {
+            if !clause.match_.is_positive() {
+                return Err(CompileError::NegatedPredicate(*id));
+            }
+        }
+        for clause in &policy.outbound {
+            if !matches!(clause.dest, Dest::Participant(_) | Dest::Drop) {
+                return Err(CompileError::BadOutboundDest(*id));
+            }
+        }
+        for clause in &policy.inbound {
+            if let Dest::OwnPort(port) = clause.dest {
+                if !participant.port_numbers().any(|p| p == port) {
+                    return Err(CompileError::UnknownOwnPort(*id, port));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Maps each (participant, outbound clause index) to the id of its
+/// effective prefix set (None for unfiltered/drop clauses).
+pub type ClauseSetIndex = BTreeMap<(ParticipantId, usize), Option<usize>>;
+
+/// Pass 1: for every outbound clause towards a participant, the effective
+/// prefix set = (clause destination scope ∩ prefixes the target exports to
+/// the author). Also adds, per remote participant with inbound clauses, the
+/// set of prefixes it announces, so that traffic towards it is tagged and
+/// default-forwarded to its virtual switch.
+fn collect_policy_sets(
+    input: &CompileInput<'_>,
+) -> (Vec<PrefixSet>, ClauseSetIndex) {
+    let mut sets: Vec<PrefixSet> = Vec::new();
+    let mut clause_sets = BTreeMap::new();
+    for (id, policy) in input.policies {
+        for (ci, clause) in policy.outbound.iter().enumerate() {
+            let set_id = match clause.dest {
+                Dest::Participant(to) if !clause.unfiltered => {
+                    let via = input.route_server.prefixes_via(to.peer(), id.peer());
+                    let eff = match &clause.dst_prefixes {
+                        Some(scope) => scope.intersection(&via),
+                        None => via,
+                    };
+                    let sid = sets.len();
+                    sets.push(eff);
+                    Some(sid)
+                }
+                _ => None,
+            };
+            clause_sets.insert((*id, ci), set_id);
+        }
+    }
+    // Remote participants with inbound policies: group their announced
+    // prefixes so default forwarding can deliver to their virtual switch.
+    for (id, policy) in input.policies {
+        let Some(participant) = input.participants.get(id) else {
+            continue;
+        };
+        if participant.is_physical() || policy.inbound.is_empty() {
+            continue;
+        }
+        let announced = input.route_server.announced_by(id.peer());
+        if !announced.is_empty() {
+            sets.push(announced);
+        }
+    }
+    (sets, clause_sets)
+}
+
+/// The pass-2 default-forwarding view of one prefix.
+fn default_view(rs: &RouteServer, prefix: &Prefix) -> DefaultView {
+    let global = rs.best_route_global(prefix);
+    let mut exceptions = BTreeMap::new();
+    for viewer in rs.export_exceptions(prefix) {
+        exceptions.insert(viewer, rs.best_route(prefix, viewer).map(|c| c.peer));
+    }
+    DefaultView { global: global.map(|c| c.peer), exceptions }
+}
+
+/// Compile one clause into its rule list: the pass rules of its (positive)
+/// predicate with the clause's action substituted.
+fn clause_rules(pred: &Predicate, action: Vec<Action>) -> Vec<Rule> {
+    compile_predicate(pred)
+        .rules()
+        .iter()
+        .filter(|r| !r.is_drop())
+        .map(|r| Rule { match_: r.match_.clone(), actions: action.clone() })
+        .collect()
+}
+
+fn rewrites_action(rewrites: &[(Field, u64)]) -> Action {
+    let mut a = Action::identity();
+    for (f, v) in rewrites {
+        a = a.with(*f, *v);
+    }
+    a
+}
+
+/// Sender stage: custom outbound clause rules (port-isolated,
+/// BGP-consistency-filtered) above the shared default-forwarding rules.
+fn build_stage1(
+    input: &CompileInput<'_>,
+    policy_sets: &[PrefixSet],
+    clause_sets: &BTreeMap<(ParticipantId, usize), Option<usize>>,
+    groups: &[PrefixGroup],
+    vnh: &[(Ipv4Addr, MacAddr)],
+) -> Result<Classifier, CompileError> {
+    let mut rules: Vec<Rule> = Vec::new();
+
+    // Custom outbound clauses, isolated to the author's physical ports.
+    for (id, policy) in input.policies {
+        let Some(participant) = input.participants.get(id) else {
+            continue;
+        };
+        if policy.outbound.is_empty() {
+            continue;
+        }
+        let ports_pred = Predicate::in_set(
+            Field::Port,
+            participant.port_numbers().map(|p| p as u64),
+        );
+        for (ci, clause) in policy.outbound.iter().enumerate() {
+            let mut pred = clause.match_.clone().and(ports_pred.clone());
+            // Transformation 2: BGP consistency.
+            let filtered = matches!(clause.dest, Dest::Participant(_)) && !clause.unfiltered;
+            if filtered {
+                let set_id = clause_sets
+                    .get(&(*id, ci))
+                    .copied()
+                    .flatten()
+                    .expect("filtered participant clause has a policy set");
+                pred = pred.and(reachability_filter(
+                    input.options.use_vnh,
+                    set_id,
+                    policy_sets,
+                    groups,
+                    vnh,
+                ));
+            } else if let Some(scope) = &clause.dst_prefixes {
+                pred = pred.and(Predicate::in_prefixes(Field::DstIp, scope.clone()));
+            }
+            let action = match clause.dest {
+                Dest::Participant(to) => {
+                    vec![rewrites_action(&clause.rewrites).with(Field::Port, to.vport())]
+                }
+                Dest::Drop => Vec::new(),
+                _ => unreachable!("validated"),
+            };
+            rules.extend(clause_rules(&pred, action));
+        }
+    }
+
+    // Transformation 3: default forwarding, shared across senders.
+    // Exception overrides first (port-scoped), then the global VMAC rules,
+    // then real-router-MAC forwarding.
+    for (gid, group) in groups.iter().enumerate() {
+        let vmac = vnh[gid].1;
+        for (viewer, peer) in &group.exceptions {
+            let viewer_id = ParticipantId::from(*viewer);
+            let Some(viewer_cfg) = input.participants.get(&viewer_id) else {
+                continue;
+            };
+            for port in viewer_cfg.port_numbers() {
+                let m = Match::on(Field::Port, Pattern::Exact(port as u64))
+                    .and(Field::DstMac, Pattern::Exact(vmac.to_u64()))
+                    .expect("distinct fields");
+                let actions = match peer {
+                    Some(p) => vec![Action::set(Field::Port, ParticipantId::from(*p).vport())],
+                    None => Vec::new(),
+                };
+                rules.push(Rule { match_: m, actions });
+            }
+        }
+    }
+    for (gid, group) in groups.iter().enumerate() {
+        let vmac = vnh[gid].1;
+        let m = Match::on(Field::DstMac, Pattern::Exact(vmac.to_u64()));
+        let actions = match group.default_peer {
+            Some(p) => vec![Action::set(Field::Port, ParticipantId::from(p).vport())],
+            None => Vec::new(),
+        };
+        rules.push(Rule { match_: m, actions });
+    }
+    for (id, participant) in input.participants {
+        for port in &participant.ports {
+            rules.push(Rule {
+                match_: Match::on(Field::DstMac, Pattern::Exact(port.mac.to_u64())),
+                actions: vec![Action::set(Field::Port, id.vport())],
+            });
+        }
+    }
+
+    Ok(Classifier::new(rules))
+}
+
+/// The BGP-consistency filter for a clause whose effective prefix set is
+/// `policy_sets[set_id]`: either VMAC-tag membership (VNH mode) or a raw
+/// destination-prefix filter (naive mode).
+fn reachability_filter(
+    use_vnh: bool,
+    set_id: usize,
+    policy_sets: &[PrefixSet],
+    groups: &[PrefixGroup],
+    vnh: &[(Ipv4Addr, MacAddr)],
+) -> Predicate {
+    if use_vnh {
+        let vmacs = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.policy_sets.binary_search(&set_id).is_ok())
+            .map(|(gid, _)| vnh[gid].1.to_u64());
+        Predicate::in_set(Field::DstMac, vmacs)
+    } else {
+        Predicate::in_prefixes(Field::DstIp, policy_sets[set_id].clone())
+    }
+}
+
+/// Receiver stage: per-participant blocks (inbound clauses above receiver
+/// defaults), memoized across recompilations.
+fn build_stage2(
+    input: &CompileInput<'_>,
+    memo: &mut MemoCache,
+    stats: &mut CompileStats,
+) -> Result<Classifier, CompileError> {
+    let mut rules: Vec<Rule> = Vec::new();
+    for (id, participant) in input.participants {
+        let version = input.policy_versions.get(id).copied().unwrap_or(0);
+        if input.options.memoize {
+            if let Some((cached_version, cached)) = memo.stage2.get(id) {
+                if *cached_version == version {
+                    stats.memo_hits += 1;
+                    rules.extend(cached.iter().cloned());
+                    continue;
+                }
+            }
+        }
+        stats.memo_misses += 1;
+        let block = stage2_block(input, *id, participant)?;
+        if input.options.memoize {
+            memo.stage2.insert(*id, (version, block.clone()));
+        }
+        rules.extend(block);
+    }
+    Ok(Classifier::new(rules))
+}
+
+/// One participant's receiver block: inbound clauses (isolated to its
+/// virtual port), then MAC-directed port selection, then the default
+/// deliver-to-primary-port rule.
+fn stage2_block(
+    input: &CompileInput<'_>,
+    id: ParticipantId,
+    participant: &Participant,
+) -> Result<Vec<Rule>, CompileError> {
+    let mut rules = Vec::new();
+    let vport_pred = Predicate::test(Field::Port, id.vport());
+    let empty = ParticipantPolicy::default();
+    let policy = input.policies.get(&id).unwrap_or(&empty);
+
+    for clause in &policy.inbound {
+        let mut pred = clause.match_.clone().and(vport_pred.clone());
+        if let Some(scope) = &clause.dst_prefixes {
+            pred = pred.and(Predicate::in_prefixes(Field::DstIp, scope.clone()));
+        }
+        let base = rewrites_action(&clause.rewrites);
+        let action = match clause.dest {
+            Dest::OwnPort(port) => {
+                let cfg = participant
+                    .ports
+                    .iter()
+                    .find(|p| p.port == port)
+                    .expect("validated own port");
+                vec![deliver(base, cfg.port, cfg.mac)]
+            }
+            Dest::Drop => Vec::new(),
+            Dest::Participant(to) => deliver_to_participant(input, to, base),
+            Dest::BgpDefault => resolve_bgp_default(input, id, clause, base),
+        };
+        rules.extend(clause_rules(&pred, action));
+    }
+
+    // Receiver defaults: honor an explicit router-MAC destination, else
+    // rewrite to the primary router's MAC and deliver there (the paper's
+    // "modify(dstmac=MAC_A1) >> fwd(A1)").
+    if participant.is_physical() {
+        for port in &participant.ports {
+            let m = Match::on(Field::Port, Pattern::Exact(id.vport() as u64))
+                .and(Field::DstMac, Pattern::Exact(port.mac.to_u64()))
+                .expect("distinct fields");
+            rules.push(Rule {
+                match_: m,
+                actions: vec![Action::set(Field::Port, port.port)],
+            });
+        }
+        let primary = participant.primary_port().expect("physical has ports");
+        rules.push(Rule {
+            match_: Match::on(Field::Port, Pattern::Exact(id.vport() as u64)),
+            actions: vec![deliver(Action::identity(), primary.port, primary.mac)],
+        });
+    } else {
+        // Remote participant: traffic not captured by an inbound clause has
+        // nowhere to go.
+        rules.push(Rule::drop(Match::on(
+            Field::Port,
+            Pattern::Exact(id.vport() as u64),
+        )));
+    }
+    Ok(rules)
+}
+
+/// Deliver to a physical port, rewriting the destination MAC so the border
+/// router accepts the frame.
+fn deliver(base: Action, port: u32, mac: MacAddr) -> Action {
+    base.with(Field::DstMac, mac).with(Field::Port, port)
+}
+
+/// Collapse forwarding to another participant into direct delivery at its
+/// primary port (the composed pipeline is two stages deep, so a third hop is
+/// resolved at compile time).
+fn deliver_to_participant(input: &CompileInput<'_>, to: ParticipantId, base: Action) -> Vec<Action> {
+    match input.participants.get(&to).and_then(|p| p.primary_port().copied()) {
+        Some(cfg) => vec![deliver(base, cfg.port, cfg.mac)],
+        None => Vec::new(),
+    }
+}
+
+/// Resolve a `BgpDefault` inbound clause: look up the (rewritten)
+/// destination address's best route as seen by the clause's author and
+/// deliver to that peer's primary port.
+fn resolve_bgp_default(
+    input: &CompileInput<'_>,
+    author: ParticipantId,
+    clause: &Clause,
+    base: Action,
+) -> Vec<Action> {
+    let Some(dst) = base
+        .get(Field::DstIp)
+        .map(|v| Ipv4Addr::from(v as u32))
+        .or_else(|| clause_single_dst(clause))
+    else {
+        return Vec::new();
+    };
+    let Some((_, best)) = input.route_server.lpm_best(dst, author.peer()) else {
+        return Vec::new();
+    };
+    deliver_to_participant(input, ParticipantId::from(best.peer), base)
+}
+
+/// If the clause is scoped to a single host prefix, its address (used to
+/// resolve `BgpDefault` when there is no destination rewrite).
+fn clause_single_dst(clause: &Clause) -> Option<Ipv4Addr> {
+    let scope = clause.dst_prefixes.as_ref()?;
+    let mut it = scope.iter();
+    let first = it.next()?;
+    if it.next().is_some() || first.len() != 32 {
+        return None;
+    }
+    Some(first.addr())
+}

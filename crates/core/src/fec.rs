@@ -1,0 +1,238 @@
+//! Forwarding-equivalence-class computation (§4.2 of the paper).
+//!
+//! The controller collects, for every outbound policy clause, the *effective
+//! prefix set* the clause can apply to (its destination scope intersected
+//! with the prefixes the target participant exports to the author). Prefixes
+//! that share the same membership across all those sets — and the same
+//! default BGP next hop — share forwarding behavior throughout the fabric
+//! and form one FEC, which receives a single (VNH, VMAC) pair.
+//!
+//! The core algorithm is the paper's Minimum Disjoint Subsets: partition the
+//! union of a collection of prefix sets by membership signature, giving the
+//! coarsest partition in which every input set is a union of parts. It runs
+//! in `O(total membership)` time using a signature map.
+
+use std::collections::BTreeMap;
+
+use sdx_bgp::PeerId;
+use sdx_ip::{Prefix, PrefixSet};
+use serde::{Deserialize, Serialize};
+
+/// One forwarding equivalence class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixGroup {
+    /// The member prefixes (not necessarily contiguous).
+    pub prefixes: PrefixSet,
+    /// Indices (into the controller's policy-set list) of the effective
+    /// prefix sets every member belongs to.
+    pub policy_sets: Vec<usize>,
+    /// The default BGP next-hop participant shared by every member, as seen
+    /// by participants without export-policy exceptions.
+    pub default_peer: Option<PeerId>,
+    /// Participants whose visible best route differs (sparse: only arises
+    /// from selective export), with their own default next hop.
+    pub exceptions: BTreeMap<PeerId, Option<PeerId>>,
+}
+
+/// The per-prefix default-forwarding view used in pass 2.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DefaultView {
+    /// Best next-hop peer for (almost) everyone.
+    pub global: Option<PeerId>,
+    /// Participants with a divergent best (selective export), mapped to
+    /// their own best.
+    pub exceptions: BTreeMap<PeerId, Option<PeerId>>,
+}
+
+/// The paper's Minimum Disjoint Subsets: the coarsest partition of the union
+/// of `sets` such that any two prefixes appearing in exactly the same sets
+/// land in the same part.
+pub fn minimum_disjoint_subsets(sets: &[PrefixSet]) -> Vec<PrefixSet> {
+    let mut membership: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
+    for (i, set) in sets.iter().enumerate() {
+        for p in set {
+            membership.entry(*p).or_default().push(i);
+        }
+    }
+    let mut parts: BTreeMap<Vec<usize>, PrefixSet> = BTreeMap::new();
+    for (prefix, signature) in membership {
+        parts.entry(signature).or_default().insert(prefix);
+    }
+    parts.into_values().collect()
+}
+
+/// Full FEC computation: pass 1 (policy-set membership) + pass 2 (default
+/// next hop) + pass 3 (signature partition), per §4.2.
+///
+/// `defaults` supplies the pass-2 view for each prefix (who the route
+/// server's decision process picks by default).
+pub fn compute_groups(
+    sets: &[PrefixSet],
+    defaults: impl Fn(&Prefix) -> DefaultView,
+) -> Vec<PrefixGroup> {
+    let mut membership: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
+    for (i, set) in sets.iter().enumerate() {
+        for p in set {
+            membership.entry(*p).or_default().push(i);
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    let mut parts: BTreeMap<
+        (Vec<usize>, Option<PeerId>, Vec<(PeerId, Option<PeerId>)>),
+        (PrefixSet, DefaultView),
+    > = BTreeMap::new();
+
+    for (prefix, signature) in membership {
+        let view = defaults(&prefix);
+        let key = (
+            signature,
+            view.global,
+            view.exceptions.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+        );
+        let entry = parts.entry(key).or_insert_with(|| (PrefixSet::new(), view));
+        entry.0.insert(prefix);
+    }
+
+    parts
+        .into_iter()
+        .map(|((policy_sets, default_peer, _), (prefixes, view))| PrefixGroup {
+            prefixes,
+            policy_sets,
+            default_peer,
+            exceptions: view.exceptions,
+        })
+        .collect()
+}
+
+/// A reverse index from prefix to its group id.
+pub fn index_groups(groups: &[PrefixGroup]) -> BTreeMap<Prefix, usize> {
+    let mut idx = BTreeMap::new();
+    for (i, g) in groups.iter().enumerate() {
+        for p in &g.prefixes {
+            idx.insert(*p, i);
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ps: &[&str]) -> PrefixSet {
+        ps.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn paper_section_4_2_example() {
+        // C = {{p1,p2,p3}, {p1,p2,p3,p4}, {p1,p2,p4}, {p3}}
+        // C' = {{p1,p2}, {p3}, {p4}}
+        let p1 = "11.0.0.0/8";
+        let p2 = "12.0.0.0/8";
+        let p3 = "13.0.0.0/8";
+        let p4 = "14.0.0.0/8";
+        let sets = vec![
+            set(&[p1, p2, p3]),
+            set(&[p1, p2, p3, p4]),
+            set(&[p1, p2, p4]),
+            set(&[p3]),
+        ];
+        let mut parts = minimum_disjoint_subsets(&sets);
+        parts.sort_by_key(|s| s.iter().next().copied());
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], set(&[p1, p2]));
+        assert_eq!(parts[1], set(&[p3]));
+        assert_eq!(parts[2], set(&[p4]));
+    }
+
+    #[test]
+    fn disjoint_inputs_stay_disjoint() {
+        let sets = vec![set(&["10.0.0.0/8"]), set(&["20.0.0.0/8"])];
+        let parts = minimum_disjoint_subsets(&sets);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn identical_sets_collapse() {
+        let sets = vec![set(&["10.0.0.0/8", "20.0.0.0/8"]); 5];
+        let parts = minimum_disjoint_subsets(&sets);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_collection_has_no_parts() {
+        assert!(minimum_disjoint_subsets(&[]).is_empty());
+        assert!(minimum_disjoint_subsets(&[PrefixSet::new()]).is_empty());
+    }
+
+    #[test]
+    fn mds_parts_partition_the_union_and_respect_sets() {
+        let sets = vec![
+            set(&["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"]),
+            set(&["20.0.0.0/8", "30.0.0.0/8", "40.0.0.0/8"]),
+            set(&["30.0.0.0/8"]),
+        ];
+        let parts = minimum_disjoint_subsets(&sets);
+        // Partition: parts are pairwise disjoint, union = union of inputs.
+        let mut union = PrefixSet::new();
+        for (i, a) in parts.iter().enumerate() {
+            for b in parts.iter().skip(i + 1) {
+                assert!(a.intersection(b).is_empty());
+            }
+            union = union.union(a);
+        }
+        let want = sets.iter().fold(PrefixSet::new(), |acc, s| acc.union(s));
+        assert_eq!(union, want);
+        // Every input set is a union of whole parts.
+        for s in &sets {
+            for part in &parts {
+                let i = part.intersection(s);
+                assert!(i.is_empty() || i == *part, "part straddles a set");
+            }
+        }
+    }
+
+    #[test]
+    fn pass_two_splits_by_default_peer() {
+        // One policy set covering both prefixes, but different default
+        // next hops: must yield two groups.
+        let sets = vec![set(&["10.0.0.0/8", "20.0.0.0/8"])];
+        let groups = compute_groups(&sets, |p| DefaultView {
+            global: if p.to_string().starts_with("10") {
+                Some(PeerId(1))
+            } else {
+                Some(PeerId(2))
+            },
+            exceptions: BTreeMap::new(),
+        });
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn exceptions_split_groups() {
+        let sets = vec![set(&["10.0.0.0/8", "20.0.0.0/8"])];
+        let groups = compute_groups(&sets, |p| {
+            let mut exceptions = BTreeMap::new();
+            if p.to_string().starts_with("10") {
+                exceptions.insert(PeerId(7), Some(PeerId(3)));
+            }
+            DefaultView { global: Some(PeerId(1)), exceptions }
+        });
+        assert_eq!(groups.len(), 2);
+        let with_exc = groups.iter().find(|g| !g.exceptions.is_empty()).unwrap();
+        assert_eq!(with_exc.exceptions.get(&PeerId(7)), Some(&Some(PeerId(3))));
+    }
+
+    #[test]
+    fn index_covers_every_member() {
+        let sets = vec![set(&["10.0.0.0/8", "20.0.0.0/8"]), set(&["20.0.0.0/8"])];
+        let groups = compute_groups(&sets, |_| DefaultView::default());
+        let idx = index_groups(&groups);
+        assert_eq!(idx.len(), 2);
+        for (p, gid) in &idx {
+            assert!(groups[*gid].prefixes.contains(p));
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Topology abstraction: distributing the one-big-switch policy across
+//! multiple physical switches (§4.1: "the SDX may consist of multiple
+//! physical switches, each connected to a subset of the participants …
+//! combine a policy written for a single SDX switch with another policy for
+//! routing across multiple physical switches").
+//!
+//! The compiled fabric classifier is written against a single logical
+//! switch whose ports are the participants' edge ports. [`distribute`]
+//! splits it:
+//!
+//! * a rule whose match pins the ingress port is installed only on that
+//!   port's home switch;
+//! * a rule with no port constraint (default forwarding by destination MAC
+//!   or VMAC) is installed on *every* switch;
+//! * in either case, an action whose egress port lives on another switch is
+//!   rewritten to forward out the trunk toward that switch; because
+//!   policy-applying rules rewrite the destination MAC before trunking,
+//!   the frame matches only plain MAC-delivery rules downstream and exits
+//!   at the right edge port.
+//!
+//! The result is loop-free by construction (trunk forwarding follows
+//! shortest paths of a connected inter-switch graph), and
+//! [`MultiSwitchFabric::process`] additionally enforces a hop budget.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use sdx_policy::{Action, Classifier, Field, Packet, Pattern};
+use sdx_switch::{FlowRule, SoftSwitch};
+
+/// Identifies one physical switch of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u32);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+
+/// Base of the trunk-port number space (distinct from edge and virtual
+/// ports).
+pub const TRUNK_PORT_BASE: u32 = 900_000;
+
+/// The physical layout: which switch hosts which edge ports, and the
+/// inter-switch links.
+#[derive(Debug, Clone, Default)]
+pub struct FabricLayout {
+    switches: BTreeMap<SwitchId, BTreeSet<u32>>,
+    links: Vec<(SwitchId, SwitchId)>,
+}
+
+/// Layout construction or distribution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// An edge port was assigned to two switches.
+    DuplicatePort(u32),
+    /// A link referenced an unknown switch.
+    UnknownSwitch(SwitchId),
+    /// The inter-switch graph is not connected.
+    Disconnected(SwitchId, SwitchId),
+    /// A rule referenced an edge port no switch hosts.
+    UnhomedPort(u32),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::DuplicatePort(p) => write!(f, "edge port {p} assigned twice"),
+            LayoutError::UnknownSwitch(s) => write!(f, "link references unknown switch {s}"),
+            LayoutError::Disconnected(a, b) => write!(f, "no path between {a} and {b}"),
+            LayoutError::UnhomedPort(p) => write!(f, "edge port {p} not hosted by any switch"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl FabricLayout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a switch hosting the given participant-facing edge ports.
+    pub fn add_switch(
+        mut self,
+        id: SwitchId,
+        edge_ports: impl IntoIterator<Item = u32>,
+    ) -> Result<Self, LayoutError> {
+        let ports: BTreeSet<u32> = edge_ports.into_iter().collect();
+        for p in &ports {
+            if self.switches.values().any(|s| s.contains(p)) {
+                return Err(LayoutError::DuplicatePort(*p));
+            }
+        }
+        self.switches.entry(id).or_default().extend(ports);
+        Ok(self)
+    }
+
+    /// Add a bidirectional inter-switch link.
+    pub fn link(mut self, a: SwitchId, b: SwitchId) -> Result<Self, LayoutError> {
+        for s in [a, b] {
+            if !self.switches.contains_key(&s) {
+                return Err(LayoutError::UnknownSwitch(s));
+            }
+        }
+        self.links.push((a, b));
+        Ok(self)
+    }
+
+    /// The home switch of an edge port.
+    pub fn home(&self, port: u32) -> Option<SwitchId> {
+        self.switches
+            .iter()
+            .find(|(_, ports)| ports.contains(&port))
+            .map(|(id, _)| *id)
+    }
+
+    /// The switches in the layout.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        self.switches.keys().copied()
+    }
+
+    /// BFS next-hop table: for each (from, to) pair, the neighbor to take.
+    fn next_hops(&self) -> Result<BTreeMap<(SwitchId, SwitchId), SwitchId>, LayoutError> {
+        let mut adj: BTreeMap<SwitchId, Vec<SwitchId>> = BTreeMap::new();
+        for (a, b) in &self.links {
+            adj.entry(*a).or_default().push(*b);
+            adj.entry(*b).or_default().push(*a);
+        }
+        let mut table = BTreeMap::new();
+        for &src in self.switches.keys() {
+            // BFS from src, recording each node's parent.
+            let mut parent: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+            let mut queue = VecDeque::from([src]);
+            let mut seen = BTreeSet::from([src]);
+            while let Some(u) = queue.pop_front() {
+                for &v in adj.get(&u).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if seen.insert(v) {
+                        parent.insert(v, u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for &dst in self.switches.keys() {
+                if dst == src {
+                    continue;
+                }
+                if !seen.contains(&dst) {
+                    return Err(LayoutError::Disconnected(src, dst));
+                }
+                // Walk back from dst to find the first hop out of src.
+                let mut hop = dst;
+                while parent[&hop] != src {
+                    hop = parent[&hop];
+                }
+                table.insert((src, dst), hop);
+            }
+        }
+        Ok(table)
+    }
+}
+
+/// A fabric of interconnected physical switches running the distributed
+/// policy.
+#[derive(Debug)]
+pub struct MultiSwitchFabric {
+    switches: BTreeMap<SwitchId, SoftSwitch>,
+    layout: FabricLayout,
+    /// Trunk egress port on `from` leading towards neighbor `to`.
+    trunk_port: BTreeMap<(SwitchId, SwitchId), u32>,
+    /// Which (switch, neighbor) a trunk *ingress* port belongs to.
+    trunk_ingress: BTreeMap<u32, SwitchId>,
+    /// Per-rule statistics: rules installed per switch.
+    rules_per_switch: BTreeMap<SwitchId, usize>,
+}
+
+/// Distribute a compiled single-switch classifier over a physical layout.
+///
+/// Every edge port referenced by a rule's match or actions must be homed by
+/// some switch.
+pub fn distribute(
+    fabric: &Classifier,
+    layout: &FabricLayout,
+) -> Result<MultiSwitchFabric, LayoutError> {
+    let next_hops = layout.next_hops()?;
+
+    // Allocate trunk ports: one per directed link actually used (adjacent
+    // pairs from the next-hop table).
+    let mut trunk_port: BTreeMap<(SwitchId, SwitchId), u32> = BTreeMap::new();
+    let mut trunk_ingress: BTreeMap<u32, SwitchId> = BTreeMap::new();
+    let mut next_trunk = TRUNK_PORT_BASE;
+    let mut directed: BTreeSet<(SwitchId, SwitchId)> = BTreeSet::new();
+    for (a, b) in &layout.links {
+        directed.insert((*a, *b));
+        directed.insert((*b, *a));
+    }
+    for (from, to) in directed {
+        trunk_port.insert((from, to), next_trunk);
+        // The same port number is the ingress on `to`.
+        trunk_ingress.insert(next_trunk, to);
+        next_trunk += 1;
+    }
+
+    let mut switches: BTreeMap<SwitchId, SoftSwitch> = layout
+        .switch_ids()
+        .map(|id| {
+            let mut ports: BTreeSet<u32> = layout.switches[&id].clone();
+            for ((from, to), port) in &trunk_port {
+                if *from == id || *to == id {
+                    ports.insert(*port);
+                }
+            }
+            (id, SoftSwitch::new(ports))
+        })
+        .collect();
+
+    let n = fabric.len() as u32;
+    let mut rules_per_switch: BTreeMap<SwitchId, usize> = BTreeMap::new();
+    let mut install = |switches: &mut BTreeMap<SwitchId, SoftSwitch>,
+                       sw: SwitchId,
+                       rule: FlowRule| {
+        switches.get_mut(&sw).expect("switch exists").install_rule(rule);
+        *rules_per_switch.entry(sw).or_default() += 1;
+    };
+
+    for (i, rule) in fabric.rules().iter().enumerate() {
+        let priority = n - i as u32;
+        // Which switches does this rule live on?
+        let (homes, unconstrained): (Vec<SwitchId>, bool) = match rule.match_.get(Field::Port) {
+            Some(Pattern::Exact(p)) => {
+                let port = *p as u32;
+                (vec![layout.home(port).ok_or(LayoutError::UnhomedPort(port))?], false)
+            }
+            _ => (layout.switch_ids().collect(), true),
+        };
+        // Does the transformed frame still match this rule after its action
+        // runs? If so (and the rule is replicated everywhere), trunked
+        // frames re-match downstream and no continuation rules are needed.
+        let self_continuing = |action: &Action| {
+            rule.match_.iter().all(|(f, pat)| {
+                *f == Field::Port
+                    || action.get(*f).map(|v| pat.matches(v)).unwrap_or(true)
+            })
+        };
+        for &sw in &homes {
+            // Rewrite remote egresses to the trunk toward the owner.
+            let mut actions: Vec<Action> = Vec::with_capacity(rule.actions.len());
+            for action in &rule.actions {
+                let Some(egress) = action.get(Field::Port) else {
+                    actions.push(action.clone());
+                    continue;
+                };
+                let egress = egress as u32;
+                let owner = layout.home(egress).ok_or(LayoutError::UnhomedPort(egress))?;
+                if owner == sw {
+                    actions.push(action.clone());
+                    continue;
+                }
+                let hop = next_hops[&(sw, owner)];
+                actions.push(action.clone().with(Field::Port, trunk_port[&(sw, hop)]));
+
+                // Continuation rules along the path: a frame this action
+                // trunked away must keep progressing at each hop, matched by
+                // the action's field assignments (the flow's post-rewrite
+                // identity) on the incoming trunk port.
+                if unconstrained && self_continuing(action) {
+                    continue; // the replicated rule itself carries the frame
+                }
+                let mut here = sw;
+                loop {
+                    let next = next_hops[&(here, owner)];
+                    let in_port = trunk_port[&(here, next)];
+                    // Build the continuation match: post-action field
+                    // values, plus untouched match constraints, pinned to
+                    // the trunk ingress.
+                    let mut m = sdx_policy::Match::on(Field::Port, Pattern::Exact(in_port as u64));
+                    for (f, v) in action.iter() {
+                        if *f == Field::Port {
+                            continue;
+                        }
+                        m = m.and(*f, Pattern::Exact(*v)).expect("exact constraints");
+                    }
+                    for (f, pat) in rule.match_.iter() {
+                        if *f == Field::Port || action.get(*f).is_some() {
+                            continue;
+                        }
+                        // Exact action/match constraints never contradict
+                        // (the action's assignment satisfied the pattern or
+                        // the field was untouched), so this always narrows.
+                        m = m.and(*f, *pat).expect("consistent continuation constraints");
+                    }
+                    let continued = if next == owner {
+                        action.clone() // final hop: deliver at the edge port
+                    } else {
+                        let hop2 = next_hops[&(next, owner)];
+                        action.clone().with(Field::Port, trunk_port[&(next, hop2)])
+                    };
+                    install(
+                        &mut switches,
+                        next,
+                        FlowRule::new(priority, m, vec![continued]).with_cookie(2),
+                    );
+                    if next == owner {
+                        break;
+                    }
+                    here = next;
+                }
+            }
+            install(
+                &mut switches,
+                sw,
+                FlowRule::new(priority, rule.match_.clone(), actions).with_cookie(1),
+            );
+        }
+    }
+
+    Ok(MultiSwitchFabric {
+        switches,
+        layout: layout.clone(),
+        trunk_port,
+        trunk_ingress,
+        rules_per_switch,
+    })
+}
+
+impl MultiSwitchFabric {
+    /// Rules installed on each switch (the paper's per-switch table-size
+    /// concern).
+    pub fn rules_per_switch(&self) -> &BTreeMap<SwitchId, usize> {
+        &self.rules_per_switch
+    }
+
+    /// Process a frame entering the fabric at an edge port. Returns the
+    /// edge-port deliveries after traversing however many switches the
+    /// distributed rules require. Hops are bounded by the switch count.
+    pub fn process(&mut self, frame: &Packet) -> Vec<(u32, Packet)> {
+        let Some(ingress) = frame.port() else {
+            return Vec::new();
+        };
+        let Some(start) = self.layout.home(ingress) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let budget = self.switches.len() + 1;
+        let mut queue: VecDeque<(SwitchId, Packet, usize)> =
+            VecDeque::from([(start, frame.clone(), budget)]);
+        while let Some((sw, pkt, hops)) = queue.pop_front() {
+            if hops == 0 {
+                continue; // hop budget exhausted (defensive; unreachable for shortest-path trunks)
+            }
+            let emitted = self.switches.get_mut(&sw).expect("switch exists").process(&pkt);
+            for (port, emitted_pkt) in emitted {
+                match self.trunk_ingress.get(&port) {
+                    // The frame crossed a trunk: continue on the far switch,
+                    // arriving on the same (shared) trunk port number.
+                    Some(far) => queue.push_back((*far, emitted_pkt, hops - 1)),
+                    None => out.push((port, emitted_pkt)),
+                }
+            }
+        }
+        out
+    }
+
+    /// The trunk port leading from `from` towards neighbor `to`, if linked.
+    pub fn trunk(&self, from: SwitchId, to: SwitchId) -> Option<u32> {
+        self.trunk_port.get(&(from, to)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_policy::{fwd, match_, Field};
+
+    fn layout_line() -> FabricLayout {
+        FabricLayout::new()
+            .add_switch(SwitchId(1), [1, 2])
+            .unwrap()
+            .add_switch(SwitchId(2), [3])
+            .unwrap()
+            .add_switch(SwitchId(3), [4])
+            .unwrap()
+            .link(SwitchId(1), SwitchId(2))
+            .unwrap()
+            .link(SwitchId(2), SwitchId(3))
+            .unwrap()
+    }
+
+    #[test]
+    fn layout_validation() {
+        assert_eq!(
+            FabricLayout::new()
+                .add_switch(SwitchId(1), [1])
+                .unwrap()
+                .add_switch(SwitchId(2), [1])
+                .unwrap_err(),
+            LayoutError::DuplicatePort(1)
+        );
+        assert_eq!(
+            FabricLayout::new()
+                .add_switch(SwitchId(1), [1])
+                .unwrap()
+                .link(SwitchId(1), SwitchId(9))
+                .unwrap_err(),
+            LayoutError::UnknownSwitch(SwitchId(9))
+        );
+        // Disconnected layouts are rejected at distribution time.
+        let disconnected = FabricLayout::new()
+            .add_switch(SwitchId(1), [1])
+            .unwrap()
+            .add_switch(SwitchId(2), [2])
+            .unwrap();
+        let classifier = (match_(Field::Port, 1u32) >> fwd(2)).compile();
+        assert!(matches!(
+            distribute(&classifier, &disconnected),
+            Err(LayoutError::Disconnected(..))
+        ));
+    }
+
+    #[test]
+    fn local_rule_stays_on_one_switch() {
+        let classifier = (match_(Field::Port, 1u32) >> fwd(2)).compile();
+        let fabric = distribute(&classifier, &layout_line()).unwrap();
+        // The port-constrained rule lives only on sw1; the catch-all drop is
+        // unconstrained and goes everywhere.
+        assert_eq!(fabric.rules_per_switch()[&SwitchId(1)], 2);
+        assert_eq!(fabric.rules_per_switch()[&SwitchId(2)], 1);
+    }
+
+    #[test]
+    fn cross_switch_delivery_traverses_trunks() {
+        // Port 1 (sw1) forwards to port 4 (sw3), two hops away.
+        let classifier = (match_(Field::Port, 1u32) >> fwd(4)).compile();
+        let mut fabric = distribute(&classifier, &layout_line()).unwrap();
+        let pkt = Packet::new().with(Field::Port, 1u32).with(Field::DstPort, 80u16);
+        let out = fabric.process(&pkt);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].0, 4);
+    }
+
+    #[test]
+    fn unconstrained_rule_replicates_and_converges() {
+        // A MAC-style rule with no port constraint: any ingress delivers to
+        // port 4 on sw3.
+        let classifier =
+            (match_(Field::DstMac, 0xbeefu64) >> fwd(4)).compile();
+        let mut fabric = distribute(&classifier, &layout_line()).unwrap();
+        for ingress in [1u32, 2, 3] {
+            let pkt = Packet::new()
+                .with(Field::Port, ingress)
+                .with(Field::DstMac, 0xbeefu64);
+            let out = fabric.process(&pkt);
+            assert_eq!(out.len(), 1, "from {ingress}");
+            assert_eq!(out[0].0, 4, "from {ingress}");
+        }
+        // Rule present on every switch.
+        for sw in [1u32, 2, 3] {
+            assert!(fabric.rules_per_switch()[&SwitchId(sw)] >= 1);
+        }
+    }
+
+    #[test]
+    fn drops_are_dropped_everywhere() {
+        let classifier = (match_(Field::Port, 1u32) >> fwd(2)).compile();
+        let mut fabric = distribute(&classifier, &layout_line()).unwrap();
+        // Port 3 traffic matches only the catch-all drop.
+        let pkt = Packet::new().with(Field::Port, 3u32);
+        assert!(fabric.process(&pkt).is_empty());
+    }
+
+    #[test]
+    fn unknown_edge_port_rejected() {
+        let classifier = (match_(Field::Port, 77u32) >> fwd(2)).compile();
+        assert_eq!(
+            distribute(&classifier, &layout_line()).unwrap_err(),
+            LayoutError::UnhomedPort(77)
+        );
+    }
+
+    #[test]
+    fn multicast_spans_switches() {
+        let classifier = (match_(Field::Port, 1u32) >> (fwd(2) + fwd(4))).compile();
+        let mut fabric = distribute(&classifier, &layout_line()).unwrap();
+        let pkt = Packet::new().with(Field::Port, 1u32);
+        let mut egress: Vec<u32> = fabric.process(&pkt).into_iter().map(|(p, _)| p).collect();
+        egress.sort_unstable();
+        assert_eq!(egress, vec![2, 4]);
+    }
+}

@@ -1,0 +1,140 @@
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use sdx_bgp::{Asn, PeerId, RouterId};
+use sdx_ip::MacAddr;
+use serde::{Deserialize, Serialize};
+
+/// Identifies an SDX participant (an AS with a session to the route server,
+/// whether or not it has a physical presence at the exchange).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParticipantId(pub u32);
+
+impl ParticipantId {
+    /// The route-server peer identity of this participant (1:1 mapping).
+    pub fn peer(&self) -> PeerId {
+        PeerId(self.0)
+    }
+
+    /// The participant's virtual switch ingress port in the fabric's port
+    /// namespace. Virtual ports live far above any physical port number.
+    pub fn vport(&self) -> u32 {
+        VPORT_BASE + self.0
+    }
+}
+
+/// The base of the virtual-port number space.
+pub const VPORT_BASE: u32 = 1_000_000;
+
+/// Is this fabric port a virtual (per-participant) port?
+pub fn is_vport(port: u32) -> bool {
+    port >= VPORT_BASE
+}
+
+impl From<PeerId> for ParticipantId {
+    fn from(p: PeerId) -> Self {
+        ParticipantId(p.0)
+    }
+}
+
+impl fmt::Display for ParticipantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// One physical port of a participant: where its border router attaches to
+/// the SDX fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortConfig {
+    /// Fabric port number (must be below [`VPORT_BASE`]).
+    pub port: u32,
+    /// The border router's interface MAC on this port.
+    pub mac: MacAddr,
+    /// The border router's IP on the IXP peering LAN.
+    pub ip: Ipv4Addr,
+}
+
+/// A participant's static configuration.
+///
+/// A *remote* participant (the paper's wide-area load-balancer tenant) has an
+/// empty `ports` list: it peers with the route server and installs inbound
+/// policies, but no traffic ever enters or exits the fabric at a port of its
+/// own.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Participant {
+    /// The participant's identity.
+    pub id: ParticipantId,
+    /// Its AS number.
+    pub asn: Asn,
+    /// Its BGP identifier on the route-server session.
+    pub router_id: RouterId,
+    /// Its physical ports (empty for remote participants).
+    pub ports: Vec<PortConfig>,
+}
+
+impl Participant {
+    /// A participant with the given ports.
+    pub fn new(id: ParticipantId, asn: Asn, ports: Vec<PortConfig>) -> Self {
+        Participant { id, asn, router_id: RouterId(id.0), ports }
+    }
+
+    /// A remote participant (no physical presence).
+    pub fn remote(id: ParticipantId, asn: Asn) -> Self {
+        Self::new(id, asn, Vec::new())
+    }
+
+    /// Does the participant have a physical presence at the exchange?
+    pub fn is_physical(&self) -> bool {
+        !self.ports.is_empty()
+    }
+
+    /// The primary port (first configured), used for default forwarding.
+    pub fn primary_port(&self) -> Option<&PortConfig> {
+        self.ports.first()
+    }
+
+    /// Physical port numbers.
+    pub fn port_numbers(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ports.iter().map(|p| p.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port(n: u32) -> PortConfig {
+        PortConfig {
+            port: n,
+            mac: MacAddr::from_u64(0xa0 + n as u64),
+            ip: Ipv4Addr::new(172, 0, 0, n as u8),
+        }
+    }
+
+    #[test]
+    fn vport_is_disjoint_from_physical_space() {
+        let p = ParticipantId(3);
+        assert!(is_vport(p.vport()));
+        assert!(!is_vport(42));
+        assert_eq!(p.vport(), VPORT_BASE + 3);
+    }
+
+    #[test]
+    fn peer_mapping_is_identity_on_numbers() {
+        assert_eq!(ParticipantId(7).peer(), PeerId(7));
+        assert_eq!(ParticipantId::from(PeerId(7)), ParticipantId(7));
+    }
+
+    #[test]
+    fn physical_vs_remote() {
+        let a = Participant::new(ParticipantId(1), Asn(65001), vec![port(1), port(2)]);
+        assert!(a.is_physical());
+        assert_eq!(a.primary_port().unwrap().port, 1);
+        assert_eq!(a.port_numbers().collect::<Vec<_>>(), vec![1, 2]);
+
+        let d = Participant::remote(ParticipantId(4), Asn(65004));
+        assert!(!d.is_physical());
+        assert!(d.primary_port().is_none());
+    }
+}

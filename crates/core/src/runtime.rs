@@ -1,0 +1,474 @@
+//! The SDX runtime: owns the route server, participant registry, policies,
+//! compiler state, ARP responder, and the fabric switch, and keeps them
+//! consistent as policies and BGP routes change.
+//!
+//! Two update paths exist, per §4.3.2:
+//!
+//! * [`SdxRuntime::compile`] — the full pipeline: recompute FECs and VNHs,
+//!   rebuild the fabric table, re-bind ARP, refresh advertisements.
+//! * the **fast path**, invoked automatically from
+//!   [`SdxRuntime::apply_update`]: allocate a *fresh* VNH for each touched
+//!   prefix, compile only the rules mentioning its VMAC, and push them as
+//!   higher-priority overlay rules. Optimality is recovered later by
+//!   [`SdxRuntime::reoptimize`], the "background" stage.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use sdx_bgp::{ExportPolicy, PathAttributes, RouteServer, RpkiStatus, RpkiValidator, Update};
+use sdx_ip::{MacAddr, Prefix};
+use sdx_policy::{Classifier, Packet};
+use sdx_switch::{ArpReply, ArpRequest, ArpResponder, BorderRouter, SoftSwitch};
+
+use crate::compile::{
+    compile, stage1_rules_for_prefix, Compilation, CompileError, CompileInput, CompileOptions,
+    CompileStats, MemoCache,
+};
+use crate::vnh::VnhAllocator;
+use crate::{Participant, ParticipantId, ParticipantPolicy};
+
+/// One fast-path overlay: a prefix re-homed onto a fresh VNH after a BGP
+/// update, with its rules installed above the base table.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    /// The prefix the overlay covers.
+    pub prefix: Prefix,
+    /// Its fresh virtual next hop.
+    pub vnh: Ipv4Addr,
+    /// Its fresh VMAC tag.
+    pub vmac: MacAddr,
+    /// The flow-table cookie identifying the overlay's rules.
+    pub cookie: u64,
+    /// How many rules the overlay installed (Figure 9's "additional rules").
+    pub rules: usize,
+}
+
+/// Counters for the incremental path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// BGP updates processed through the fast path.
+    pub updates: u64,
+    /// Total overlay rules currently installed.
+    pub overlay_rules: usize,
+    /// Microseconds spent in the most recent fast-path update.
+    pub last_update_us: u64,
+}
+
+/// The SDX controller runtime.
+#[derive(Debug)]
+pub struct SdxRuntime {
+    participants: BTreeMap<ParticipantId, Participant>,
+    policies: BTreeMap<ParticipantId, ParticipantPolicy>,
+    policy_versions: BTreeMap<ParticipantId, u64>,
+    route_server: RouteServer,
+    options: CompileOptions,
+    alloc: VnhAllocator,
+    memo: MemoCache,
+    compilation: Option<Compilation>,
+    arp: ArpResponder,
+    switch: SoftSwitch,
+    overlays: Vec<Overlay>,
+    next_cookie: u64,
+    incremental: IncrementalStats,
+    rpki: Option<RpkiValidator>,
+    rpki_rejected: u64,
+}
+
+/// Cookie tagging the base (fully compiled) table.
+const BASE_COOKIE: u64 = 1;
+
+impl Default for SdxRuntime {
+    fn default() -> Self {
+        Self::new(CompileOptions::default())
+    }
+}
+
+impl SdxRuntime {
+    /// A runtime with the given compiler options.
+    pub fn new(options: CompileOptions) -> Self {
+        SdxRuntime {
+            participants: BTreeMap::new(),
+            policies: BTreeMap::new(),
+            policy_versions: BTreeMap::new(),
+            route_server: RouteServer::new(),
+            options,
+            alloc: VnhAllocator::default_pool(),
+            memo: MemoCache::new(),
+            compilation: None,
+            arp: ArpResponder::new(),
+            switch: SoftSwitch::new([]),
+            overlays: Vec::new(),
+            next_cookie: BASE_COOKIE + 1,
+            incremental: IncrementalStats::default(),
+            rpki: None,
+            rpki_rejected: 0,
+        }
+    }
+
+    /// Enable RPKI route-origin validation: announcements whose origin AS
+    /// is *Invalid* against the ROA database are rejected (the paper's
+    /// ownership check for SDX-originated prefixes, §3.2). `NotFound`
+    /// announcements are accepted, per common route-server practice.
+    pub fn set_rpki(&mut self, validator: RpkiValidator) {
+        self.rpki = Some(validator);
+    }
+
+    /// Announcements rejected by RPKI validation so far.
+    pub fn rpki_rejected(&self) -> u64 {
+        self.rpki_rejected
+    }
+
+    /// Register a participant: a route-server peer, fabric ports, and ARP
+    /// bindings for its router interfaces.
+    pub fn add_participant(&mut self, participant: Participant) {
+        self.route_server
+            .add_peer(participant.id.peer(), participant.asn, participant.router_id);
+        for port in &participant.ports {
+            self.switch.add_port(port.port);
+            self.arp.bind(port.ip, port.mac);
+        }
+        self.policy_versions.insert(participant.id, 0);
+        self.participants.insert(participant.id, participant);
+    }
+
+    /// Set a participant's export policy on the route server.
+    pub fn set_export_policy(&mut self, id: ParticipantId, export: ExportPolicy) {
+        self.route_server.set_export_policy(id.peer(), export);
+    }
+
+    /// Install (replace) a participant's SDX policy. Takes effect at the
+    /// next [`compile`](Self::compile).
+    pub fn set_policy(&mut self, id: ParticipantId, policy: ParticipantPolicy) {
+        *self.policy_versions.entry(id).or_insert(0) += 1;
+        self.policies.insert(id, policy);
+    }
+
+    /// The registered participants.
+    pub fn participants(&self) -> impl Iterator<Item = &Participant> {
+        self.participants.values()
+    }
+
+    /// Read access to the route server.
+    pub fn route_server(&self) -> &RouteServer {
+        &self.route_server
+    }
+
+    /// Read access to the fabric switch.
+    pub fn switch(&self) -> &SoftSwitch {
+        &self.switch
+    }
+
+    /// The last full compilation, if any.
+    pub fn compilation(&self) -> Option<&Compilation> {
+        self.compilation.as_ref()
+    }
+
+    /// The compiler options in force.
+    pub fn options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// Fast-path counters.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.incremental
+    }
+
+    /// Current overlays (fast-path state awaiting background optimization).
+    pub fn overlays(&self) -> &[Overlay] {
+        &self.overlays
+    }
+
+    fn input(&self) -> CompileInput<'_> {
+        CompileInput {
+            participants: &self.participants,
+            policies: &self.policies,
+            policy_versions: &self.policy_versions,
+            route_server: &self.route_server,
+            options: self.options,
+        }
+    }
+
+    /// Run the full compilation pipeline and install the result: fabric
+    /// rules, ARP bindings for every VNH, and (conceptually) refreshed
+    /// advertisements. Clears any fast-path overlays.
+    pub fn compile(&mut self) -> Result<CompileStats, CompileError> {
+        let compilation = {
+            let input = CompileInput {
+                participants: &self.participants,
+                policies: &self.policies,
+                policy_versions: &self.policy_versions,
+                route_server: &self.route_server,
+                options: self.options,
+            };
+            compile(&input, &mut self.alloc, &mut self.memo)?
+        };
+
+        if self.options.multi_table {
+            // Two-table pipeline: sender stage in table 0 (goto 1),
+            // receiver stage in table 1. No composition needed.
+            self.switch.reset_pipeline(2);
+            self.switch
+                .table_at_mut(0)
+                .expect("table 0")
+                .append_classifier_goto(&compilation.stage1, BASE_COOKIE, 0, Some(1));
+            self.switch
+                .table_at_mut(1)
+                .expect("table 1")
+                .append_classifier(&compilation.stage2, BASE_COOKIE, 0);
+        } else {
+            self.switch.reset_pipeline(1);
+            self.switch.install_classifier(&compilation.fabric, BASE_COOKIE);
+        }
+        // VNH → VMAC bindings for the ARP responder. Router-interface
+        // bindings are kept; stale VNH bindings are harmless (the pool
+        // restarts, so indices are reused consistently).
+        for (vnh, vmac) in &compilation.vnh {
+            self.arp.bind(*vnh, *vmac);
+        }
+        self.overlays.clear();
+        self.incremental.overlay_rules = 0;
+        let stats = compilation.stats;
+        self.compilation = Some(compilation);
+        Ok(stats)
+    }
+
+    /// The paper's "background" stage: rerun the optimal compilation,
+    /// coalescing fast-path overlays back into minimal tables.
+    pub fn reoptimize(&mut self) -> Result<CompileStats, CompileError> {
+        self.compile()
+    }
+
+    /// Ingest a BGP update from a participant. If a compilation is active,
+    /// every touched prefix goes through the fast path (fresh VNH + overlay
+    /// rules). Returns the touched prefixes.
+    pub fn apply_update(&mut self, from: ParticipantId, update: &Update) -> Vec<Prefix> {
+        // RPKI origin validation: strip Invalid announcements.
+        let mut update = update.clone();
+        if let (Some(rpki), Some(attrs)) = (&self.rpki, &update.attrs) {
+            let origin = attrs.as_path.origin_as().unwrap_or(sdx_bgp::Asn(0));
+            let before = update.announce.len();
+            update
+                .announce
+                .retain(|p| rpki.validate(p, origin) != RpkiStatus::Invalid);
+            self.rpki_rejected += (before - update.announce.len()) as u64;
+            if update.announce.is_empty() {
+                update.attrs = None;
+            }
+        }
+        let events = self.route_server.apply_update(from.peer(), &update);
+        let touched: Vec<Prefix> = events
+            .into_iter()
+            .filter_map(|e| match e {
+                sdx_bgp::RsEvent::PrefixTouched(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        if self.compilation.is_some() {
+            let start = Instant::now();
+            for prefix in &touched {
+                self.fast_path(*prefix);
+            }
+            self.incremental.updates += touched.len() as u64;
+            self.incremental.last_update_us =
+                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        }
+        touched
+    }
+
+    /// Convenience announce (see [`apply_update`](Self::apply_update)).
+    pub fn announce(
+        &mut self,
+        from: ParticipantId,
+        prefixes: impl IntoIterator<Item = Prefix>,
+        attrs: PathAttributes,
+    ) -> Vec<Prefix> {
+        self.apply_update(from, &Update::announce(prefixes, attrs))
+    }
+
+    /// Convenience withdraw (see [`apply_update`](Self::apply_update)).
+    pub fn withdraw(
+        &mut self,
+        from: ParticipantId,
+        prefixes: impl IntoIterator<Item = Prefix>,
+    ) -> Vec<Prefix> {
+        self.apply_update(from, &Update::withdraw(prefixes))
+    }
+
+    /// §4.3.2's fast stage for one prefix: assume a new VNH is needed,
+    /// compile only the rules mentioning the fresh VMAC, and push them with
+    /// priority above the base table.
+    fn fast_path(&mut self, prefix: Prefix) {
+        // Retire any previous overlay for the same prefix.
+        if let Some(pos) = self.overlays.iter().position(|o| o.prefix == prefix) {
+            let old = self.overlays.remove(pos);
+            let removed = self.switch.table_mut().remove_by_cookie(old.cookie);
+            self.incremental.overlay_rules -= removed;
+            self.arp.unbind(&old.vnh);
+        }
+
+        // A prefix with no remaining candidates needs no rules: the
+        // withdrawal propagates via BGP and routers stop tagging it.
+        if self.route_server.best_route_global(&prefix).is_none() {
+            return;
+        }
+
+        let Some((vnh, vmac)) = self.alloc.allocate() else {
+            return; // pool exhausted; background recompilation will recover
+        };
+        let multi_table = self.options.multi_table;
+        let stage2 = match &self.compilation {
+            Some(c) => c.stage2.clone(),
+            None => return,
+        };
+        let input = self.input();
+        let fragment_rules = stage1_rules_for_prefix(&input, &prefix, vmac);
+        let overlay_rules: Vec<sdx_policy::Rule> = if multi_table {
+            // Pipeline mode: the sender-stage fragment goes straight into
+            // table 0 (goto 1); no composition needed.
+            fragment_rules
+        } else {
+            let fragment = Classifier::new(fragment_rules);
+            let composed = sdx_policy::sequential_compose(&fragment, &stage2);
+            // Only the rules constrained to the fresh VMAC are meaningful
+            // (the fragment's catch-all drop must not shadow the base table).
+            let vmac_pattern = sdx_policy::Pattern::Exact(vmac.to_u64());
+            composed
+                .rules()
+                .iter()
+                .filter(|r| r.match_.get(sdx_policy::Field::DstMac) == Some(&vmac_pattern))
+                .cloned()
+                .collect()
+        };
+
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+        let boost = self
+            .switch
+            .table()
+            .rules()
+            .first()
+            .map(|r| r.priority)
+            .unwrap_or(0);
+        let n = overlay_rules.len();
+        {
+            let table = self.switch.table_mut();
+            for (i, rule) in overlay_rules.iter().enumerate() {
+                let mut fr = sdx_switch::FlowRule::new(
+                    boost + (n - i) as u32,
+                    rule.match_.clone(),
+                    rule.actions.clone(),
+                )
+                .with_cookie(cookie);
+                if multi_table && !rule.actions.is_empty() {
+                    fr = fr.with_goto(1);
+                }
+                table.install(fr);
+            }
+        }
+        self.arp.bind(vnh, vmac);
+        self.incremental.overlay_rules += n;
+        self.overlays.push(Overlay { prefix, vnh, vmac, cookie, rules: n });
+    }
+
+    /// The next hop the route server advertises to `viewer` for `prefix`:
+    /// a fast-path VNH if an overlay covers it, the compiled group VNH if it
+    /// belongs to an FEC, otherwise the original next hop of the viewer's
+    /// best route ("the SDX behaves like a normal route server").
+    pub fn advertised_next_hop(&self, prefix: &Prefix, viewer: ParticipantId) -> Option<Ipv4Addr> {
+        if let Some(o) = self.overlays.iter().find(|o| o.prefix == *prefix) {
+            return Some(o.vnh);
+        }
+        if let Some(c) = &self.compilation {
+            if let Some(vnh) = c.vnh_of(prefix) {
+                return Some(vnh);
+            }
+        }
+        self.route_server
+            .best_route(prefix, viewer.peer())
+            .map(|c| c.route.attrs.next_hop)
+    }
+
+    /// The full re-advertisement of `prefix` to `viewer`, with the SDX's
+    /// next-hop substitution applied.
+    pub fn advertisement(&self, prefix: &Prefix, viewer: ParticipantId) -> Option<Update> {
+        let nh = self.advertised_next_hop(prefix, viewer);
+        self.route_server.advertisement(prefix, viewer.peer(), nh)
+    }
+
+    /// Answer an ARP request (VNHs and router interfaces).
+    pub fn resolve_arp(&self, req: &ArpRequest) -> Option<ArpReply> {
+        self.arp.respond(req)
+    }
+
+    /// Resolve an IP to a MAC directly (simulation convenience).
+    pub fn resolve_ip(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.arp.resolve(&ip)
+    }
+
+    /// Push one packet through the fabric.
+    pub fn process_packet(&mut self, pkt: &Packet) -> Vec<(u32, Packet)> {
+        self.switch.process(pkt)
+    }
+
+    /// Bring a participant's border router in sync with the SDX's current
+    /// advertisements: install every best route (with VNH substitution) into
+    /// its FIB and resolve the next hops' MACs.
+    pub fn sync_router(&self, viewer: ParticipantId, router: &mut BorderRouter) {
+        let own = self.route_server.announced_by(viewer.peer());
+        for prefix in self.route_server.all_prefixes() {
+            // A router announcing a prefix has its own internal route to it
+            // and never forwards such traffic back to the fabric (the
+            // paper's second loop-prevention invariant).
+            if own.contains(&prefix) {
+                router.remove_route(&prefix);
+                continue;
+            }
+            match self.route_server.best_route(&prefix, viewer.peer()) {
+                Some(_) => {
+                    let nh = self
+                        .advertised_next_hop(&prefix, viewer)
+                        .expect("best route implies next hop");
+                    router.install_route(prefix, nh);
+                    if let Some(mac) = self.arp.resolve(&nh) {
+                        router.learn_arp(&ArpReply {
+                            sender_mac: mac,
+                            sender_ip: nh,
+                            target_mac: router.mac(),
+                            target_ip: router.ip(),
+                        });
+                    }
+                }
+                None => {
+                    router.remove_route(&prefix);
+                }
+            }
+        }
+    }
+
+    /// Serialize the installed flow tables as OpenFlow 1.0 `FLOW_MOD`
+    /// messages, one `Vec` per pipeline table — what the controller would
+    /// push to a hardware switch ("a straightforward mapping to low-level
+    /// rules on OpenFlow switches"). Multi-table pipelines are rejected by
+    /// the 1.0 codec if rules reference virtual ports; use the composed
+    /// single-table mode for hardware export.
+    pub fn export_flow_mods(
+        &self,
+    ) -> Result<Vec<Vec<bytes::Bytes>>, sdx_switch::openflow::FlowModError> {
+        (0..self.switch.table_count())
+            .map(|i| {
+                sdx_switch::openflow::flow_mods_for_table(
+                    self.switch.table_at(i).expect("table index in range"),
+                )
+            })
+            .collect()
+    }
+
+    /// Which participant owns a fabric port.
+    pub fn port_owner(&self, port: u32) -> Option<ParticipantId> {
+        self.participants
+            .values()
+            .find(|p| p.port_numbers().any(|n| n == port))
+            .map(|p| p.id)
+    }
+}

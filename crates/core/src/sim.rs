@@ -1,0 +1,210 @@
+//! End-to-end fabric simulation: the SDX runtime plus one border router per
+//! participant port, kept in sync with the route server's advertisements.
+//! This is the harness behind the deployment experiments (Figure 5) and the
+//! examples: it exercises the *actual* compiled flow rules, the multi-stage
+//! FIB, ARP, and VMAC tagging.
+
+use std::collections::BTreeMap;
+
+use sdx_policy::Packet;
+use sdx_switch::{encode_frame, BorderRouter, Forward, PcapWriter};
+
+use crate::{ParticipantId, SdxRuntime};
+
+/// A delivered packet: where it left the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The participant owning the egress port.
+    pub to: ParticipantId,
+    /// The egress fabric port.
+    pub port: u32,
+    /// The packet as it left (rewrites applied).
+    pub packet: Packet,
+}
+
+/// The simulation: runtime + border routers.
+#[derive(Debug)]
+pub struct FabricSim {
+    runtime: SdxRuntime,
+    /// One router per (participant, port), keyed by fabric port number.
+    routers: BTreeMap<u32, (ParticipantId, BorderRouter)>,
+    /// Participants that re-inject delivered traffic (middleboxes): a
+    /// delivery to them is processed and sent onward through their own
+    /// router, enabling the service chaining of §8.
+    reinjectors: std::collections::BTreeSet<ParticipantId>,
+    /// Optional packet capture of every frame entering the fabric.
+    capture: Option<PcapWriter>,
+    /// Virtual clock for capture timestamps, microseconds.
+    clock_us: u64,
+    /// Delivered packets per (sender, receiver) pair.
+    matrix: BTreeMap<(ParticipantId, ParticipantId), u64>,
+}
+
+impl FabricSim {
+    /// Wrap a configured runtime, creating a border router for every
+    /// registered participant port.
+    pub fn new(runtime: SdxRuntime) -> Self {
+        let mut routers = BTreeMap::new();
+        for participant in runtime.participants() {
+            for port in &participant.ports {
+                routers.insert(
+                    port.port,
+                    (participant.id, BorderRouter::new(port.port, port.mac, port.ip)),
+                );
+            }
+        }
+        FabricSim {
+            runtime,
+            routers,
+            reinjectors: std::collections::BTreeSet::new(),
+            capture: None,
+            clock_us: 0,
+            matrix: BTreeMap::new(),
+        }
+    }
+
+    /// Start capturing every frame that enters the fabric (the deployment
+    /// tooling's `--pcap`). Retrieve the capture with
+    /// [`take_capture`](Self::take_capture).
+    pub fn enable_capture(&mut self) {
+        self.capture = Some(PcapWriter::new());
+    }
+
+    /// Finish and return the capture, if one was enabled.
+    pub fn take_capture(&mut self) -> Option<bytes::Bytes> {
+        self.capture.take().map(PcapWriter::finish)
+    }
+
+    /// Advance the virtual clock used for capture timestamps.
+    pub fn set_time_us(&mut self, us: u64) {
+        self.clock_us = us;
+    }
+
+    /// Packets delivered per (sender, receiver) pair since construction —
+    /// the exchange's traffic matrix.
+    pub fn traffic_matrix(&self) -> &BTreeMap<(ParticipantId, ParticipantId), u64> {
+        &self.matrix
+    }
+
+    /// Mark a participant as a middlebox that re-injects traffic it
+    /// receives: deliveries to it are forwarded onward through its own
+    /// border router (its outbound SDX clauses apply), chaining services.
+    pub fn enable_reinjection(&mut self, id: ParticipantId) {
+        self.reinjectors.insert(id);
+    }
+
+    /// The wrapped runtime.
+    pub fn runtime(&self) -> &SdxRuntime {
+        &self.runtime
+    }
+
+    /// Mutable access (policy changes, BGP updates). Call
+    /// [`sync`](Self::sync) afterwards.
+    pub fn runtime_mut(&mut self) -> &mut SdxRuntime {
+        &mut self.runtime
+    }
+
+    /// A participant's border router (the one at its primary port).
+    pub fn router(&self, id: ParticipantId) -> Option<&BorderRouter> {
+        self.routers.values().find(|(owner, _)| *owner == id).map(|(_, r)| r)
+    }
+
+    /// Propagate the SDX's current advertisements into every border router
+    /// (routes and resolved next-hop MACs).
+    pub fn sync(&mut self) {
+        for (owner, router) in self.routers.values_mut() {
+            self.runtime.sync_router(*owner, router);
+        }
+    }
+
+    /// Send an IP packet from a participant's network: its border router
+    /// forwards (FIB + ARP → VMAC tag), the fabric switches it, and the
+    /// deliveries name the receiving participants.
+    ///
+    /// The packet needs `DstIp` set; `Port`/MACs are filled in by the
+    /// router.
+    pub fn send_from(&mut self, from: ParticipantId, packet: Packet) -> Vec<Delivery> {
+        self.send_from_traced(from, packet).0
+    }
+
+    /// Like [`send_from`](Self::send_from), additionally returning the
+    /// sequence of participants the packet visited (middlebox chains).
+    pub fn send_from_traced(
+        &mut self,
+        from: ParticipantId,
+        packet: Packet,
+    ) -> (Vec<Delivery>, Vec<ParticipantId>) {
+        let mut trace = vec![from];
+        let out = self.send_inner(from, packet, &mut trace, 4);
+        (out, trace)
+    }
+
+    fn send_inner(
+        &mut self,
+        from: ParticipantId,
+        packet: Packet,
+        trace: &mut Vec<ParticipantId>,
+        budget: usize,
+    ) -> Vec<Delivery> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        let Some((_, router)) = self
+            .routers
+            .iter_mut()
+            .map(|(_, v)| v)
+            .find(|(owner, _)| *owner == from)
+        else {
+            return Vec::new();
+        };
+        let frame = match router.forward(packet.clone()) {
+            Forward::Frame(f) => f,
+            // The sim resolves ARP synchronously: ask the SDX responder,
+            // learn the binding, and retry once.
+            Forward::NeedArp(req) => {
+                let Some(reply) = self.runtime.resolve_arp(&req) else {
+                    return Vec::new();
+                };
+                router.learn_arp(&reply);
+                match router.forward(packet) {
+                    Forward::Frame(f) => f,
+                    _ => return Vec::new(),
+                }
+            }
+            Forward::NoRoute => return Vec::new(),
+        };
+        if let Some(cap) = &mut self.capture {
+            if let Ok(bytes) = encode_frame(&frame, &[]) {
+                cap.write_frame(
+                    (self.clock_us / 1_000_000) as u32,
+                    (self.clock_us % 1_000_000) as u32,
+                    &bytes,
+                );
+            }
+        }
+        let deliveries = self.deliver(frame);
+        let mut out = Vec::new();
+        for d in deliveries {
+            if self.reinjectors.contains(&d.to) && d.to != from {
+                trace.push(d.to);
+                out.extend(self.send_inner(d.to, d.packet, trace, budget - 1));
+            } else {
+                *self.matrix.entry((from, d.to)).or_default() += 1;
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    fn deliver(&mut self, frame: Packet) -> Vec<Delivery> {
+        self.runtime
+            .process_packet(&frame)
+            .into_iter()
+            .filter_map(|(port, packet)| {
+                let to = self.runtime.port_owner(port)?;
+                Some(Delivery { to, port, packet })
+            })
+            .collect()
+    }
+}
+

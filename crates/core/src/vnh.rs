@@ -1,0 +1,103 @@
+//! Virtual next-hop (VNH) and virtual MAC (VMAC) allocation (§4.2).
+//!
+//! Each forwarding equivalence class receives one VNH — an IP address on the
+//! IXP peering LAN that no router actually owns — and one VMAC. The route
+//! server advertises the VNH as the BGP next hop; border routers ARP for it;
+//! the SDX ARP responder answers with the VMAC; and packets consequently
+//! enter the fabric tagged with their FEC.
+
+use std::net::Ipv4Addr;
+
+use sdx_ip::{MacAddr, Prefix};
+
+/// Allocates (VNH, VMAC) pairs from a dedicated subnet of the peering LAN.
+#[derive(Debug, Clone)]
+pub struct VnhAllocator {
+    pool: Prefix,
+    next: u32,
+}
+
+impl VnhAllocator {
+    /// Allocate out of `pool` (e.g. `172.16.0.0/12`). The network address
+    /// itself is never handed out.
+    pub fn new(pool: Prefix) -> Self {
+        VnhAllocator { pool, next: 1 }
+    }
+
+    /// The conventional SDX VNH pool.
+    pub fn default_pool() -> Self {
+        Self::new("172.16.0.0/12".parse().expect("valid pool"))
+    }
+
+    /// Number of pairs handed out so far.
+    pub fn allocated(&self) -> u32 {
+        self.next - 1
+    }
+
+    /// Remaining capacity.
+    pub fn remaining(&self) -> u64 {
+        self.pool.size().saturating_sub(self.next as u64)
+    }
+
+    /// Allocate the next (VNH, VMAC) pair. Returns `None` when the pool is
+    /// exhausted.
+    pub fn allocate(&mut self) -> Option<(Ipv4Addr, MacAddr)> {
+        if (self.next as u64) >= self.pool.size() {
+            return None;
+        }
+        let ip = Ipv4Addr::from(self.pool.bits() | self.next);
+        let mac = MacAddr::vmac(self.next as u64);
+        self.next += 1;
+        Some((ip, mac))
+    }
+
+    /// Reset, releasing every allocation (used by full recompilation, which
+    /// reassigns VNHs from scratch).
+    pub fn reset(&mut self) {
+        self.next = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_distinct_and_in_pool() {
+        let mut a = VnhAllocator::default_pool();
+        let mut seen_ip = std::collections::BTreeSet::new();
+        let mut seen_mac = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let (ip, mac) = a.allocate().unwrap();
+            assert!(a.pool.contains_addr(ip), "{ip} outside pool");
+            assert!(seen_ip.insert(ip));
+            assert!(seen_mac.insert(mac));
+        }
+        assert_eq!(a.allocated(), 100);
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut a = VnhAllocator::new("10.0.0.0/30".parse().unwrap());
+        assert!(a.allocate().is_some()); // .1
+        assert!(a.allocate().is_some()); // .2
+        assert!(a.allocate().is_some()); // .3
+        assert!(a.allocate().is_none()); // exhausted
+        assert_eq!(a.remaining(), 0);
+    }
+
+    #[test]
+    fn reset_releases() {
+        let mut a = VnhAllocator::default_pool();
+        let first = a.allocate().unwrap();
+        a.reset();
+        assert_eq!(a.allocate().unwrap(), first);
+    }
+
+    #[test]
+    fn vmacs_are_locally_administered() {
+        let mut a = VnhAllocator::default_pool();
+        let (_, mac) = a.allocate().unwrap();
+        assert!(mac.is_local());
+    }
+}

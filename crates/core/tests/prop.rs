@@ -1,0 +1,270 @@
+//! Property-based tests for the SDX controller's core machinery: the
+//! Minimum Disjoint Subsets computation and the compiled fabric's semantics.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sdx_bgp::{AsPath, Asn, ExportPolicy, PathAttributes};
+use sdx_core::{
+    minimum_disjoint_subsets, Clause, CompileOptions, Participant, ParticipantId,
+    ParticipantPolicy, PortConfig, SdxRuntime,
+};
+use sdx_ip::{MacAddr, Prefix, PrefixSet};
+use sdx_policy::{Field, Packet, Predicate};
+use std::net::Ipv4Addr;
+
+fn arb_prefix_pool() -> Vec<Prefix> {
+    (0..24u32).map(|i| Prefix::from_bits(0x0a00_0000 + (i << 8), 24)).collect()
+}
+
+fn arb_collection() -> impl Strategy<Value = Vec<PrefixSet>> {
+    let pool = arb_prefix_pool();
+    prop::collection::vec(
+        prop::collection::btree_set(prop::sample::select(pool), 0..12)
+            .prop_map(|s| s.into_iter().collect::<PrefixSet>()),
+        0..8,
+    )
+}
+
+proptest! {
+    /// MDS output is a partition of the union of the inputs…
+    #[test]
+    fn mds_partitions_the_union(sets in arb_collection()) {
+        let parts = minimum_disjoint_subsets(&sets);
+        let union = sets.iter().fold(PrefixSet::new(), |acc, s| acc.union(s));
+        let mut rebuilt = PrefixSet::new();
+        for (i, a) in parts.iter().enumerate() {
+            prop_assert!(!a.is_empty());
+            for b in parts.iter().skip(i + 1) {
+                prop_assert!(a.intersection(b).is_empty(), "parts overlap");
+            }
+            rebuilt = rebuilt.union(a);
+        }
+        prop_assert_eq!(rebuilt, union);
+    }
+
+    /// …in which every input set is a union of whole parts (no part
+    /// straddles a set boundary), and the partition is the coarsest such.
+    #[test]
+    fn mds_respects_sets_and_is_coarsest(sets in arb_collection()) {
+        let parts = minimum_disjoint_subsets(&sets);
+        for s in &sets {
+            for part in &parts {
+                let i = part.intersection(s);
+                prop_assert!(i.is_empty() || &i == part, "part straddles an input set");
+            }
+        }
+        // Coarsest: two prefixes with identical membership share a part.
+        let union = sets.iter().fold(PrefixSet::new(), |acc, s| acc.union(s));
+        let signature = |p: &Prefix| -> Vec<usize> {
+            sets.iter().enumerate().filter(|(_, s)| s.contains(p)).map(|(i, _)| i).collect()
+        };
+        for a in &union {
+            for b in &union {
+                if signature(a) == signature(b) {
+                    let part_of = |x: &Prefix| parts.iter().position(|p| p.contains(x));
+                    prop_assert_eq!(part_of(a), part_of(b));
+                }
+            }
+        }
+    }
+}
+
+/// A tiny randomized exchange: 3 physical participants, a few prefixes with
+/// random announcers and random clause policies.
+#[derive(Debug, Clone)]
+struct Scenario {
+    announcements: Vec<(u32, Vec<Prefix>, u32)>, // (participant, prefixes, extra path len)
+    web_clause_author: u32,
+    web_clause_target: u32,
+    deny: Option<(u32, Prefix, u32)>, // (announcer, prefix, denied viewer)
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let pool = arb_prefix_pool();
+    let pool2 = pool.clone();
+    (
+        prop::collection::vec(
+            (1u32..=3, prop::collection::btree_set(prop::sample::select(pool), 1..5), 0u32..3),
+            1..5,
+        ),
+        1u32..=3,
+        1u32..=3,
+        prop::option::of((1u32..=3, prop::sample::select(pool2), 1u32..=3)),
+    )
+        .prop_map(|(raw, author, target, deny)| Scenario {
+            announcements: raw
+                .into_iter()
+                .map(|(p, set, extra)| (p, set.into_iter().collect(), extra))
+                .collect(),
+            web_clause_author: author,
+            web_clause_target: target,
+            deny,
+        })
+}
+
+fn build(s: &Scenario) -> SdxRuntime {
+    let mut sdx = SdxRuntime::new(CompileOptions::default());
+    for i in 1..=3u32 {
+        sdx.add_participant(Participant::new(
+            ParticipantId(i),
+            Asn(65_000 + i),
+            vec![PortConfig {
+                port: i,
+                mac: MacAddr::from_u64(0x0a00 + i as u64),
+                ip: Ipv4Addr::from(0x0afe_0000 + i),
+            }],
+        ));
+    }
+    for (p, prefixes, extra) in &s.announcements {
+        let mut path = vec![65_000 + *p];
+        for k in 0..*extra {
+            path.push(50_000 + k);
+        }
+        sdx.announce(
+            ParticipantId(*p),
+            prefixes.iter().copied(),
+            PathAttributes::new(AsPath::sequence(path), Ipv4Addr::from(0x0afe_0000 + *p)),
+        );
+    }
+    if let Some((announcer, prefix, viewer)) = &s.deny {
+        sdx.set_export_policy(
+            ParticipantId(*announcer),
+            ExportPolicy::export_all()
+                .deny_prefix_to(*prefix, ParticipantId(*viewer).peer()),
+        );
+    }
+    if s.web_clause_author != s.web_clause_target {
+        sdx.set_policy(
+            ParticipantId(s.web_clause_author),
+            ParticipantPolicy::new().outbound(Clause::fwd(
+                Predicate::test(Field::DstPort, 80u16),
+                ParticipantId(s.web_clause_target),
+            )),
+        );
+    }
+    sdx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On every random exchange: the fabric compiles; each grouped prefix's
+    /// VNH resolves (via ARP) to its group VMAC; a frame tagged with a
+    /// group's VMAC and sent from a non-announcing port is either delivered
+    /// out a physical port or legitimately dropped — never misdirected.
+    #[test]
+    fn compiled_fabric_is_consistent(s in arb_scenario()) {
+        let mut sdx = build(&s);
+        prop_assert!(sdx.compile().is_ok());
+        let groups: Vec<(Prefix, Ipv4Addr, MacAddr)> = {
+            let c = sdx.compilation().unwrap();
+            c.group_index
+                .keys()
+                .map(|p| (*p, c.vnh_of(p).unwrap(), c.vmac_of(p).unwrap()))
+                .collect()
+        };
+        for (prefix, vnh, vmac) in &groups {
+            // ARP consistency.
+            prop_assert_eq!(sdx.resolve_ip(*vnh), Some(*vmac), "{}", prefix);
+        }
+
+        // Per-viewer advertisement: grouped prefixes get the VNH.
+        let c = sdx.compilation().unwrap();
+        for (prefix, vnh, _) in &groups {
+            for viewer in 1..=3u32 {
+                if let Some(nh) = sdx.advertised_next_hop(prefix, ParticipantId(viewer)) {
+                    prop_assert_eq!(nh, *vnh);
+                }
+            }
+        }
+
+        // Fabric behavior: tagged frames never land on a virtual port.
+        let mut frames = Vec::new();
+        for (prefix, _, vmac) in &groups {
+            for port in 1..=3u32 {
+                frames.push(
+                    Packet::new()
+                        .with(Field::Port, port)
+                        .with(Field::EthType, 0x0800u16)
+                        .with(Field::IpProto, 6u8)
+                        .with(Field::SrcIp, Ipv4Addr::new(198, 51, 100, 1))
+                        .with(Field::DstIp, prefix.first_addr())
+                        .with(Field::SrcPort, 999u16)
+                        .with(Field::DstPort, 80u16)
+                        .with(Field::DstMac, *vmac),
+                );
+            }
+        }
+        let _ = c;
+        for frame in &frames {
+            let _out = sdx.process_packet(frame);
+        }
+        prop_assert_eq!(sdx.switch().stats().misdirected, 0);
+        prop_assert_eq!(sdx.switch().stats().bad_ingress, 0);
+    }
+
+    /// Recompiling an unchanged exchange is a fixed point: same rules, same
+    /// groups, same VNH assignment.
+    #[test]
+    fn recompilation_is_deterministic(s in arb_scenario()) {
+        let mut sdx = build(&s);
+        sdx.compile().unwrap();
+        let first: BTreeMap<Prefix, usize> = sdx.compilation().unwrap().group_index.clone();
+        let rules1 = sdx.compilation().unwrap().stats.rules;
+        sdx.reoptimize().unwrap();
+        let second: BTreeMap<Prefix, usize> = sdx.compilation().unwrap().group_index.clone();
+        let rules2 = sdx.compilation().unwrap().stats.rules;
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(rules1, rules2);
+    }
+
+    /// The fast path agrees with full recompilation: after a random
+    /// announcement, forwarding through overlays matches what a fresh
+    /// compile produces.
+    #[test]
+    fn fast_path_agrees_with_recompilation(s in arb_scenario(), dport in prop::sample::select(vec![80u16, 443, 22])) {
+        let mut sdx = build(&s);
+        sdx.compile().unwrap();
+        // Random perturbation: participant 1 re-announces its first batch
+        // with a longer path (a best-path change for those prefixes).
+        let Some((p, prefixes, _)) = s.announcements.first() else { return Ok(()); };
+        let attrs = PathAttributes::new(
+            AsPath::sequence([65_000 + *p, 1, 2, 3]),
+            Ipv4Addr::from(0x0afe_0000 + *p),
+        );
+        sdx.announce(ParticipantId(*p), prefixes.iter().copied(), attrs);
+
+        // Capture forwarding decisions through the overlays.
+        let mut sim = sdx_core::FabricSim::new(sdx);
+        sim.sync();
+        let senders: Vec<ParticipantId> = (1..=3).map(ParticipantId).collect();
+        let probe = |sim: &mut sdx_core::FabricSim| -> Vec<Option<(ParticipantId, u32)>> {
+            let mut out = Vec::new();
+            for &from in &senders {
+                for (_, prefixes, _) in &s.announcements {
+                    for prefix in prefixes {
+                        if sim.runtime().route_server().announced_by(from.peer()).contains(prefix) {
+                            out.push(None);
+                            continue;
+                        }
+                        let pkt = Packet::new()
+                            .with(Field::EthType, 0x0800u16)
+                            .with(Field::IpProto, 6u8)
+                            .with(Field::SrcIp, Ipv4Addr::new(198, 51, 100, 7))
+                            .with(Field::DstIp, prefix.first_addr())
+                            .with(Field::SrcPort, 1234u16)
+                            .with(Field::DstPort, dport);
+                        out.push(sim.send_from(from, pkt).first().map(|d| (d.to, d.port)));
+                    }
+                }
+            }
+            out
+        };
+        let with_overlays = probe(&mut sim);
+        sim.runtime_mut().reoptimize().unwrap();
+        sim.sync();
+        let after_reopt = probe(&mut sim);
+        prop_assert_eq!(with_overlays, after_reopt);
+    }
+}

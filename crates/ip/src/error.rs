@@ -1,0 +1,36 @@
+use std::fmt;
+
+/// Errors produced when parsing or constructing network primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpError {
+    /// The textual form of a prefix was malformed (missing `/`, bad octets…).
+    InvalidPrefix(String),
+    /// A prefix length was outside `0..=32`.
+    InvalidPrefixLen(u8),
+    /// The textual form of a MAC address was malformed.
+    InvalidMac(String),
+}
+
+impl fmt::Display for IpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpError::InvalidPrefix(s) => write!(f, "invalid IPv4 prefix: {s:?}"),
+            IpError::InvalidPrefixLen(l) => write!(f, "invalid prefix length: /{l}"),
+            IpError::InvalidMac(s) => write!(f, "invalid MAC address: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(IpError::InvalidPrefix("x".into()).to_string().contains("prefix"));
+        assert!(IpError::InvalidPrefixLen(40).to_string().contains("/40"));
+        assert!(IpError::InvalidMac("zz".into()).to_string().contains("MAC"));
+    }
+}

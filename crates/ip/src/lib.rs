@@ -1,0 +1,36 @@
+//! Network primitive types for the SDX: IPv4 prefixes, longest-prefix-match
+//! tries, prefix sets, and MAC addresses.
+//!
+//! Everything in this crate is deterministic and allocation-conscious; the
+//! SDX controller manipulates hundreds of thousands of prefixes (a full
+//! default-free routing table) and the structures here are the foundation of
+//! the forwarding-equivalence-class machinery in `sdx-core`.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use sdx_ip::{Prefix, PrefixTrie};
+//!
+//! let p: Prefix = "10.0.0.0/8".parse().unwrap();
+//! assert!(p.contains_addr("10.1.2.3".parse().unwrap()));
+//!
+//! let mut trie = PrefixTrie::new();
+//! trie.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+//! trie.insert("10.1.0.0/16".parse().unwrap(), "fine");
+//! let (got, _) = trie.longest_match("10.1.2.3".parse().unwrap()).unwrap();
+//! assert_eq!(got.to_string(), "10.1.0.0/16");
+//! ```
+
+mod error;
+mod mac;
+mod prefix;
+mod set;
+mod trie;
+
+pub use error::IpError;
+pub use mac::MacAddr;
+pub use prefix::Prefix;
+pub use set::PrefixSet;
+pub use trie::PrefixTrie;
+
+pub use std::net::Ipv4Addr;

@@ -1,0 +1,137 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::IpError;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// The SDX uses MAC addresses both for real ports and as *virtual MAC* tags
+/// (VMACs) that encode a forwarding equivalence class (§4.2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address, used as "unset".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Build from the low 48 bits of a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The address as a `u64` (high 16 bits zero).
+    pub fn to_u64(&self) -> u64 {
+        let mut b = [0u8; 8];
+        b[2..].copy_from_slice(&self.0);
+        u64::from_be_bytes(b)
+    }
+
+    /// Is this the broadcast address?
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Is this a locally-administered address (bit 1 of the first octet)?
+    /// All SDX-generated VMACs are locally administered.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// The `i`-th VMAC in the SDX's tag space: `0a:53:xx:xx:xx:xx`
+    /// (locally-administered unicast; `53` is ASCII "S" for SDX), a prefix
+    /// no participant interface uses, so VMAC tags can never collide with
+    /// real router MACs. The 32-bit index space comfortably exceeds any
+    /// realistic FEC count plus fast-path churn between reoptimizations.
+    pub fn vmac(i: u64) -> Self {
+        MacAddr::from_u64(0x0a53_0000_0000 | (i & 0xffff_ffff))
+    }
+
+    /// Is this address inside the SDX VMAC tag space?
+    pub fn is_vmac(&self) -> bool {
+        self.to_u64() >> 32 == 0x0a53
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = IpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in out.iter_mut() {
+            let part = parts.next().ok_or_else(|| IpError::InvalidMac(s.into()))?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| IpError::InvalidMac(s.into()))?;
+        }
+        if parts.next().is_some() {
+            return Err(IpError::InvalidMac(s.into()));
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        let m: MacAddr = "02:00:00:00:00:2a".parse().unwrap();
+        assert_eq!(m.to_string(), "02:00:00:00:00:2a");
+        assert_eq!(m, MacAddr::from_u64(0x0200_0000_002a));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("02:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("zz:00:00:00:00:00".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 0xffff_ffff_ffff, 0x0123_4567_89ab] {
+            assert_eq!(MacAddr::from_u64(v).to_u64(), v);
+        }
+    }
+
+    #[test]
+    fn vmacs_are_local_unicast_and_distinct() {
+        let a = MacAddr::vmac(1);
+        let b = MacAddr::vmac(2);
+        assert_ne!(a, b);
+        assert!(a.is_local());
+        assert!(!a.is_broadcast());
+        assert!(a.is_vmac() && b.is_vmac());
+        assert!(!MacAddr::from_u64(0x0200_0000_0001).is_vmac());
+        assert_eq!(a.to_string(), "0a:53:00:00:00:01");
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(!MacAddr::ZERO.is_broadcast());
+    }
+}

@@ -1,0 +1,291 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::IpError;
+
+/// An IPv4 prefix in CIDR form, e.g. `10.0.0.0/8`.
+///
+/// The network address is always stored in canonical (masked) form: bits
+/// below the prefix length are zero. Two prefixes that print the same compare
+/// equal, and the derived `Ord` sorts first by address and then by length,
+/// which places a covering prefix immediately before its subnets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Build a prefix from an address and length, masking off host bits.
+    ///
+    /// Returns an error if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, IpError> {
+        if len > 32 {
+            return Err(IpError::InvalidPrefixLen(len));
+        }
+        let bits = u32::from(addr) & mask(len);
+        Ok(Prefix { bits, len })
+    }
+
+    /// Build a prefix from raw bits and length, masking off host bits.
+    /// Panics if `len > 32`; intended for internal/trusted callers.
+    pub fn from_bits(bits: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range: {len}");
+        Prefix { bits: bits & mask(len), len }
+    }
+
+    /// The all-encompassing default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// A host route (`/32`) for a single address.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Prefix { bits: u32::from(addr), len: 32 }
+    }
+
+    /// The network address (masked).
+    pub fn addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The raw network bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a prefix is a length-tagged value, not a container
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default prefix.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The subnet mask as raw bits.
+    pub fn mask_bits(&self) -> u32 {
+        mask(self.len)
+    }
+
+    /// Does this prefix contain the given address?
+    pub fn contains_addr(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & self.mask_bits()) == self.bits
+    }
+
+    /// Does this prefix contain (i.e. is it equal to or less specific than)
+    /// `other`?
+    pub fn contains(&self, other: &Prefix) -> bool {
+        self.len <= other.len && (other.bits & self.mask_bits()) == self.bits
+    }
+
+    /// Do the two prefixes share any addresses? (True iff one contains the
+    /// other.)
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The intersection of two prefixes: the more specific one if they
+    /// overlap, `None` otherwise.
+    pub fn intersect(&self, other: &Prefix) -> Option<Prefix> {
+        if self.contains(other) {
+            Some(*other)
+        } else if other.contains(self) {
+            Some(*self)
+        } else {
+            None
+        }
+    }
+
+    /// The two halves of this prefix, if it can be split (`len < 32`).
+    pub fn split(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let lo = Prefix { bits: self.bits, len };
+        let hi = Prefix { bits: self.bits | (1u32 << (32 - len)), len };
+        Some((lo, hi))
+    }
+
+    /// The immediate covering prefix (one bit shorter), or `None` for `/0`.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix::from_bits(self.bits, self.len - 1))
+        }
+    }
+
+    /// The first address covered by the prefix.
+    pub fn first_addr(&self) -> Ipv4Addr {
+        self.addr()
+    }
+
+    /// The last address covered by the prefix.
+    pub fn last_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits | !self.mask_bits())
+    }
+
+    /// The number of addresses covered, saturating at `u64` width.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u64)
+    }
+
+    /// Compare by specificity: more-specific (longer) prefixes sort first.
+    /// Useful for building priority-ordered rule lists.
+    pub fn cmp_specificity(&self, other: &Prefix) -> Ordering {
+        other.len.cmp(&self.len).then(self.bits.cmp(&other.bits))
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr(), self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = IpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = match s.split_once('/') {
+            Some((a, l)) => (a, l),
+            None => (s, "32"),
+        };
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| IpError::InvalidPrefix(s.to_string()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| IpError::InvalidPrefix(s.to_string()))?;
+        Prefix::new(addr, len)
+    }
+}
+
+impl From<Ipv4Addr> for Prefix {
+    fn from(addr: Ipv4Addr) -> Self {
+        Prefix::host(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn bare_address_parses_as_host_route() {
+        assert_eq!(p("1.2.3.4"), p("1.2.3.4/32"));
+    }
+
+    #[test]
+    fn host_bits_are_masked() {
+        assert_eq!(p("10.1.2.3/8"), p("10.0.0.0/8"));
+        assert_eq!(p("10.1.2.3/8").to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Prefix>().is_err());
+        assert!("abc/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn containment() {
+        assert!(p("10.0.0.0/8").contains(&p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").contains(&p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").contains(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").contains(&p("11.0.0.0/8")));
+        assert!(p("0.0.0.0/0").contains(&p("255.0.0.0/8")));
+    }
+
+    #[test]
+    fn contains_addr_boundaries() {
+        let q = p("10.1.0.0/16");
+        assert!(q.contains_addr("10.1.0.0".parse().unwrap()));
+        assert!(q.contains_addr("10.1.255.255".parse().unwrap()));
+        assert!(!q.contains_addr("10.2.0.0".parse().unwrap()));
+        assert!(!q.contains_addr("10.0.255.255".parse().unwrap()));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        assert_eq!(
+            p("10.0.0.0/8").intersect(&p("10.1.0.0/16")),
+            Some(p("10.1.0.0/16"))
+        );
+        assert_eq!(
+            p("10.1.0.0/16").intersect(&p("10.0.0.0/8")),
+            Some(p("10.1.0.0/16"))
+        );
+        assert_eq!(p("10.0.0.0/8").intersect(&p("11.0.0.0/8")), None);
+        assert!(p("0.0.0.0/1").overlaps(&p("1.0.0.0/8")));
+        assert!(!p("0.0.0.0/1").overlaps(&p("128.0.0.0/1")));
+    }
+
+    #[test]
+    fn split_halves_partition_parent() {
+        let (lo, hi) = p("10.0.0.0/8").split().unwrap();
+        assert_eq!(lo, p("10.0.0.0/9"));
+        assert_eq!(hi, p("10.128.0.0/9"));
+        assert!(p("10.0.0.0/8").contains(&lo));
+        assert!(p("10.0.0.0/8").contains(&hi));
+        assert!(!lo.overlaps(&hi));
+        assert!(p("1.2.3.4/32").split().is_none());
+    }
+
+    #[test]
+    fn parent_inverts_split() {
+        let q = p("10.128.0.0/9");
+        assert_eq!(q.parent(), Some(p("10.0.0.0/8")));
+        assert_eq!(Prefix::DEFAULT.parent(), None);
+    }
+
+    #[test]
+    fn first_last_size() {
+        let q = p("192.168.1.0/24");
+        assert_eq!(q.first_addr().to_string(), "192.168.1.0");
+        assert_eq!(q.last_addr().to_string(), "192.168.1.255");
+        assert_eq!(q.size(), 256);
+        assert_eq!(Prefix::DEFAULT.size(), 1u64 << 32);
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let mut v = [p("10.0.0.0/8"), p("10.1.0.0/16"), p("10.1.1.0/24")];
+        v.sort_by(|a, b| a.cmp_specificity(b));
+        assert_eq!(v[0], p("10.1.1.0/24"));
+        assert_eq!(v[2], p("10.0.0.0/8"));
+    }
+}

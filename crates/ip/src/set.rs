@@ -1,0 +1,174 @@
+use std::collections::BTreeSet;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Prefix;
+
+/// A set of IPv4 prefixes with set-algebra operations.
+///
+/// The SDX's BGP-consistency transformation (§4.1) intersects a policy's
+/// destination-prefix filter with the set of prefixes a next-hop participant
+/// actually exports; forwarding-equivalence-class computation (§4.2)
+/// intersects and groups the per-participant announced-prefix sets. Prefixes
+/// are kept in a `BTreeSet`, deduplicated but *not* aggregated: the paper is
+/// explicit that FEC members need not be contiguous blocks, so the set keeps
+/// each announced prefix as its own atom.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixSet {
+    prefixes: BTreeSet<Prefix>,
+}
+
+impl PrefixSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes in the set.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Insert a prefix; returns `true` if it was not already present.
+    pub fn insert(&mut self, p: Prefix) -> bool {
+        self.prefixes.insert(p)
+    }
+
+    /// Remove a prefix; returns `true` if it was present.
+    pub fn remove(&mut self, p: &Prefix) -> bool {
+        self.prefixes.remove(p)
+    }
+
+    /// Does the set contain exactly this prefix?
+    pub fn contains(&self, p: &Prefix) -> bool {
+        self.prefixes.contains(p)
+    }
+
+    /// Is `addr` covered by any member prefix?
+    pub fn covers_addr(&self, addr: Ipv4Addr) -> bool {
+        self.prefixes.iter().any(|p| p.contains_addr(addr))
+    }
+
+    /// Exact-member set union.
+    pub fn union(&self, other: &PrefixSet) -> PrefixSet {
+        PrefixSet { prefixes: self.prefixes.union(&other.prefixes).copied().collect() }
+    }
+
+    /// Exact-member set intersection.
+    pub fn intersection(&self, other: &PrefixSet) -> PrefixSet {
+        PrefixSet {
+            prefixes: self.prefixes.intersection(&other.prefixes).copied().collect(),
+        }
+    }
+
+    /// Exact-member set difference (`self \ other`).
+    pub fn difference(&self, other: &PrefixSet) -> PrefixSet {
+        PrefixSet {
+            prefixes: self.prefixes.difference(&other.prefixes).copied().collect(),
+        }
+    }
+
+    /// Is `self` a subset of `other` (exact membership)?
+    pub fn is_subset(&self, other: &PrefixSet) -> bool {
+        self.prefixes.is_subset(&other.prefixes)
+    }
+
+    /// Iterate over member prefixes in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Prefix> {
+        self.prefixes.iter()
+    }
+}
+
+impl FromIterator<Prefix> for PrefixSet {
+    fn from_iter<T: IntoIterator<Item = Prefix>>(iter: T) -> Self {
+        PrefixSet { prefixes: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a PrefixSet {
+    type Item = &'a Prefix;
+    type IntoIter = std::collections::btree_set::Iter<'a, Prefix>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.prefixes.iter()
+    }
+}
+
+impl IntoIterator for PrefixSet {
+    type Item = Prefix;
+    type IntoIter = std::collections::btree_set::IntoIter<Prefix>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.prefixes.into_iter()
+    }
+}
+
+impl fmt::Display for PrefixSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.prefixes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ps: &[&str]) -> PrefixSet {
+        ps.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = PrefixSet::new();
+        assert!(s.insert("10.0.0.0/8".parse().unwrap()));
+        assert!(!s.insert("10.0.0.0/8".parse().unwrap()));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&["10.0.0.0/8", "20.0.0.0/8"]);
+        let b = set(&["20.0.0.0/8", "30.0.0.0/8"]);
+        assert_eq!(a.union(&b), set(&["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"]));
+        assert_eq!(a.intersection(&b), set(&["20.0.0.0/8"]));
+        assert_eq!(a.difference(&b), set(&["10.0.0.0/8"]));
+        assert!(set(&["20.0.0.0/8"]).is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn covers_addr_checks_member_prefixes() {
+        let s = set(&["10.0.0.0/8", "192.168.1.0/24"]);
+        assert!(s.covers_addr("10.250.0.1".parse().unwrap()));
+        assert!(s.covers_addr("192.168.1.44".parse().unwrap()));
+        assert!(!s.covers_addr("192.168.2.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn display_sorted() {
+        let s = set(&["20.0.0.0/8", "10.0.0.0/8"]);
+        assert_eq!(s.to_string(), "{10.0.0.0/8, 20.0.0.0/8}");
+    }
+
+    #[test]
+    fn membership_is_exact_not_covering() {
+        // A PrefixSet is a set of route atoms, not an address-space union:
+        // a covering prefix does not imply membership of its subnets.
+        let s = set(&["10.0.0.0/8"]);
+        assert!(!s.contains(&"10.1.0.0/16".parse().unwrap()));
+    }
+}

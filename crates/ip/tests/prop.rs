@@ -1,0 +1,112 @@
+//! Property-based tests for the `sdx-ip` primitives.
+
+use proptest::prelude::*;
+use sdx_ip::{MacAddr, Prefix, PrefixSet, PrefixTrie};
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::from_bits(bits, len))
+}
+
+proptest! {
+    #[test]
+    fn prefix_parse_display_round_trip(p in arb_prefix()) {
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn prefix_contains_is_reflexive_and_antisymmetric(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert!(a.contains(&a));
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn prefix_contains_first_and_last(p in arb_prefix()) {
+        prop_assert!(p.contains_addr(p.first_addr()));
+        prop_assert!(p.contains_addr(p.last_addr()));
+    }
+
+    #[test]
+    fn split_partitions(p in arb_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.contains(&lo) && p.contains(&hi));
+            prop_assert!(!lo.overlaps(&hi));
+            prop_assert_eq!(lo.size() + hi.size(), p.size());
+            prop_assert_eq!(lo.parent(), Some(p));
+            prop_assert_eq!(hi.parent(), Some(p));
+        }
+    }
+
+    #[test]
+    fn intersect_agrees_with_addr_membership(a in arb_prefix(), b in arb_prefix(), addr in any::<u32>()) {
+        let addr = Ipv4Addr::from(addr);
+        let in_both = a.contains_addr(addr) && b.contains_addr(addr);
+        match a.intersect(&b) {
+            Some(i) => prop_assert_eq!(in_both, i.contains_addr(addr)),
+            None => prop_assert!(!in_both),
+        }
+    }
+
+    #[test]
+    fn trie_longest_match_is_most_specific(prefixes in prop::collection::vec(arb_prefix(), 1..60), addr in any::<u32>()) {
+        let addr = Ipv4Addr::from(addr);
+        let trie: PrefixTrie<usize> = prefixes.iter().copied().zip(0..).collect();
+        let brute = prefixes
+            .iter()
+            .filter(|p| p.contains_addr(addr))
+            .max_by_key(|p| p.len());
+        match (trie.longest_match(addr), brute) {
+            (Some((got, _)), Some(want)) => prop_assert_eq!(got.len(), want.len()),
+            (None, None) => {}
+            (got, want) => prop_assert!(false, "trie={got:?} brute={want:?}"),
+        }
+    }
+
+    #[test]
+    fn trie_get_after_insert(prefixes in prop::collection::vec(arb_prefix(), 0..60)) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        // The last write for each distinct prefix wins.
+        for p in &prefixes {
+            let want = prefixes.iter().rposition(|q| q == p).unwrap();
+            prop_assert_eq!(trie.get(p), Some(&want));
+        }
+        let distinct: std::collections::BTreeSet<_> = prefixes.iter().collect();
+        prop_assert_eq!(trie.len(), distinct.len());
+    }
+
+    #[test]
+    fn trie_iter_round_trips(prefixes in prop::collection::vec(arb_prefix(), 0..60)) {
+        let trie: PrefixTrie<()> = prefixes.iter().map(|p| (*p, ())).collect();
+        let got: std::collections::BTreeSet<Prefix> = trie.iter().map(|(p, _)| p).collect();
+        let want: std::collections::BTreeSet<Prefix> = prefixes.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prefix_set_laws(a in prop::collection::btree_set(arb_prefix(), 0..30), b in prop::collection::btree_set(arb_prefix(), 0..30)) {
+        let sa: PrefixSet = a.iter().copied().collect();
+        let sb: PrefixSet = b.iter().copied().collect();
+        let u = sa.union(&sb);
+        let i = sa.intersection(&sb);
+        prop_assert!(i.is_subset(&sa) && i.is_subset(&sb));
+        prop_assert!(sa.is_subset(&u) && sb.is_subset(&u));
+        prop_assert_eq!(u.len() + i.len(), sa.len() + sb.len());
+        prop_assert_eq!(sa.difference(&sb).len(), sa.len() - i.len());
+    }
+
+    #[test]
+    fn mac_round_trip(v in 0u64..=0xffff_ffff_ffff) {
+        let m = MacAddr::from_u64(v);
+        prop_assert_eq!(m.to_u64(), v);
+        let s = m.to_string();
+        let parsed: MacAddr = s.parse().unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+}

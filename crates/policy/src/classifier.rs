@@ -1,0 +1,344 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Field, Match, Packet, Value};
+
+/// One output transformation of a rule: a set of field assignments applied to
+/// the matched packet. The identity action (no assignments) passes the packet
+/// through unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Action {
+    assignments: BTreeMap<Field, u64>,
+}
+
+impl Action {
+    /// The identity action.
+    pub fn identity() -> Self {
+        Action::default()
+    }
+
+    /// An action assigning a single field.
+    pub fn set(field: Field, value: impl Into<Value>) -> Self {
+        let mut a = Action::default();
+        a.assignments.insert(field, value.into().0);
+        a
+    }
+
+    /// The value this action assigns to `field`, if any.
+    pub fn get(&self, field: Field) -> Option<u64> {
+        self.assignments.get(&field).copied()
+    }
+
+    /// Add/overwrite an assignment, builder style.
+    pub fn with(mut self, field: Field, value: impl Into<Value>) -> Self {
+        self.assignments.insert(field, value.into().0);
+        self
+    }
+
+    /// Is this the identity action?
+    pub fn is_identity(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Apply the assignments to a packet.
+    pub fn apply(&self, pkt: &Packet) -> Packet {
+        let mut out = pkt.clone();
+        for (f, v) in &self.assignments {
+            out.set(*f, *v);
+        }
+        out
+    }
+
+    /// Sequential composition: apply `self`, then `later`. Later assignments
+    /// overwrite earlier ones.
+    pub fn then(&self, later: &Action) -> Action {
+        let mut out = self.clone();
+        for (f, v) in &later.assignments {
+            out.assignments.insert(*f, *v);
+        }
+        out
+    }
+
+    /// Iterate over `(field, raw value)` assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&Field, &u64)> {
+        self.assignments.iter()
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return write!(f, "pass");
+        }
+        for (i, (field, v)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:={}", field, field.render(*v))?;
+        }
+        Ok(())
+    }
+}
+
+/// A prioritized rule: if the match fires, emit one output packet per action
+/// (no actions = drop).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The packets this rule captures.
+    pub match_: Match,
+    /// The transformations applied to captured packets (empty = drop).
+    pub actions: Vec<Action>,
+}
+
+impl Rule {
+    /// A rule that drops everything it matches.
+    pub fn drop(match_: Match) -> Self {
+        Rule { match_, actions: Vec::new() }
+    }
+
+    /// A rule that passes matching packets through unchanged.
+    pub fn pass(match_: Match) -> Self {
+        Rule { match_, actions: vec![Action::identity()] }
+    }
+
+    /// Is this a drop rule?
+    pub fn is_drop(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> ", self.match_)?;
+        if self.is_drop() {
+            return write!(f, "drop");
+        }
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A prioritized rule list — the compiled form of a policy, isomorphic to an
+/// OpenFlow flow table. Earlier rules win; the compiler keeps classifiers
+/// *complete* (the last rule matches everything), so evaluation is total.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Classifier {
+    rules: Vec<Rule>,
+}
+
+impl Classifier {
+    /// Above this size, `optimize` skips the quadratic subsumption scan.
+    pub const FULL_OPTIMIZE_LIMIT: usize = 4_096;
+
+    /// Build from rules, appending a catch-all drop if the rule list is not
+    /// visibly complete.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let mut c = Classifier { rules };
+        if !c.rules.last().map(|r| r.match_.is_any()).unwrap_or(false) {
+            c.rules.push(Rule::drop(Match::any()));
+        }
+        c
+    }
+
+    /// The classifier that drops everything.
+    pub fn drop_all() -> Self {
+        Classifier::new(Vec::new())
+    }
+
+    /// The classifier that passes everything unchanged.
+    pub fn pass_all() -> Self {
+        Classifier::new(vec![Rule::pass(Match::any())])
+    }
+
+    /// The rules, highest priority first.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules (including the catch-all).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// A classifier is never truly empty (completeness invariant), but this
+    /// mirrors the container convention.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The first rule matching the packet.
+    pub fn first_match(&self, pkt: &Packet) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.match_.matches(pkt))
+    }
+
+    /// Evaluate the packet: apply the first matching rule's actions.
+    pub fn evaluate(&self, pkt: &Packet) -> BTreeSet<Packet> {
+        match self.first_match(pkt) {
+            Some(rule) => rule.actions.iter().map(|a| a.apply(pkt)).collect(),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// Remove unreachable rules (shadowed by a single earlier rule) and
+    /// collapse a trailing run of drop rules into the final catch-all.
+    ///
+    /// The full pairwise subsumption scan is quadratic, so above
+    /// [`Self::FULL_OPTIMIZE_LIMIT`] rules only exact-duplicate matches are
+    /// removed (linear), which catches the overwhelmingly common shadow case
+    /// in compiled SDX tables.
+    pub fn optimize(mut self) -> Self {
+        let full = self.rules.len() <= Self::FULL_OPTIMIZE_LIMIT;
+        let mut seen: std::collections::HashSet<Match> = std::collections::HashSet::new();
+        let mut kept: Vec<Rule> = Vec::with_capacity(self.rules.len());
+        for rule in self.rules.drain(..) {
+            if seen.contains(&rule.match_) {
+                continue; // exact duplicate of an earlier match: unreachable.
+            }
+            if full && kept.iter().any(|earlier| earlier.match_.subsumes(&rule.match_)) {
+                continue; // unreachable: an earlier rule captures every packet it would.
+            }
+            seen.insert(rule.match_.clone());
+            kept.push(rule);
+        }
+        // Drop rules immediately before a catch-all drop are redundant.
+        if kept.last().map(|r| r.match_.is_any() && r.is_drop()).unwrap_or(false) {
+            let catch_all = kept.pop().expect("just checked");
+            while kept.last().map(Rule::is_drop).unwrap_or(false) {
+                kept.pop();
+            }
+            kept.push(catch_all);
+        }
+        Classifier::new(kept)
+    }
+
+    /// Concatenate rule lists (callers must guarantee the semantics; used by
+    /// the compiler where region-disjointness makes it sound).
+    pub(crate) fn concat(parts: Vec<Vec<Rule>>) -> Classifier {
+        Classifier::new(parts.into_iter().flatten().collect())
+    }
+}
+
+impl fmt::Display for Classifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            writeln!(f, "{:4}: {}", self.rules.len() - i, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pattern;
+
+    #[test]
+    fn action_apply_and_compose() {
+        let a = Action::set(Field::DstPort, 80u16);
+        let b = Action::set(Field::DstPort, 443u16).with(Field::Port, 9u32);
+        let pkt = Packet::new().with(Field::DstPort, 22u16);
+        assert_eq!(a.apply(&pkt).get(Field::DstPort), Some(80));
+        let ab = a.then(&b);
+        let out = ab.apply(&pkt);
+        assert_eq!(out.get(Field::DstPort), Some(443));
+        assert_eq!(out.port(), Some(9));
+        let ba = b.then(&a);
+        assert_eq!(ba.apply(&pkt).get(Field::DstPort), Some(80));
+    }
+
+    #[test]
+    fn identity_action() {
+        let pkt = Packet::new().with(Field::DstPort, 22u16);
+        assert_eq!(Action::identity().apply(&pkt), pkt);
+        assert!(Action::identity().is_identity());
+        assert!(!Action::set(Field::Port, 1u32).is_identity());
+    }
+
+    #[test]
+    fn classifier_first_match_wins() {
+        let c = Classifier::new(vec![
+            Rule { match_: Match::on(Field::DstPort, Pattern::Exact(80)), actions: vec![Action::set(Field::Port, 1u32)] },
+            Rule { match_: Match::any(), actions: vec![Action::set(Field::Port, 2u32)] },
+        ]);
+        let pkt80 = Packet::new().with(Field::DstPort, 80u16);
+        let pkt22 = Packet::new().with(Field::DstPort, 22u16);
+        assert_eq!(c.evaluate(&pkt80).iter().next().unwrap().port(), Some(1));
+        assert_eq!(c.evaluate(&pkt22).iter().next().unwrap().port(), Some(2));
+    }
+
+    #[test]
+    fn new_appends_catch_all() {
+        let c = Classifier::new(vec![Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80)))]);
+        assert_eq!(c.len(), 2);
+        assert!(c.rules().last().unwrap().is_drop());
+        assert!(c.rules().last().unwrap().match_.is_any());
+    }
+
+    #[test]
+    fn drop_all_and_pass_all() {
+        let pkt = Packet::new().with(Field::DstPort, 80u16);
+        assert!(Classifier::drop_all().evaluate(&pkt).is_empty());
+        assert_eq!(Classifier::pass_all().evaluate(&pkt).len(), 1);
+    }
+
+    #[test]
+    fn optimize_removes_shadowed() {
+        let c = Classifier::new(vec![
+            Rule::pass(Match::any()),
+            Rule::drop(Match::on(Field::DstPort, Pattern::Exact(80))), // unreachable
+        ]);
+        let o = c.optimize();
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn optimize_collapses_trailing_drops() {
+        let c = Classifier::new(vec![
+            Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80))),
+            Rule::drop(Match::on(Field::DstPort, Pattern::Exact(443))),
+            Rule::drop(Match::on(Field::DstPort, Pattern::Exact(22))),
+        ]);
+        let o = c.optimize();
+        // Only the pass rule and the catch-all drop remain.
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn optimize_preserves_semantics_on_samples() {
+        let c = Classifier::new(vec![
+            Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80))),
+            Rule::drop(Match::on(Field::DstPort, Pattern::Exact(80))), // shadowed
+            Rule { match_: Match::any(), actions: vec![Action::set(Field::Port, 5u32)] },
+        ]);
+        let o = c.clone().optimize();
+        for port in [80u16, 443, 22] {
+            let pkt = Packet::new().with(Field::DstPort, port);
+            assert_eq!(c.evaluate(&pkt), o.evaluate(&pkt), "port {port}");
+        }
+    }
+
+    #[test]
+    fn multicast_rule_emits_all_copies() {
+        let c = Classifier::new(vec![Rule {
+            match_: Match::any(),
+            actions: vec![Action::set(Field::Port, 1u32), Action::set(Field::Port, 2u32)],
+        }]);
+        let out = c.evaluate(&Packet::new());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Classifier::new(vec![Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80)))]);
+        let s = c.to_string();
+        assert!(s.contains("dstport=80 -> pass"), "{s}");
+        assert!(s.contains("* -> drop"), "{s}");
+    }
+}

@@ -1,0 +1,481 @@
+//! Compilation from policies to classifiers (prioritized rule lists).
+//!
+//! This is the Rust equivalent of the Pyretic runtime's compiler that the SDX
+//! controller delegates to (§5.1 of the paper): predicates compile to
+//! pass/drop rule lists, and policies compose via the classifier-level
+//! parallel and sequential composition algorithms.
+//!
+//! The compiler's contract, enforced by property tests, is
+//! `policy.compile().evaluate(pkt) == policy.eval(pkt)` for every packet.
+
+use crate::{Action, Classifier, Match, Pattern, Policy, Predicate, Rule};
+
+impl Policy {
+    /// Compile the policy into an equivalent classifier.
+    pub fn compile(&self) -> Classifier {
+        match self {
+            Policy::Filter(pred) => compile_predicate(pred),
+            Policy::Mod(field, value) => Classifier::new(vec![Rule {
+                match_: Match::any(),
+                actions: vec![Action::set(*field, *value)],
+            }]),
+            Policy::Parallel(ps) => {
+                let mut acc: Option<Classifier> = None;
+                for p in ps {
+                    let c = p.compile();
+                    acc = Some(match acc {
+                        None => c,
+                        Some(prev) => parallel_compose(&prev, &c),
+                    });
+                }
+                acc.unwrap_or_else(Classifier::drop_all)
+            }
+            Policy::Sequential(ps) => {
+                let mut acc: Option<Classifier> = None;
+                for p in ps {
+                    let c = p.compile();
+                    acc = Some(match acc {
+                        None => c,
+                        Some(prev) => sequential_compose(&prev, &c),
+                    });
+                }
+                acc.unwrap_or_else(Classifier::pass_all)
+            }
+            Policy::IfThenElse(pred, then, otherwise) => {
+                let cp = compile_predicate(pred);
+                let cnp = negate_classifier(&cp);
+                let branch_then = sequential_compose(&cp, &then.compile());
+                let branch_else = sequential_compose(&cnp, &otherwise.compile());
+                // The branches act on disjoint packet regions, so their
+                // parallel composition implements the conditional.
+                parallel_compose(&branch_then, &branch_else)
+            }
+        }
+    }
+}
+
+/// Compile a predicate into a classifier whose rules either pass (identity
+/// action) or drop.
+pub fn compile_predicate(pred: &Predicate) -> Classifier {
+    match pred {
+        Predicate::True => Classifier::pass_all(),
+        Predicate::False => Classifier::drop_all(),
+        Predicate::Test(field, pattern) => {
+            Classifier::new(vec![Rule::pass(Match::on(*field, *pattern))])
+        }
+        Predicate::InSet(field, values) => Classifier::new(
+            values
+                .iter()
+                .map(|v| Rule::pass(Match::on(*field, Pattern::Exact(*v))))
+                .collect(),
+        ),
+        Predicate::InPrefixes(field, prefixes) => Classifier::new(
+            prefixes
+                .iter()
+                .map(|p| Rule::pass(Match::on(*field, Pattern::Prefix(*p))))
+                .collect(),
+        ),
+        Predicate::And(a, b) => product_bool(
+            &compile_predicate(a),
+            &compile_predicate(b),
+            |x, y| x && y,
+        ),
+        Predicate::Or(a, b) => product_bool(
+            &compile_predicate(a),
+            &compile_predicate(b),
+            |x, y| x || y,
+        ),
+        Predicate::Not(p) => negate_classifier(&compile_predicate(p)),
+    }
+}
+
+/// Flip pass and drop rules of a boolean (predicate) classifier.
+fn negate_classifier(c: &Classifier) -> Classifier {
+    Classifier::new(
+        c.rules()
+            .iter()
+            .map(|r| {
+                if r.is_drop() {
+                    Rule::pass(r.match_.clone())
+                } else {
+                    Rule::drop(r.match_.clone())
+                }
+            })
+            .collect(),
+    )
+    .optimize()
+}
+
+/// Cross product of two boolean classifiers, combining pass/drop with `op`.
+///
+/// Rules are ordered lexicographically by source priorities, so the first
+/// matching product rule corresponds to the first matching rule in each
+/// input, making the product's decision `op(c1(pkt), c2(pkt))`.
+fn product_bool(c1: &Classifier, c2: &Classifier, op: impl Fn(bool, bool) -> bool) -> Classifier {
+    let mut rules = Vec::new();
+    for r1 in c1.rules() {
+        for r2 in c2.rules() {
+            if let Some(m) = r1.match_.intersect(&r2.match_) {
+                let pass = op(!r1.is_drop(), !r2.is_drop());
+                rules.push(if pass { Rule::pass(m) } else { Rule::drop(m) });
+            }
+        }
+    }
+    Classifier::new(rules).optimize()
+}
+
+/// Parallel composition of compiled classifiers: the output packet set of the
+/// composite is the union of both components' outputs.
+pub fn parallel_compose(c1: &Classifier, c2: &Classifier) -> Classifier {
+    let mut rules = Vec::new();
+    for r1 in c1.rules() {
+        for r2 in c2.rules() {
+            if let Some(m) = r1.match_.intersect(&r2.match_) {
+                let mut actions = r1.actions.clone();
+                for b in &r2.actions {
+                    if !actions.contains(b) {
+                        actions.push(b.clone());
+                    }
+                }
+                rules.push(Rule { match_: m, actions });
+            }
+        }
+    }
+    Classifier::new(rules).optimize()
+}
+
+/// Sequential composition of compiled classifiers: feed every output of `c1`
+/// into `c2`.
+///
+/// For each rule of `c1`, its action is *pushed through* `c2`: a later match
+/// on a field the action assigns is resolved statically, and matches on
+/// untouched fields become residual constraints on the original packet.
+/// Multicast rules (multiple actions) push each action separately and merge
+/// the results with parallel composition inside the rule's region.
+///
+/// An index over `c2`'s exact `Port` constraints prunes the push: a rule
+/// whose action pins the packet's location only visits the `c2` rules that
+/// could possibly match it. For the SDX this is §4.3.1's "only compose
+/// participants that exchange traffic" — a sender rule targeting virtual
+/// port B composes with participant B's rules only. Semantics are identical
+/// to the unindexed version ([`sequential_compose_naive`]), which is kept
+/// for the ablation benchmarks.
+pub fn sequential_compose(c1: &Classifier, c2: &Classifier) -> Classifier {
+    let index = PortIndex::build(c2);
+    sequential_compose_inner(c1, c2, Some(&index))
+}
+
+/// Unpruned sequential composition: every `c1` rule is pushed through every
+/// `c2` rule. Same result as [`sequential_compose`], kept to measure the
+/// cost of composing participants that never exchange traffic.
+pub fn sequential_compose_naive(c1: &Classifier, c2: &Classifier) -> Classifier {
+    sequential_compose_inner(c1, c2, None)
+}
+
+fn sequential_compose_inner(
+    c1: &Classifier,
+    c2: &Classifier,
+    index: Option<&PortIndex>,
+) -> Classifier {
+    let mut parts: Vec<Vec<Rule>> = Vec::with_capacity(c1.len());
+    for r1 in c1.rules() {
+        if r1.is_drop() {
+            parts.push(vec![Rule::drop(r1.match_.clone())]);
+        } else if r1.actions.len() == 1 {
+            parts.push(push_through(&r1.match_, &r1.actions[0], c2, index));
+        } else {
+            let mut acc: Option<Classifier> = None;
+            for a in &r1.actions {
+                let pushed = Classifier::new(push_through(&r1.match_, a, c2, index));
+                acc = Some(match acc {
+                    None => pushed,
+                    Some(prev) => parallel_compose(&prev, &pushed),
+                });
+            }
+            // Restrict the merged classifier (whose completion introduced a
+            // wildcard catch-all) back to this rule's region so it cannot
+            // capture packets belonging to later rules.
+            let restricted = acc
+                .expect("non-drop rule has at least one action")
+                .rules()
+                .iter()
+                .filter_map(|r| {
+                    r.match_
+                        .intersect(&r1.match_)
+                        .map(|m| Rule { match_: m, actions: r.actions.clone() })
+                })
+                .collect();
+            parts.push(restricted);
+        }
+    }
+    Classifier::concat(parts).optimize()
+}
+
+/// Index of a classifier's rules by their exact `Port` constraint.
+struct PortIndex {
+    by_port: std::collections::BTreeMap<u64, Vec<usize>>,
+    unconstrained: Vec<usize>,
+}
+
+impl PortIndex {
+    fn build(c: &Classifier) -> Self {
+        let mut by_port: std::collections::BTreeMap<u64, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        let mut unconstrained = Vec::new();
+        for (i, rule) in c.rules().iter().enumerate() {
+            match rule.match_.get(crate::Field::Port) {
+                Some(crate::Pattern::Exact(v)) => by_port.entry(*v).or_default().push(i),
+                _ => unconstrained.push(i),
+            }
+        }
+        PortIndex { by_port, unconstrained }
+    }
+
+    /// Indices of rules that could match a packet whose `Port` the action
+    /// pins to `port`, in priority order.
+    fn candidates(&self, port: u64) -> Vec<usize> {
+        let empty = Vec::new();
+        let a = self.by_port.get(&port).unwrap_or(&empty);
+        // Merge two ascending index lists.
+        let mut out = Vec::with_capacity(a.len() + self.unconstrained.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < self.unconstrained.len() {
+            let next_a = a.get(i).copied().unwrap_or(usize::MAX);
+            let next_b = self.unconstrained.get(j).copied().unwrap_or(usize::MAX);
+            if next_a < next_b {
+                out.push(next_a);
+                i += 1;
+            } else {
+                out.push(next_b);
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Push a single action through `c2`, scoped to packets matching `m1`.
+///
+/// Produces, in `c2`'s priority order, one rule per compatible `c2` rule;
+/// together they cover all of `m1`'s region (because `c2` is complete).
+fn push_through(m1: &Match, a: &Action, c2: &Classifier, index: Option<&PortIndex>) -> Vec<Rule> {
+    let rules = c2.rules();
+    let pruned: Option<Vec<usize>> = match (index, a.get(crate::Field::Port)) {
+        (Some(idx), Some(port)) => Some(idx.candidates(port)),
+        _ => None,
+    };
+    let mut out = Vec::new();
+    let mut push_one = |r2: &Rule| {
+        let mut m = m1.clone();
+        for (f, pat) in r2.match_.iter() {
+            match a.get(*f) {
+                // The action fixes this field: the constraint is decided now.
+                Some(v) => {
+                    if !pat.matches(v) {
+                        return;
+                    }
+                }
+                // The field passes through: constrain the original packet.
+                None => match m.and(*f, *pat) {
+                    Some(narrowed) => m = narrowed,
+                    None => return,
+                },
+            }
+        }
+        let actions = r2.actions.iter().map(|b| a.then(b)).collect();
+        out.push(Rule { match_: m, actions });
+    };
+    match pruned {
+        Some(indices) => {
+            for i in indices {
+                push_one(&rules[i]);
+            }
+        }
+        None => {
+            for r2 in rules {
+                push_one(r2);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Packet};
+    use std::net::Ipv4Addr;
+
+    fn pkt(port: u32, dst_port: u16) -> Packet {
+        Packet::udp(
+            port,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            5000,
+            dst_port,
+        )
+    }
+
+    /// Check compiler correctness on a sample of packets.
+    fn check(policy: &Policy, packets: &[Packet]) {
+        let c = policy.compile();
+        for k in packets {
+            assert_eq!(
+                c.evaluate(k),
+                policy.eval(k),
+                "policy {policy} vs classifier\n{c} on {k}"
+            );
+        }
+    }
+
+    fn sample_packets() -> Vec<Packet> {
+        let mut v = Vec::new();
+        for port in [1u32, 2, 101] {
+            for dst_port in [80u16, 443, 22] {
+                v.push(pkt(port, dst_port));
+            }
+        }
+        v.push(Packet::new()); // empty packet exercises missing-field paths
+        v
+    }
+
+    #[test]
+    fn compile_constants() {
+        check(&Policy::id(), &sample_packets());
+        check(&Policy::drop(), &sample_packets());
+    }
+
+    #[test]
+    fn compile_filter_and_mod() {
+        check(
+            &Policy::Filter(Predicate::test(Field::DstPort, 80u16)),
+            &sample_packets(),
+        );
+        check(&Policy::modify(Field::DstPort, 8080u16), &sample_packets());
+        check(&Policy::fwd(42), &sample_packets());
+    }
+
+    #[test]
+    fn compile_paper_outbound_policy() {
+        let policy = (Predicate::test(Field::DstPort, 80u16) >> Policy::fwd(101))
+            + (Predicate::test(Field::DstPort, 443u16) >> Policy::fwd(102));
+        check(&policy, &sample_packets());
+    }
+
+    #[test]
+    fn compile_sequential_mod_then_filter() {
+        // A modification that makes a later filter pass.
+        let p = Policy::modify(Field::DstPort, 443u16)
+            >> Policy::Filter(Predicate::test(Field::DstPort, 443u16));
+        check(&p, &sample_packets());
+        // ...and one that makes it fail.
+        let q = Policy::modify(Field::DstPort, 22u16)
+            >> Policy::Filter(Predicate::test(Field::DstPort, 443u16));
+        check(&q, &sample_packets());
+    }
+
+    #[test]
+    fn compile_if_then_else() {
+        let p = Policy::if_then_else(
+            Predicate::test(Field::DstPort, 80u16),
+            Policy::fwd(1),
+            Policy::fwd(2),
+        );
+        check(&p, &sample_packets());
+    }
+
+    #[test]
+    fn compile_negation() {
+        let p = Policy::Filter(Predicate::test(Field::DstPort, 80u16).negate());
+        check(&p, &sample_packets());
+        let q = Policy::Filter(
+            (Predicate::test(Field::Port, 1u32) & Predicate::test(Field::DstPort, 80u16)).negate(),
+        );
+        check(&q, &sample_packets());
+    }
+
+    #[test]
+    fn compile_in_set_linear_rules() {
+        let pred = Predicate::in_set(Field::DstPort, [80u64, 443, 8080]);
+        let c = compile_predicate(&pred);
+        // One rule per member plus the catch-all drop: no quadratic blowup.
+        assert_eq!(c.len(), 4);
+        check(&Policy::Filter(pred), &sample_packets());
+    }
+
+    #[test]
+    fn compile_in_prefixes_linear_rules() {
+        let prefixes: sdx_ip::PrefixSet =
+            ["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"].iter().map(|s| s.parse().unwrap()).collect();
+        let pred = Predicate::in_prefixes(Field::DstIp, prefixes);
+        let c = compile_predicate(&pred);
+        assert_eq!(c.len(), 4);
+        check(&Policy::Filter(pred), &sample_packets());
+    }
+
+    #[test]
+    fn compile_multicast_then_policy() {
+        let p = (Policy::fwd(1) + Policy::fwd(2))
+            >> Policy::if_then_else(
+                Predicate::test(Field::Port, 1u32),
+                Policy::modify(Field::DstPort, 53u16),
+                Policy::id(),
+            );
+        check(&p, &sample_packets());
+    }
+
+    #[test]
+    fn compile_multicast_with_drop_branch() {
+        // One copy survives a later filter, the other does not.
+        let p = (Policy::fwd(1) + Policy::fwd(2))
+            >> Policy::Filter(Predicate::test(Field::Port, 1u32));
+        check(&p, &sample_packets());
+    }
+
+    #[test]
+    fn compile_sdx_style_composition() {
+        // Miniature of the paper's SDX = (PA + PB) >> (PA + PB) composition:
+        // A's outbound forwards web traffic to B's virtual port (101); B's
+        // inbound splits on source IP halves to its physical ports (2, 3).
+        let pa = Predicate::test(Field::Port, 1u32)
+            & Predicate::test(Field::DstPort, 80u16);
+        let pa = pa >> Policy::fwd(101);
+        let pb_lo = Predicate::test(Field::Port, 101u32)
+            & Predicate::test_prefix(Field::SrcIp, "0.0.0.0/1".parse().unwrap());
+        let pb_hi = Predicate::test(Field::Port, 101u32)
+            & Predicate::test_prefix(Field::SrcIp, "128.0.0.0/1".parse().unwrap());
+        let pb = (pb_lo >> Policy::fwd(2)) + (pb_hi >> Policy::fwd(3));
+        let sdx = (pa.clone() + pb.clone()) >> (pa + pb);
+
+        let c = sdx.compile();
+        // Web packet from A's physical port with a low source address lands
+        // on B's top port.
+        let low = pkt(1, 80);
+        let out = c.evaluate(&low);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().port(), Some(2));
+        // High source addresses land on B's bottom port.
+        let high = Packet::udp(
+            1,
+            Ipv4Addr::new(200, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            5000,
+            80,
+        );
+        assert_eq!(c.evaluate(&high).iter().next().unwrap().port(), Some(3));
+        // Non-web traffic is dropped by this (default-free) composition.
+        assert!(c.evaluate(&pkt(1, 22)).is_empty());
+        check(&sdx, &sample_packets());
+    }
+
+    #[test]
+    fn optimize_is_applied_and_safe() {
+        let p = (Predicate::test(Field::DstPort, 80u16) >> Policy::fwd(1))
+            + (Predicate::test(Field::DstPort, 80u16) >> Policy::fwd(1));
+        let c = p.compile();
+        check(&p, &sample_packets());
+        // The duplicate branch must not duplicate actions.
+        let out = c.evaluate(&pkt(1, 80));
+        assert_eq!(out.len(), 1);
+    }
+}

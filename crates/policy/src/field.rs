@@ -1,0 +1,165 @@
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use sdx_ip::MacAddr;
+use serde::{Deserialize, Serialize};
+
+/// A packet header field the policy language can match on or modify.
+///
+/// `Port` is the packet's *location* in Pyretic's located-packet model: a
+/// match on `Port` tests where the packet currently is (its ingress port, or
+/// the virtual port a previous policy stage forwarded it to), and a
+/// modification of `Port` moves the packet (i.e. `fwd(p)` is
+/// `mod(Port = p)`). All other fields are ordinary header fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Field {
+    /// Packet location (ingress port / forwarding destination).
+    Port,
+    /// Source MAC address.
+    SrcMac,
+    /// Destination MAC address (carries the VMAC tag in the SDX fabric).
+    DstMac,
+    /// Ethernet type (0x0800 IPv4, 0x0806 ARP, …).
+    EthType,
+    /// Source IPv4 address; supports prefix patterns.
+    SrcIp,
+    /// Destination IPv4 address; supports prefix patterns.
+    DstIp,
+    /// IP protocol number (6 TCP, 17 UDP, …).
+    IpProto,
+    /// Transport source port.
+    SrcPort,
+    /// Transport destination port.
+    DstPort,
+}
+
+impl Field {
+    /// All fields, in the order used for display and canonicalization.
+    pub const ALL: [Field; 9] = [
+        Field::Port,
+        Field::SrcMac,
+        Field::DstMac,
+        Field::EthType,
+        Field::SrcIp,
+        Field::DstIp,
+        Field::IpProto,
+        Field::SrcPort,
+        Field::DstPort,
+    ];
+
+    /// Does the field hold an IPv4 address (and hence admit prefix patterns)?
+    pub fn is_ip(&self) -> bool {
+        matches!(self, Field::SrcIp | Field::DstIp)
+    }
+
+    /// Does the field hold a MAC address?
+    pub fn is_mac(&self) -> bool {
+        matches!(self, Field::SrcMac | Field::DstMac)
+    }
+
+    /// Short lower-case name, matching the paper's `match(...)` notation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Field::Port => "port",
+            Field::SrcMac => "srcmac",
+            Field::DstMac => "dstmac",
+            Field::EthType => "ethtype",
+            Field::SrcIp => "srcip",
+            Field::DstIp => "dstip",
+            Field::IpProto => "ipproto",
+            Field::SrcPort => "srcport",
+            Field::DstPort => "dstport",
+        }
+    }
+
+    /// Render a raw field value the way a human wrote it (IP dotted quad,
+    /// MAC colon-hex, integers otherwise).
+    pub fn render(&self, raw: u64) -> String {
+        if self.is_ip() {
+            Ipv4Addr::from(raw as u32).to_string()
+        } else if self.is_mac() {
+            MacAddr::from_u64(raw).to_string()
+        } else {
+            raw.to_string()
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed field value that converts into the raw `u64` representation used
+/// by matches and packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(pub u64);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value(v as u64)
+    }
+}
+
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value(v as u64)
+    }
+}
+
+impl From<u8> for Value {
+    fn from(v: u8) -> Self {
+        Value(v as u64)
+    }
+}
+
+impl From<Ipv4Addr> for Value {
+    fn from(v: Ipv4Addr) -> Self {
+        Value(u32::from(v) as u64)
+    }
+}
+
+impl From<MacAddr> for Value {
+    fn from(v: MacAddr) -> Self {
+        Value(v.to_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::BTreeSet<_> = Field::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), Field::ALL.len());
+    }
+
+    #[test]
+    fn render_by_kind() {
+        assert_eq!(Field::DstIp.render(u32::from(Ipv4Addr::new(10, 0, 0, 1)) as u64), "10.0.0.1");
+        assert_eq!(Field::DstMac.render(0x0200_0000_0001), "02:00:00:00:00:01");
+        assert_eq!(Field::DstPort.render(80), "80");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(80u16).0, 80);
+        assert_eq!(Value::from(Ipv4Addr::new(1, 2, 3, 4)).0, 0x0102_0304);
+        assert_eq!(Value::from(MacAddr::from_u64(7)).0, 7);
+    }
+
+    #[test]
+    fn ip_and_mac_classification() {
+        assert!(Field::SrcIp.is_ip() && Field::DstIp.is_ip());
+        assert!(Field::SrcMac.is_mac() && Field::DstMac.is_mac());
+        assert!(!Field::DstPort.is_ip() && !Field::DstPort.is_mac());
+    }
+}

@@ -1,0 +1,81 @@
+//! A Pyretic-style policy language and classifier compiler — the programming
+//! abstraction the SDX offers its participants (§3 of the paper).
+//!
+//! Participants write *policies*: functions from located packets to sets of
+//! located packets, built from `match` predicates, field modifications,
+//! `fwd`, and the parallel (`+`) / sequential (`>>`) composition operators.
+//! The compiler lowers a policy to a [`Classifier`] — a prioritized rule list
+//! isomorphic to an OpenFlow flow table — with the invariant that classifier
+//! evaluation agrees with the policy's denotational semantics on every
+//! packet.
+//!
+//! ```
+//! use sdx_policy::{fwd, match_, Field, Packet};
+//! use std::net::Ipv4Addr;
+//!
+//! // AS A's outbound policy from Figure 1a of the paper:
+//! let b = 101u32; // virtual port towards participant B
+//! let c = 102u32; // virtual port towards participant C
+//! let policy = (match_(Field::DstPort, 80u16) >> fwd(b))
+//!     + (match_(Field::DstPort, 443u16) >> fwd(c));
+//!
+//! let classifier = policy.compile();
+//! let web = Packet::tcp(1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 5555, 80);
+//! let out = classifier.evaluate(&web);
+//! assert_eq!(out.iter().next().unwrap().port(), Some(b));
+//! ```
+
+mod classifier;
+mod compile;
+mod field;
+mod matcher;
+mod packet;
+mod parser;
+mod pattern;
+mod policy;
+mod predicate;
+
+pub use classifier::{Action, Classifier, Rule};
+pub use compile::{compile_predicate, parallel_compose, sequential_compose, sequential_compose_naive};
+pub use field::{Field, Value};
+pub use matcher::Match;
+pub use packet::Packet;
+pub use parser::{parse_policy, parse_predicate, ParseError};
+pub use pattern::Pattern;
+pub use policy::Policy;
+pub use predicate::Predicate;
+
+/// `match_(field, value)` — the paper's `match(field=value)` predicate.
+pub fn match_(field: Field, value: impl Into<Value>) -> Predicate {
+    Predicate::test(field, value)
+}
+
+/// `match_prefix(field, prefix)` — match an IP field against a CIDR prefix.
+pub fn match_prefix(field: Field, prefix: sdx_ip::Prefix) -> Predicate {
+    Predicate::test_prefix(field, prefix)
+}
+
+/// `fwd(port)` — forward to a (physical or virtual) port.
+pub fn fwd(port: u32) -> Policy {
+    Policy::fwd(port)
+}
+
+/// `modify(field, value)` — the paper's `mod(field=value)` action.
+pub fn modify(field: Field, value: impl Into<Value>) -> Policy {
+    Policy::modify(field, value)
+}
+
+/// `if_(pred, then, otherwise)` — Pyretic's conditional operator.
+pub fn if_(pred: Predicate, then: Policy, otherwise: Policy) -> Policy {
+    Policy::if_then_else(pred, then, otherwise)
+}
+
+/// `drop()` — the drop policy.
+pub fn drop() -> Policy {
+    Policy::drop()
+}
+
+/// `id()` — the identity (pass-through) policy.
+pub fn id() -> Policy {
+    Policy::id()
+}

@@ -1,0 +1,230 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Field, Packet, Pattern};
+
+/// A conjunction of per-field patterns: the match half of a classifier rule.
+///
+/// A field absent from the map is a wildcard. The empty match (`Match::any()`)
+/// matches every packet.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Match {
+    fields: BTreeMap<Field, Pattern>,
+}
+
+impl Match {
+    /// The wildcard match.
+    pub fn any() -> Self {
+        Match::default()
+    }
+
+    /// A match on a single field.
+    pub fn on(field: Field, pattern: Pattern) -> Self {
+        let mut m = Match::default();
+        m.fields.insert(field, pattern.canonical());
+        m
+    }
+
+    /// Add (conjoin) a constraint, returning `None` if it contradicts an
+    /// existing constraint on the same field.
+    pub fn and(mut self, field: Field, pattern: Pattern) -> Option<Self> {
+        let pattern = pattern.canonical();
+        match self.fields.get(&field) {
+            Some(existing) => {
+                let both = existing.intersect(&pattern)?;
+                self.fields.insert(field, both);
+            }
+            None => {
+                self.fields.insert(field, pattern);
+            }
+        }
+        Some(self)
+    }
+
+    /// The constraint on a field, if any.
+    pub fn get(&self, field: Field) -> Option<&Pattern> {
+        self.fields.get(&field)
+    }
+
+    /// Remove the constraint on a field (used when an action overwrites it).
+    pub fn without(mut self, field: Field) -> Self {
+        self.fields.remove(&field);
+        self
+    }
+
+    /// Number of constrained fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Is this the wildcard match?
+    pub fn is_any(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate over `(field, pattern)` constraints.
+    pub fn iter(&self) -> impl Iterator<Item = (&Field, &Pattern)> {
+        self.fields.iter()
+    }
+
+    /// Does the packet satisfy every constraint? A constraint on a field the
+    /// packet does not carry fails (matching a missing header is false).
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        self.fields
+            .iter()
+            .all(|(f, pat)| pkt.get(*f).map(|v| pat.matches(v)).unwrap_or(false))
+    }
+
+    /// The conjunction of two matches, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &Match) -> Option<Match> {
+        // Iterate over the smaller side for a minor win on skewed inputs.
+        let (small, large) = if self.fields.len() <= other.fields.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = large.clone();
+        for (f, pat) in small.fields.iter() {
+            out = out.and(*f, *pat)?;
+        }
+        Some(out)
+    }
+
+    /// Are the two matches disjoint (no packet satisfies both)?
+    pub fn disjoint(&self, other: &Match) -> bool {
+        self.intersect(other).is_none()
+    }
+
+    /// Does every packet matching `other` also match `self`?
+    pub fn subsumes(&self, other: &Match) -> bool {
+        self.fields.iter().all(|(f, p1)| match other.fields.get(f) {
+            Some(p2) => p1.subsumes(p2),
+            None => false,
+        })
+    }
+}
+
+impl FromIterator<(Field, Pattern)> for Match {
+    fn from_iter<T: IntoIterator<Item = (Field, Pattern)>>(iter: T) -> Self {
+        let mut m = Match::any();
+        for (f, p) in iter {
+            // Contradictory iterators collapse the constraint to the last
+            // intersection; callers building from known-consistent data only.
+            m = m.and(f, p).expect("contradictory constraints in Match::from_iter");
+        }
+        m
+    }
+}
+
+impl fmt::Display for Match {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            return write!(f, "*");
+        }
+        for (i, (field, pat)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", field, pat.render(*field))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> u64 {
+        u32::from(s.parse::<std::net::Ipv4Addr>().unwrap()) as u64
+    }
+
+    fn pfx(s: &str) -> Pattern {
+        Pattern::Prefix(s.parse().unwrap())
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let pkt = Packet::new().with(Field::DstPort, 80u16);
+        assert!(Match::any().matches(&pkt));
+    }
+
+    #[test]
+    fn conjunction_and_contradiction() {
+        let m = Match::on(Field::DstPort, Pattern::Exact(80));
+        assert!(m.clone().and(Field::DstPort, Pattern::Exact(80)).is_some());
+        assert!(m.clone().and(Field::DstPort, Pattern::Exact(443)).is_none());
+        let m2 = m.and(Field::SrcIp, pfx("10.0.0.0/8")).unwrap();
+        assert_eq!(m2.arity(), 2);
+    }
+
+    #[test]
+    fn match_requires_field_presence() {
+        let m = Match::on(Field::DstPort, Pattern::Exact(80));
+        let no_ports = Packet::new().with(Field::DstIp, 5u32);
+        assert!(!m.matches(&no_ports));
+    }
+
+    #[test]
+    fn intersect_narrows_prefixes() {
+        let a = Match::on(Field::DstIp, pfx("10.0.0.0/8"));
+        let b = Match::on(Field::DstIp, pfx("10.1.0.0/16"));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.get(Field::DstIp), Some(&pfx("10.1.0.0/16")));
+        let c = Match::on(Field::DstIp, pfx("11.0.0.0/8"));
+        assert!(a.disjoint(&c));
+    }
+
+    #[test]
+    fn intersect_merges_distinct_fields() {
+        let a = Match::on(Field::DstPort, Pattern::Exact(80));
+        let b = Match::on(Field::SrcIp, pfx("0.0.0.0/1"));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.arity(), 2);
+        let pkt = Packet::new()
+            .with(Field::DstPort, 80u16)
+            .with(Field::SrcIp, std::net::Ipv4Addr::new(10, 0, 0, 1));
+        assert!(i.matches(&pkt));
+    }
+
+    #[test]
+    fn subsumption_rules() {
+        let coarse = Match::on(Field::DstIp, pfx("10.0.0.0/8"));
+        let fine = coarse
+            .clone()
+            .and(Field::DstPort, Pattern::Exact(80))
+            .unwrap();
+        assert!(coarse.subsumes(&fine));
+        assert!(!fine.subsumes(&coarse));
+        assert!(Match::any().subsumes(&coarse));
+        assert!(!coarse.subsumes(&Match::any()));
+        assert!(Match::any().subsumes(&Match::any()));
+    }
+
+    #[test]
+    fn exact_ip_and_prefix_interplay() {
+        let exact = Match::on(Field::DstIp, Pattern::Exact(ip("10.0.0.1")));
+        let prefix = Match::on(Field::DstIp, pfx("10.0.0.0/8"));
+        assert_eq!(exact.intersect(&prefix), Some(exact.clone()));
+        assert!(prefix.subsumes(&exact));
+    }
+
+    #[test]
+    fn without_removes_constraint() {
+        let m = Match::on(Field::Port, Pattern::Exact(3));
+        assert!(m.without(Field::Port).is_any());
+    }
+
+    #[test]
+    fn display_renders_field_kinds() {
+        let m = Match::on(Field::DstIp, pfx("10.0.0.0/8"))
+            .and(Field::DstPort, Pattern::Exact(80))
+            .unwrap();
+        let s = m.to_string();
+        assert!(s.contains("dstip=10.0.0.0/8"), "{s}");
+        assert!(s.contains("dstport=80"), "{s}");
+        assert_eq!(Match::any().to_string(), "*");
+    }
+}

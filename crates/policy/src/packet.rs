@@ -1,0 +1,153 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use sdx_ip::MacAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::{Field, Value};
+
+/// A located packet: a map from header fields to raw values.
+///
+/// Following Pyretic, the packet's location is just another field (`Port`),
+/// so policies move packets by modifying it. Fields a packet does not carry
+/// (e.g. transport ports on an ARP frame) are simply absent.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Packet {
+    fields: BTreeMap<Field, u64>,
+}
+
+impl Packet {
+    /// An empty packet with no fields set.
+    pub fn new() -> Self {
+        Packet::default()
+    }
+
+    /// Builder-style field assignment.
+    pub fn with(mut self, field: Field, value: impl Into<Value>) -> Self {
+        self.fields.insert(field, value.into().0);
+        self
+    }
+
+    /// Set a field in place.
+    pub fn set(&mut self, field: Field, value: impl Into<Value>) {
+        self.fields.insert(field, value.into().0);
+    }
+
+    /// The raw value of a field, if present.
+    pub fn get(&self, field: Field) -> Option<u64> {
+        self.fields.get(&field).copied()
+    }
+
+    /// The packet's current location (the `Port` field).
+    pub fn port(&self) -> Option<u32> {
+        self.get(Field::Port).map(|v| v as u32)
+    }
+
+    /// The destination IP, if present.
+    pub fn dst_ip(&self) -> Option<Ipv4Addr> {
+        self.get(Field::DstIp).map(|v| Ipv4Addr::from(v as u32))
+    }
+
+    /// The source IP, if present.
+    pub fn src_ip(&self) -> Option<Ipv4Addr> {
+        self.get(Field::SrcIp).map(|v| Ipv4Addr::from(v as u32))
+    }
+
+    /// The destination MAC, if present.
+    pub fn dst_mac(&self) -> Option<MacAddr> {
+        self.get(Field::DstMac).map(MacAddr::from_u64)
+    }
+
+    /// The source MAC, if present.
+    pub fn src_mac(&self) -> Option<MacAddr> {
+        self.get(Field::SrcMac).map(MacAddr::from_u64)
+    }
+
+    /// Iterate over `(field, raw value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Field, &u64)> {
+        self.fields.iter()
+    }
+
+    /// A conventional IPv4/UDP test packet, convenient in tests and
+    /// simulations.
+    pub fn udp(
+        port: u32,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        Packet::new()
+            .with(Field::Port, port)
+            .with(Field::EthType, 0x0800u16)
+            .with(Field::IpProto, 17u8)
+            .with(Field::SrcIp, src_ip)
+            .with(Field::DstIp, dst_ip)
+            .with(Field::SrcPort, src_port)
+            .with(Field::DstPort, dst_port)
+    }
+
+    /// A conventional IPv4/TCP test packet.
+    pub fn tcp(
+        port: u32,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        Packet::udp(port, src_ip, dst_ip, src_port, dst_port).with(Field::IpProto, 6u8)
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (field, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", field, field.render(*v))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let p = Packet::udp(1, "10.0.0.1".parse().unwrap(), "20.0.0.2".parse().unwrap(), 999, 80);
+        assert_eq!(p.port(), Some(1));
+        assert_eq!(p.src_ip().unwrap().to_string(), "10.0.0.1");
+        assert_eq!(p.dst_ip().unwrap().to_string(), "20.0.0.2");
+        assert_eq!(p.get(Field::DstPort), Some(80));
+        assert_eq!(p.get(Field::IpProto), Some(17));
+        assert_eq!(p.dst_mac(), None);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut p = Packet::new().with(Field::DstPort, 80u16);
+        p.set(Field::DstPort, 443u16);
+        assert_eq!(p.get(Field::DstPort), Some(443));
+    }
+
+    #[test]
+    fn tcp_sets_proto_six() {
+        let p = Packet::tcp(0, Ipv4Addr::LOCALHOST, Ipv4Addr::LOCALHOST, 1, 2);
+        assert_eq!(p.get(Field::IpProto), Some(6));
+    }
+
+    #[test]
+    fn display_shows_rendered_values() {
+        let p = Packet::new()
+            .with(Field::DstIp, Ipv4Addr::new(10, 0, 0, 1))
+            .with(Field::DstMac, MacAddr::from_u64(0x0200_0000_0001));
+        let s = p.to_string();
+        assert!(s.contains("dstip=10.0.0.1"), "{s}");
+        assert!(s.contains("dstmac=02:00:00:00:00:01"), "{s}");
+    }
+}

@@ -1,0 +1,484 @@
+//! A text syntax for policies, matching the paper's notation:
+//!
+//! ```text
+//! (match(dstport=80) >> fwd(101)) + (match(dstport=443) >> fwd(102))
+//! match(srcip=0.0.0.0/1) >> fwd(2)
+//! match(dstip=74.125.1.1) >> mod(dstip=74.125.224.161)
+//! if_(match(port=1), fwd(2), drop)
+//! match(dstport in {80, 443}) >> fwd(101)
+//! ```
+//!
+//! Grammar (precedence low→high: `+`, `>>`, atoms):
+//!
+//! ```text
+//! policy   := seq ( '+' seq )*
+//! seq      := atom ( '>>' atom )*
+//! atom     := '(' policy ')' | 'drop' | 'id'
+//!           | 'fwd' '(' NUM ')'
+//!           | 'mod' '(' FIELD '=' VALUE ')'
+//!           | 'if_' '(' pred ',' policy ',' policy ')'
+//!           | pred
+//! pred     := orpred
+//! orpred   := andpred ( '||' andpred )*
+//! andpred  := notpred ( '&&' notpred )*
+//! notpred  := '!' notpred | '(' pred ')' | 'true' | 'false' | test
+//! test     := 'match' '(' FIELD ('=' VALUE | 'in' '{' VALUE (',' VALUE)* '}') ')'
+//! ```
+//!
+//! Values are integers, dotted-quad IPs, CIDR prefixes (IP fields), or
+//! colon-hex MACs (MAC fields).
+
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use sdx_ip::{MacAddr, Prefix, PrefixSet};
+
+use crate::{Field, Pattern, Policy, Predicate};
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a policy expression.
+pub fn parse_policy(input: &str) -> Result<Policy, ParseError> {
+    let mut p = Parser::new(input);
+    let policy = p.policy()?;
+    p.expect_eof()?;
+    Ok(policy)
+}
+
+/// Parse a predicate expression.
+pub fn parse_predicate(input: &str) -> Result<Predicate, ParseError> {
+    let mut p = Parser::new(input);
+    let pred = p.pred()?;
+    p.expect_eof()?;
+    Ok(pred)
+}
+
+impl FromStr for Policy {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_policy(s)
+    }
+}
+
+impl FromStr for Predicate {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_predicate(s)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {token:?}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos == self.input.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing input"))
+        }
+    }
+
+    /// A run of identifier characters.
+    fn word(&mut self) -> &'a str {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let w = &rest[..end];
+        self.pos += end;
+        w
+    }
+
+    /// A run of value characters (digits, dots, slashes, colons, hex).
+    fn value_token(&mut self) -> &'a str {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_hexdigit() || matches!(c, '.' | '/' | ':')))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let v = &rest[..end];
+        self.pos += end;
+        v
+    }
+
+    fn peek_word(&mut self) -> &'a str {
+        let save = self.pos;
+        let w = self.word();
+        self.pos = save;
+        w
+    }
+
+    // policy := seq ('+' seq)*
+    fn policy(&mut self) -> Result<Policy, ParseError> {
+        let mut branches = vec![self.seq()?];
+        while self.eat("+") {
+            branches.push(self.seq()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Policy::parallel(branches)
+        })
+    }
+
+    // seq := atom ('>>' atom)*
+    fn seq(&mut self) -> Result<Policy, ParseError> {
+        let mut stages = vec![self.atom()?];
+        while self.eat(">>") {
+            stages.push(self.atom()?);
+        }
+        Ok(if stages.len() == 1 {
+            stages.pop().expect("one stage")
+        } else {
+            Policy::sequential(stages)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Policy, ParseError> {
+        self.skip_ws();
+        // A parenthesized policy may also be a parenthesized predicate —
+        // predicates are policies (filters), so `policy()` handles both.
+        if self.rest().starts_with('(') && !self.starts_predicate() {
+            self.expect("(")?;
+            let inner = self.policy()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        match self.peek_word() {
+            "drop" => {
+                self.word();
+                Ok(Policy::drop())
+            }
+            "id" => {
+                self.word();
+                Ok(Policy::id())
+            }
+            "fwd" => {
+                self.word();
+                self.expect("(")?;
+                let port: u32 = self
+                    .value_token()
+                    .parse()
+                    .map_err(|_| self.error("fwd() needs a port number"))?;
+                self.expect(")")?;
+                Ok(Policy::fwd(port))
+            }
+            "mod" => {
+                self.word();
+                self.expect("(")?;
+                let field = self.field()?;
+                self.expect("=")?;
+                let value = self.field_value(field)?;
+                self.expect(")")?;
+                Ok(Policy::Mod(field, value))
+            }
+            "if_" => {
+                self.word();
+                self.expect("(")?;
+                let pred = self.pred()?;
+                self.expect(",")?;
+                let then = self.policy()?;
+                self.expect(",")?;
+                let otherwise = self.policy()?;
+                self.expect(")")?;
+                Ok(Policy::if_then_else(pred, then, otherwise))
+            }
+            _ => Ok(Policy::Filter(self.pred()?)),
+        }
+    }
+
+    /// Does the input at a '(' start a predicate (vs a policy group)? It
+    /// does if, after matching parens, the next operator is boolean.
+    fn starts_predicate(&mut self) -> bool {
+        // Heuristic: find the matching ')' and look at what follows.
+        let rest = self.rest();
+        let mut depth = 0usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let after = rest[i + 1..].trim_start();
+                        return after.starts_with("&&") || after.starts_with("||");
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    // pred := andpred ('||' andpred)*
+    fn pred(&mut self) -> Result<Predicate, ParseError> {
+        let mut acc = self.and_pred()?;
+        while self.eat("||") {
+            acc = acc.or(self.and_pred()?);
+        }
+        Ok(acc)
+    }
+
+    fn and_pred(&mut self) -> Result<Predicate, ParseError> {
+        let mut acc = self.not_pred()?;
+        while self.eat("&&") {
+            acc = acc.and(self.not_pred()?);
+        }
+        Ok(acc)
+    }
+
+    fn not_pred(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat("!") {
+            return Ok(self.not_pred()?.negate());
+        }
+        self.skip_ws();
+        if self.rest().starts_with('(') && self.peek_word().is_empty() {
+            self.expect("(")?;
+            let inner = self.pred()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        match self.peek_word() {
+            "true" => {
+                self.word();
+                Ok(Predicate::True)
+            }
+            "false" => {
+                self.word();
+                Ok(Predicate::False)
+            }
+            "match" => self.match_test(),
+            other => Err(self.error(format!("expected a predicate, found {other:?}"))),
+        }
+    }
+
+    fn match_test(&mut self) -> Result<Predicate, ParseError> {
+        self.expect("match")?;
+        self.expect("(")?;
+        let field = self.field()?;
+        self.skip_ws();
+        let pred = if self.eat("=") {
+            let raw = self.value_token();
+            self.parse_pattern(field, raw)?
+        } else if self.peek_word() == "in" {
+            self.word();
+            self.expect("{")?;
+            let mut members: Vec<&str> = vec![self.value_token()];
+            while self.eat(",") {
+                members.push(self.value_token());
+            }
+            self.expect("}")?;
+            self.set_predicate(field, &members)?
+        } else {
+            return Err(self.error("expected '=' or 'in' in match()"));
+        };
+        self.expect(")")?;
+        Ok(pred)
+    }
+
+    fn field(&mut self) -> Result<Field, ParseError> {
+        let name = self.word();
+        Field::ALL
+            .iter()
+            .find(|f| f.name() == name)
+            .copied()
+            .ok_or_else(|| self.error(format!("unknown field {name:?}")))
+    }
+
+    fn parse_pattern(&mut self, field: Field, raw: &str) -> Result<Predicate, ParseError> {
+        if field.is_ip() && raw.contains('/') {
+            let prefix: Prefix =
+                raw.parse().map_err(|e| self.error(format!("bad prefix {raw:?}: {e}")))?;
+            Ok(Predicate::Test(field, Pattern::from(prefix)))
+        } else {
+            Ok(Predicate::Test(field, Pattern::Exact(self.scalar(field, raw)?)))
+        }
+    }
+
+    fn set_predicate(&mut self, field: Field, members: &[&str]) -> Result<Predicate, ParseError> {
+        if field.is_ip() && members.iter().any(|m| m.contains('/')) {
+            let mut set = PrefixSet::new();
+            for m in members {
+                set.insert(m.parse().map_err(|e| self.error(format!("bad prefix {m:?}: {e}")))?);
+            }
+            Ok(Predicate::in_prefixes(field, set))
+        } else {
+            let values: Result<Vec<u64>, ParseError> =
+                members.iter().map(|m| self.scalar(field, m)).collect();
+            Ok(Predicate::in_set(field, values?))
+        }
+    }
+
+    fn scalar(&mut self, field: Field, raw: &str) -> Result<u64, ParseError> {
+        if field.is_ip() {
+            let ip: Ipv4Addr =
+                raw.parse().map_err(|_| self.error(format!("bad IP {raw:?}")))?;
+            Ok(u32::from(ip) as u64)
+        } else if field.is_mac() {
+            let mac: MacAddr =
+                raw.parse().map_err(|_| self.error(format!("bad MAC {raw:?}")))?;
+            Ok(mac.to_u64())
+        } else {
+            raw.parse().map_err(|_| self.error(format!("bad value {raw:?}")))
+        }
+    }
+
+    fn field_value(&mut self, field: Field) -> Result<u64, ParseError> {
+        let raw = self.value_token();
+        self.scalar(field, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+
+    fn pkt(dport: u16) -> Packet {
+        Packet::udp(
+            1,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            999,
+            dport,
+        )
+    }
+
+    #[test]
+    fn paper_application_specific_peering_parses() {
+        let p: Policy =
+            "(match(dstport=80) >> fwd(101)) + (match(dstport=443) >> fwd(102))"
+                .parse()
+                .unwrap();
+        assert_eq!(p.eval(&pkt(80)).iter().next().unwrap().port(), Some(101));
+        assert_eq!(p.eval(&pkt(443)).iter().next().unwrap().port(), Some(102));
+        assert!(p.eval(&pkt(22)).is_empty());
+    }
+
+    #[test]
+    fn precedence_seq_binds_tighter_than_parallel() {
+        let p: Policy = "match(dstport=80) >> fwd(1) + fwd(2)".parse().unwrap();
+        // = (match >> fwd(1)) + fwd(2): port-22 traffic still reaches 2.
+        assert_eq!(p.eval(&pkt(22)).len(), 1);
+        assert_eq!(p.eval(&pkt(80)).len(), 2);
+    }
+
+    #[test]
+    fn load_balancer_mod_parses() {
+        let p: Policy = "match(dstip=20.0.0.1) >> mod(dstip=74.125.224.161) >> fwd(9)"
+            .parse()
+            .unwrap();
+        let out = p.eval(&pkt(80));
+        assert_eq!(out.iter().next().unwrap().dst_ip().unwrap().to_string(), "74.125.224.161");
+    }
+
+    #[test]
+    fn prefix_and_set_syntax() {
+        let p: Predicate = "match(srcip=10.0.0.0/8)".parse().unwrap();
+        assert!(p.eval(&pkt(80)));
+        let p: Predicate = "match(dstport in {80, 443})".parse().unwrap();
+        assert!(p.eval(&pkt(443)));
+        assert!(!p.eval(&pkt(22)));
+        let p: Predicate = "match(dstip in {20.0.0.0/8, 30.0.0.0/8})".parse().unwrap();
+        assert!(p.eval(&pkt(80)));
+    }
+
+    #[test]
+    fn boolean_operators_and_negation() {
+        let p: Predicate = "match(dstport=80) && !match(srcip=10.0.0.0/8)".parse().unwrap();
+        assert!(!p.eval(&pkt(80)));
+        let p: Predicate = "(match(dstport=80) || match(dstport=443)) && true".parse().unwrap();
+        assert!(p.eval(&pkt(443)));
+    }
+
+    #[test]
+    fn if_and_constants() {
+        let p: Policy = "if_(match(dstport=80), fwd(1), drop)".parse().unwrap();
+        assert_eq!(p.eval(&pkt(80)).len(), 1);
+        assert!(p.eval(&pkt(22)).is_empty());
+        assert_eq!("id".parse::<Policy>().unwrap(), Policy::id());
+        assert_eq!("drop".parse::<Policy>().unwrap(), Policy::drop());
+    }
+
+    #[test]
+    fn mac_values_parse() {
+        let p: Predicate = "match(dstmac=0a:53:00:00:00:01)".parse().unwrap();
+        let k = Packet::new().with(Field::DstMac, MacAddr::vmac(1));
+        assert!(p.eval(&k));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = "match(dstport=80) >> nonsense(1)".parse::<Policy>().unwrap_err();
+        assert!(err.at >= 21, "{err}");
+        assert!("match(bogus=1)".parse::<Policy>().is_err());
+        assert!("fwd(abc)".parse::<Policy>().is_err());
+        assert!("match(dstport=80) extra".parse::<Policy>().is_err());
+        assert!("match(dstport in {})".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a: Policy = "match(dstport=80)>>fwd(1)".parse().unwrap();
+        let b: Policy = "  match( dstport = 80 )  >>  fwd( 1 )  ".parse().unwrap();
+        assert_eq!(a, b);
+    }
+}

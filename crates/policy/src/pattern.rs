@@ -1,0 +1,138 @@
+use std::fmt;
+
+use sdx_ip::Prefix;
+use serde::{Deserialize, Serialize};
+
+use crate::Field;
+
+/// A pattern a single field is tested against: an exact value or (for IP
+/// fields) a CIDR prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Pattern {
+    /// The field must equal this raw value.
+    Exact(u64),
+    /// The field (an IPv4 address) must fall inside this prefix.
+    Prefix(Prefix),
+}
+
+impl Pattern {
+    /// Does a raw field value satisfy the pattern?
+    pub fn matches(&self, value: u64) -> bool {
+        match self {
+            Pattern::Exact(v) => *v == value,
+            Pattern::Prefix(p) => p.contains_addr((value as u32).into()),
+        }
+    }
+
+    /// The set intersection of two patterns on the same field, or `None` if
+    /// no value satisfies both.
+    pub fn intersect(&self, other: &Pattern) -> Option<Pattern> {
+        match (self, other) {
+            (Pattern::Exact(a), Pattern::Exact(b)) => (a == b).then_some(*self),
+            (Pattern::Exact(v), Pattern::Prefix(p)) | (Pattern::Prefix(p), Pattern::Exact(v)) => {
+                p.contains_addr((*v as u32).into()).then_some(Pattern::Exact(*v))
+            }
+            (Pattern::Prefix(a), Pattern::Prefix(b)) => a.intersect(b).map(Pattern::Prefix),
+        }
+    }
+
+    /// Does every value satisfying `other` also satisfy `self`?
+    pub fn subsumes(&self, other: &Pattern) -> bool {
+        match (self, other) {
+            (Pattern::Exact(a), Pattern::Exact(b)) => a == b,
+            (Pattern::Exact(_), Pattern::Prefix(p)) => {
+                // An exact value subsumes a prefix only if the prefix is a
+                // single host that equals the value.
+                p.len() == 32 && self.matches(p.bits() as u64)
+            }
+            (Pattern::Prefix(p), Pattern::Exact(v)) => p.contains_addr((*v as u32).into()),
+            (Pattern::Prefix(a), Pattern::Prefix(b)) => a.contains(b),
+        }
+    }
+
+    /// A prefix pattern normalized: a /32 prefix is the same set as an exact
+    /// value, so canonicalize it for cheap equality.
+    pub fn canonical(self) -> Pattern {
+        match self {
+            Pattern::Prefix(p) if p.len() == 32 => Pattern::Exact(p.bits() as u64),
+            other => other,
+        }
+    }
+
+    /// Render the pattern for a given field kind.
+    pub fn render(&self, field: Field) -> String {
+        match self {
+            Pattern::Exact(v) => field.render(*v),
+            Pattern::Prefix(p) => p.to_string(),
+        }
+    }
+}
+
+impl From<Prefix> for Pattern {
+    fn from(p: Prefix) -> Self {
+        Pattern::Prefix(p).canonical()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Exact(v) => write!(f, "{v}"),
+            Pattern::Prefix(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Pattern {
+        Pattern::Prefix(s.parse().unwrap())
+    }
+
+    fn ip(s: &str) -> u64 {
+        u32::from(s.parse::<std::net::Ipv4Addr>().unwrap()) as u64
+    }
+
+    #[test]
+    fn exact_matching() {
+        assert!(Pattern::Exact(80).matches(80));
+        assert!(!Pattern::Exact(80).matches(443));
+    }
+
+    #[test]
+    fn prefix_matching() {
+        assert!(pfx("10.0.0.0/8").matches(ip("10.1.2.3")));
+        assert!(!pfx("10.0.0.0/8").matches(ip("11.0.0.0")));
+    }
+
+    #[test]
+    fn intersection_table() {
+        assert_eq!(Pattern::Exact(1).intersect(&Pattern::Exact(1)), Some(Pattern::Exact(1)));
+        assert_eq!(Pattern::Exact(1).intersect(&Pattern::Exact(2)), None);
+        assert_eq!(
+            Pattern::Exact(ip("10.0.0.1")).intersect(&pfx("10.0.0.0/8")),
+            Some(Pattern::Exact(ip("10.0.0.1")))
+        );
+        assert_eq!(Pattern::Exact(ip("11.0.0.1")).intersect(&pfx("10.0.0.0/8")), None);
+        assert_eq!(pfx("10.0.0.0/8").intersect(&pfx("10.1.0.0/16")), Some(pfx("10.1.0.0/16")));
+        assert_eq!(pfx("10.0.0.0/8").intersect(&pfx("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn subsumption() {
+        assert!(pfx("10.0.0.0/8").subsumes(&pfx("10.1.0.0/16")));
+        assert!(pfx("10.0.0.0/8").subsumes(&Pattern::Exact(ip("10.9.9.9"))));
+        assert!(!pfx("10.1.0.0/16").subsumes(&pfx("10.0.0.0/8")));
+        assert!(Pattern::Exact(5).subsumes(&Pattern::Exact(5)));
+        assert!(!Pattern::Exact(5).subsumes(&Pattern::Exact(6)));
+        assert!(Pattern::Exact(ip("10.0.0.1")).subsumes(&pfx("10.0.0.1/32")));
+    }
+
+    #[test]
+    fn canonicalization_of_host_prefixes() {
+        assert_eq!(pfx("10.0.0.1/32").canonical(), Pattern::Exact(ip("10.0.0.1")));
+        assert_eq!(pfx("10.0.0.0/8").canonical(), pfx("10.0.0.0/8"));
+    }
+}

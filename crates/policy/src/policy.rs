@@ -1,0 +1,349 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Field, Packet, Predicate, Value};
+
+/// A packet-processing policy: a function from a located packet to a *set* of
+/// located packets (empty set = drop, singleton = forward, larger =
+/// multicast), exactly as in Pyretic and §3.1 of the paper.
+///
+/// Policies compose with `+` (parallel composition: apply both, union the
+/// outputs) and `>>` (sequential composition: feed each output of the first
+/// into the second), mirroring the paper's syntax:
+///
+/// ```
+/// use sdx_policy::{fwd, match_, Field};
+///
+/// let b = 101u32; // port id of participant B's virtual switch
+/// let c = 102u32;
+/// let app_specific_peering =
+///     (match_(Field::DstPort, 80u16) >> fwd(b)) + (match_(Field::DstPort, 443u16) >> fwd(c));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Pass packets matching the predicate unchanged; drop the rest.
+    Filter(Predicate),
+    /// Overwrite one header field.
+    Mod(Field, u64),
+    /// Apply every sub-policy to the packet and union the results.
+    Parallel(Vec<Policy>),
+    /// Thread the packet through the sub-policies left to right.
+    Sequential(Vec<Policy>),
+    /// `if_(pred, then, else)` — Pyretic's conditional.
+    IfThenElse(Predicate, Box<Policy>, Box<Policy>),
+}
+
+impl Policy {
+    /// The identity policy: pass every packet unchanged.
+    pub fn id() -> Policy {
+        Policy::Filter(Predicate::True)
+    }
+
+    /// The drop policy.
+    pub fn drop() -> Policy {
+        Policy::Filter(Predicate::False)
+    }
+
+    /// `fwd(port)` — move the packet to a port (physical or virtual).
+    pub fn fwd(port: u32) -> Policy {
+        Policy::Mod(Field::Port, port as u64)
+    }
+
+    /// `mod(field = value)` — rewrite one header field.
+    pub fn modify(field: Field, value: impl Into<Value>) -> Policy {
+        Policy::Mod(field, value.into().0)
+    }
+
+    /// Pyretic's `if_()` operator: apply `then` to packets matching `pred`
+    /// and `otherwise` to the rest. The SDX runtime uses this to splice each
+    /// participant's policy with its default BGP forwarding policy (§4.1).
+    pub fn if_then_else(pred: Predicate, then: Policy, otherwise: Policy) -> Policy {
+        Policy::IfThenElse(pred, Box::new(then), Box::new(otherwise))
+    }
+
+    /// Parallel composition of many policies. Empty input is `drop` (a
+    /// parallel composition with no branches emits nothing).
+    pub fn parallel(policies: impl IntoIterator<Item = Policy>) -> Policy {
+        let mut v: Vec<Policy> = Vec::new();
+        for p in policies {
+            match p {
+                // Flatten nested parallel compositions.
+                Policy::Parallel(inner) => v.extend(inner),
+                Policy::Filter(Predicate::False) => {} // drop contributes nothing
+                other => v.push(other),
+            }
+        }
+        match v.len() {
+            0 => Policy::drop(),
+            1 => v.pop().unwrap(),
+            _ => Policy::Parallel(v),
+        }
+    }
+
+    /// Sequential composition of many policies. Empty input is `id`.
+    pub fn sequential(policies: impl IntoIterator<Item = Policy>) -> Policy {
+        let mut v: Vec<Policy> = Vec::new();
+        for p in policies {
+            match p {
+                Policy::Sequential(inner) => v.extend(inner),
+                Policy::Filter(Predicate::True) => {} // identity is a no-op
+                other => v.push(other),
+            }
+        }
+        if v.iter().any(|p| matches!(p, Policy::Filter(Predicate::False))) {
+            return Policy::drop();
+        }
+        match v.len() {
+            0 => Policy::id(),
+            1 => v.pop().unwrap(),
+            _ => Policy::Sequential(v),
+        }
+    }
+
+    /// Restrict the policy to packets matching `pred` (prepends a filter).
+    pub fn restrict(self, pred: Predicate) -> Policy {
+        Policy::sequential([Policy::Filter(pred), self])
+    }
+
+    /// Evaluate the policy on a packet, producing the set of output packets.
+    ///
+    /// This is the *specification* the classifier compiler is tested against:
+    /// for every policy `p` and packet `k`,
+    /// `compile(p).evaluate(k) == p.eval(k)`.
+    pub fn eval(&self, pkt: &Packet) -> BTreeSet<Packet> {
+        match self {
+            Policy::Filter(pred) => {
+                if pred.eval(pkt) {
+                    BTreeSet::from([pkt.clone()])
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Policy::Mod(field, value) => {
+                let mut out = pkt.clone();
+                out.set(*field, *value);
+                BTreeSet::from([out])
+            }
+            Policy::Parallel(ps) => ps.iter().flat_map(|p| p.eval(pkt)).collect(),
+            Policy::Sequential(ps) => {
+                let mut current = BTreeSet::from([pkt.clone()]);
+                for p in ps {
+                    current = current.iter().flat_map(|k| p.eval(k)).collect();
+                    if current.is_empty() {
+                        break;
+                    }
+                }
+                current
+            }
+            Policy::IfThenElse(pred, then, otherwise) => {
+                if pred.eval(pkt) {
+                    then.eval(pkt)
+                } else {
+                    otherwise.eval(pkt)
+                }
+            }
+        }
+    }
+
+    /// Structural size (AST nodes), used in compiler statistics.
+    pub fn size(&self) -> usize {
+        match self {
+            Policy::Filter(p) => p.size(),
+            Policy::Mod(..) => 1,
+            Policy::Parallel(ps) | Policy::Sequential(ps) => {
+                1 + ps.iter().map(Policy::size).sum::<usize>()
+            }
+            Policy::IfThenElse(p, a, b) => 1 + p.size() + a.size() + b.size(),
+        }
+    }
+}
+
+/// `p1 + p2` — parallel composition.
+impl std::ops::Add for Policy {
+    type Output = Policy;
+    fn add(self, rhs: Policy) -> Policy {
+        Policy::parallel([self, rhs])
+    }
+}
+
+/// `p1 >> p2` — sequential composition.
+impl std::ops::Shr for Policy {
+    type Output = Policy;
+    fn shr(self, rhs: Policy) -> Policy {
+        Policy::sequential([self, rhs])
+    }
+}
+
+/// A predicate used where a policy is expected acts as a filter, so
+/// `match_(...) >> fwd(B)` works exactly like in the paper.
+impl From<Predicate> for Policy {
+    fn from(pred: Predicate) -> Self {
+        Policy::Filter(pred)
+    }
+}
+
+/// `pred >> policy` — filter then apply.
+impl std::ops::Shr<Policy> for Predicate {
+    type Output = Policy;
+    fn shr(self, rhs: Policy) -> Policy {
+        Policy::sequential([Policy::Filter(self), rhs])
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Filter(p) => write!(f, "{p}"),
+            Policy::Mod(field, v) => {
+                if *field == Field::Port {
+                    write!(f, "fwd({v})")
+                } else {
+                    write!(f, "mod({}={})", field, field.render(*v))
+                }
+            }
+            Policy::Parallel(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Policy::Sequential(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " >> ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Policy::IfThenElse(pred, a, b) => write!(f, "if_({pred}, {a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn pkt(dst_port: u16) -> Packet {
+        Packet::udp(1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 999, dst_port)
+    }
+
+    #[test]
+    fn filter_passes_or_drops() {
+        let p = Policy::Filter(Predicate::test(Field::DstPort, 80u16));
+        assert_eq!(p.eval(&pkt(80)).len(), 1);
+        assert!(p.eval(&pkt(443)).is_empty());
+    }
+
+    #[test]
+    fn modify_rewrites_field() {
+        let p = Policy::modify(Field::DstIp, Ipv4Addr::new(99, 0, 0, 1));
+        let out = p.eval(&pkt(80));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().dst_ip().unwrap().to_string(), "99.0.0.1");
+    }
+
+    #[test]
+    fn fwd_moves_packet() {
+        let out = Policy::fwd(7).eval(&pkt(80));
+        assert_eq!(out.iter().next().unwrap().port(), Some(7));
+    }
+
+    #[test]
+    fn paper_application_specific_peering_example() {
+        // (match(dstport=80) >> fwd(B)) + (match(dstport=443) >> fwd(C))
+        let b = 101u32;
+        let c = 102u32;
+        let policy = (Predicate::test(Field::DstPort, 80u16) >> Policy::fwd(b))
+            + (Predicate::test(Field::DstPort, 443u16) >> Policy::fwd(c));
+        assert_eq!(policy.eval(&pkt(80)).iter().next().unwrap().port(), Some(b));
+        assert_eq!(policy.eval(&pkt(443)).iter().next().unwrap().port(), Some(c));
+        // "If neither of the two policies matches, the packet is dropped."
+        assert!(policy.eval(&pkt(22)).is_empty());
+    }
+
+    #[test]
+    fn parallel_unions_multicast() {
+        let p = Policy::fwd(1) + Policy::fwd(2);
+        assert_eq!(p.eval(&pkt(80)).len(), 2);
+    }
+
+    #[test]
+    fn sequential_threads_modifications() {
+        let p = Policy::modify(Field::DstPort, 443u16)
+            >> Policy::Filter(Predicate::test(Field::DstPort, 443u16));
+        assert_eq!(p.eval(&pkt(80)).len(), 1);
+        let q = Policy::Filter(Predicate::test(Field::DstPort, 443u16))
+            >> Policy::modify(Field::DstPort, 80u16);
+        assert!(q.eval(&pkt(80)).is_empty());
+    }
+
+    #[test]
+    fn if_then_else_branches() {
+        let p = Policy::if_then_else(
+            Predicate::test(Field::DstPort, 80u16),
+            Policy::fwd(1),
+            Policy::fwd(2),
+        );
+        assert_eq!(p.eval(&pkt(80)).iter().next().unwrap().port(), Some(1));
+        assert_eq!(p.eval(&pkt(22)).iter().next().unwrap().port(), Some(2));
+    }
+
+    #[test]
+    fn constructors_simplify() {
+        assert_eq!(Policy::parallel([]), Policy::drop());
+        assert_eq!(Policy::sequential([]), Policy::id());
+        assert_eq!(Policy::parallel([Policy::fwd(1)]), Policy::fwd(1));
+        assert_eq!(
+            Policy::sequential([Policy::id(), Policy::fwd(1), Policy::id()]),
+            Policy::fwd(1)
+        );
+        assert_eq!(
+            Policy::sequential([Policy::fwd(1), Policy::drop()]),
+            Policy::drop()
+        );
+        // Nested compositions flatten.
+        let p = (Policy::fwd(1) + Policy::fwd(2)) + Policy::fwd(3);
+        assert!(matches!(&p, Policy::Parallel(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn drop_in_parallel_is_identity_element() {
+        let p = Policy::parallel([Policy::drop(), Policy::fwd(1)]);
+        assert_eq!(p, Policy::fwd(1));
+    }
+
+    #[test]
+    fn restrict_prepends_filter() {
+        let p = Policy::fwd(1).restrict(Predicate::test(Field::DstPort, 80u16));
+        assert_eq!(p.eval(&pkt(80)).len(), 1);
+        assert!(p.eval(&pkt(443)).is_empty());
+    }
+
+    #[test]
+    fn multicast_through_sequential() {
+        // Two copies, each then modified.
+        let p = (Policy::fwd(1) + Policy::fwd(2)) >> Policy::modify(Field::DstPort, 53u16);
+        let out = p.eval(&pkt(80));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|k| k.get(Field::DstPort) == Some(53)));
+    }
+
+    #[test]
+    fn display_reads_like_the_paper() {
+        let policy = (Predicate::test(Field::DstPort, 80u16) >> Policy::fwd(101))
+            + (Predicate::test(Field::DstPort, 443u16) >> Policy::fwd(102));
+        let s = policy.to_string();
+        assert!(s.contains("match(dstport=80) >> fwd(101)"), "{s}");
+        assert!(s.contains("+"), "{s}");
+    }
+}

@@ -1,0 +1,301 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use sdx_ip::PrefixSet;
+use serde::{Deserialize, Serialize};
+
+use crate::{Field, Packet, Pattern, Value};
+
+/// A boolean predicate over packets — the `match(...)` half of the paper's
+/// policy language, closed under conjunction, disjunction, and negation.
+///
+/// `InSet` and `InPrefixes` are first-class (rather than desugared into huge
+/// `Or` chains) because the SDX's BGP-consistency transformation inserts
+/// filters over thousands of destination prefixes; keeping them atomic lets
+/// the compiler emit one classifier rule per member instead of taking a
+/// quadratic product.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Matches every packet.
+    True,
+    /// Matches no packet.
+    False,
+    /// The field must satisfy the pattern.
+    Test(Field, Pattern),
+    /// The field must equal one of the listed raw values.
+    InSet(Field, BTreeSet<u64>),
+    /// The field (an IP) must fall in one of the prefixes.
+    InPrefixes(Field, PrefixSet),
+    /// Both sub-predicates must hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// At least one sub-predicate must hold.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate must not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `match(field = value)` — test a field against an exact value.
+    pub fn test(field: Field, value: impl Into<Value>) -> Predicate {
+        Predicate::Test(field, Pattern::Exact(value.into().0))
+    }
+
+    /// Test an IP field against a CIDR prefix.
+    pub fn test_prefix(field: Field, prefix: sdx_ip::Prefix) -> Predicate {
+        Predicate::Test(field, Pattern::from(prefix))
+    }
+
+    /// Test an IP field against a set of prefixes (matches if any covers it).
+    /// An empty set is `False`.
+    pub fn in_prefixes(field: Field, prefixes: PrefixSet) -> Predicate {
+        if prefixes.is_empty() {
+            Predicate::False
+        } else {
+            Predicate::InPrefixes(field, prefixes)
+        }
+    }
+
+    /// Test a field against a set of exact values. An empty set is `False`.
+    pub fn in_set(field: Field, values: impl IntoIterator<Item = u64>) -> Predicate {
+        let set: BTreeSet<u64> = values.into_iter().collect();
+        if set.is_empty() {
+            Predicate::False
+        } else {
+            Predicate::InSet(field, set)
+        }
+    }
+
+    /// Conjunction, with shallow simplification.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::False, _) | (_, Predicate::False) => Predicate::False,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction, with shallow simplification.
+    pub fn or(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, _) | (_, Predicate::True) => Predicate::True,
+            (Predicate::False, p) | (p, Predicate::False) => p,
+            (a, b) => Predicate::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Negation, with double-negation elimination.
+    pub fn negate(self) -> Predicate {
+        match self {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            Predicate::Not(inner) => *inner,
+            p => Predicate::Not(Box::new(p)),
+        }
+    }
+
+    /// Disjunction of many predicates. An empty iterator is `False`.
+    pub fn any_of(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        preds
+            .into_iter()
+            .fold(Predicate::False, |acc, p| acc.or(p))
+    }
+
+    /// Conjunction of many predicates. An empty iterator is `True`.
+    pub fn all_of(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        preds.into_iter().fold(Predicate::True, |acc, p| acc.and(p))
+    }
+
+    /// Evaluate against a packet. A `Test` on a missing field is false (a
+    /// packet without the header cannot satisfy a constraint on it), and its
+    /// negation is therefore true.
+    pub fn eval(&self, pkt: &Packet) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Test(f, pat) => pkt.get(*f).map(|v| pat.matches(v)).unwrap_or(false),
+            Predicate::InSet(f, set) => pkt.get(*f).map(|v| set.contains(&v)).unwrap_or(false),
+            Predicate::InPrefixes(f, set) => pkt
+                .get(*f)
+                .map(|v| set.covers_addr((v as u32).into()))
+                .unwrap_or(false),
+            Predicate::And(a, b) => a.eval(pkt) && b.eval(pkt),
+            Predicate::Or(a, b) => a.eval(pkt) || b.eval(pkt),
+            Predicate::Not(p) => !p.eval(pkt),
+        }
+    }
+
+    /// Is the predicate negation-free?
+    ///
+    /// Positive predicates compile to classifiers whose drop rules are pure
+    /// residue (every packet they capture genuinely fails the predicate),
+    /// which lets the SDX stack clause rule-lists by priority. The SDX
+    /// controller therefore requires participant clause matches to be
+    /// positive.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Predicate::True
+            | Predicate::False
+            | Predicate::Test(..)
+            | Predicate::InSet(..)
+            | Predicate::InPrefixes(..) => true,
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.is_positive() && b.is_positive(),
+            Predicate::Not(_) => false,
+        }
+    }
+
+    /// Structural size (number of AST nodes), used by compiler heuristics and
+    /// the memoization statistics.
+    pub fn size(&self) -> usize {
+        match self {
+            Predicate::True | Predicate::False | Predicate::Test(..) => 1,
+            Predicate::InSet(_, s) => 1 + s.len(),
+            Predicate::InPrefixes(_, s) => 1 + s.len(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => 1 + a.size() + b.size(),
+            Predicate::Not(p) => 1 + p.size(),
+        }
+    }
+}
+
+impl std::ops::BitAnd for Predicate {
+    type Output = Predicate;
+    fn bitand(self, rhs: Predicate) -> Predicate {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for Predicate {
+    type Output = Predicate;
+    fn bitor(self, rhs: Predicate) -> Predicate {
+        self.or(rhs)
+    }
+}
+
+impl std::ops::Not for Predicate {
+    type Output = Predicate;
+    fn not(self) -> Predicate {
+        self.negate()
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Test(field, pat) => {
+                write!(f, "match({}={})", field, pat.render(*field))
+            }
+            Predicate::InSet(field, set) => {
+                if set.len() <= 8 {
+                    write!(f, "match({} in {{", field)?;
+                    for (i, v) in set.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", field.render(*v))?;
+                    }
+                    write!(f, "}})")
+                } else {
+                    write!(f, "match({} in {{{} values}})", field, set.len())
+                }
+            }
+            Predicate::InPrefixes(field, set) => {
+                if set.len() <= 8 {
+                    write!(f, "match({} in {{", field)?;
+                    for (i, p) in set.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, "}})")
+                } else {
+                    write!(f, "match({} in {{{} prefixes}})", field, set.len())
+                }
+            }
+            Predicate::And(a, b) => write!(f, "({a} && {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} || {b})"),
+            Predicate::Not(p) => write!(f, "!{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn pkt80() -> Packet {
+        Packet::udp(1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 1234, 80)
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Predicate::True.eval(&pkt80()));
+        assert!(!Predicate::False.eval(&pkt80()));
+    }
+
+    #[test]
+    fn test_field() {
+        assert!(Predicate::test(Field::DstPort, 80u16).eval(&pkt80()));
+        assert!(!Predicate::test(Field::DstPort, 443u16).eval(&pkt80()));
+    }
+
+    #[test]
+    fn missing_field_is_false_and_negation_true() {
+        let arp = Packet::new().with(Field::EthType, 0x0806u16);
+        let p = Predicate::test(Field::DstPort, 80u16);
+        assert!(!p.eval(&arp));
+        assert!(p.negate().eval(&arp));
+    }
+
+    #[test]
+    fn prefix_and_set_predicates() {
+        let pred = Predicate::test_prefix(Field::SrcIp, "10.0.0.0/8".parse().unwrap());
+        assert!(pred.eval(&pkt80()));
+        let in_set = Predicate::in_set(Field::DstPort, [80u64, 443]);
+        assert!(in_set.eval(&pkt80()));
+        let prefixes: PrefixSet = ["20.0.0.0/8".parse().unwrap()].into_iter().collect();
+        assert!(Predicate::in_prefixes(Field::DstIp, prefixes).eval(&pkt80()));
+        assert_eq!(Predicate::in_prefixes(Field::DstIp, PrefixSet::new()), Predicate::False);
+        assert_eq!(Predicate::in_set(Field::DstPort, []), Predicate::False);
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let t = Predicate::test(Field::DstPort, 80u16);
+        let f = Predicate::test(Field::DstPort, 443u16);
+        assert!((t.clone() & Predicate::True).eval(&pkt80()));
+        assert!((f.clone() | t.clone()).eval(&pkt80()));
+        assert!((!f.clone()).eval(&pkt80()));
+        assert!(!(t.clone() & f).eval(&pkt80()));
+    }
+
+    #[test]
+    fn simplification() {
+        let t = Predicate::test(Field::DstPort, 80u16);
+        assert_eq!(t.clone().and(Predicate::True), t);
+        assert_eq!(t.clone().and(Predicate::False), Predicate::False);
+        assert_eq!(t.clone().or(Predicate::False), t);
+        assert_eq!(t.clone().or(Predicate::True), Predicate::True);
+        assert_eq!(t.clone().negate().negate(), t);
+    }
+
+    #[test]
+    fn any_of_all_of() {
+        assert_eq!(Predicate::any_of([]), Predicate::False);
+        assert_eq!(Predicate::all_of([]), Predicate::True);
+        let p = Predicate::any_of([
+            Predicate::test(Field::DstPort, 443u16),
+            Predicate::test(Field::DstPort, 80u16),
+        ]);
+        assert!(p.eval(&pkt80()));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let p = Predicate::test(Field::DstPort, 80u16).and(Predicate::test(Field::SrcPort, 1u16));
+        assert_eq!(p.size(), 3);
+        assert_eq!(Predicate::in_set(Field::DstPort, [1, 2, 3]).size(), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! ARP modelling: requests, replies, and the SDX controller's ARP responder
+//! that answers queries for virtual next-hop (VNH) addresses with the
+//! corresponding virtual MAC (VMAC) tag (§4.2, §5.1 of the paper).
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use sdx_ip::MacAddr;
+use sdx_policy::{Field, Packet};
+
+/// EtherType for ARP frames.
+pub const ETHTYPE_ARP: u16 = 0x0806;
+/// EtherType for IPv4 frames.
+pub const ETHTYPE_IPV4: u16 = 0x0800;
+
+/// An ARP request ("who has `target_ip`? tell `sender`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRequest {
+    /// Requester's MAC.
+    pub sender_mac: MacAddr,
+    /// Requester's IP.
+    pub sender_ip: Ipv4Addr,
+    /// Address being resolved.
+    pub target_ip: Ipv4Addr,
+}
+
+/// An ARP reply ("`sender_ip` is at `sender_mac`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpReply {
+    /// Resolved MAC.
+    pub sender_mac: MacAddr,
+    /// Resolved IP.
+    pub sender_ip: Ipv4Addr,
+    /// Original requester's MAC (unicast destination of the reply).
+    pub target_mac: MacAddr,
+    /// Original requester's IP.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpRequest {
+    /// Render the request as a located packet (broadcast frame) entering the
+    /// fabric on `port`, so flow rules can match/flood it.
+    pub fn to_packet(&self, port: u32) -> Packet {
+        Packet::new()
+            .with(Field::Port, port)
+            .with(Field::EthType, ETHTYPE_ARP)
+            .with(Field::SrcMac, self.sender_mac)
+            .with(Field::DstMac, MacAddr::BROADCAST)
+            .with(Field::SrcIp, self.sender_ip)
+            .with(Field::DstIp, self.target_ip)
+    }
+}
+
+/// The SDX ARP responder: a table from IP (notably each VNH) to MAC
+/// (the VMAC tag standing for a forwarding equivalence class).
+#[derive(Debug, Clone, Default)]
+pub struct ArpResponder {
+    bindings: BTreeMap<Ipv4Addr, MacAddr>,
+}
+
+impl ArpResponder {
+    /// An empty responder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind an IP to a MAC (insert or update).
+    pub fn bind(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.bindings.insert(ip, mac);
+    }
+
+    /// Remove a binding.
+    pub fn unbind(&mut self, ip: &Ipv4Addr) -> Option<MacAddr> {
+        self.bindings.remove(ip)
+    }
+
+    /// Resolve an IP without generating a reply.
+    pub fn resolve(&self, ip: &Ipv4Addr) -> Option<MacAddr> {
+        self.bindings.get(ip).copied()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the responder has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Answer an ARP request, if the target is known.
+    pub fn respond(&self, req: &ArpRequest) -> Option<ArpReply> {
+        let mac = self.resolve(&req.target_ip)?;
+        Some(ArpReply {
+            sender_mac: mac,
+            sender_ip: req.target_ip,
+            target_mac: req.sender_mac,
+            target_ip: req.sender_ip,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> ArpRequest {
+        ArpRequest {
+            sender_mac: MacAddr::from_u64(0xaa),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_ip: Ipv4Addr::new(172, 16, 0, 5),
+        }
+    }
+
+    #[test]
+    fn responds_for_known_binding() {
+        let mut arp = ArpResponder::new();
+        let vmac = MacAddr::vmac(5);
+        arp.bind(Ipv4Addr::new(172, 16, 0, 5), vmac);
+        let reply = arp.respond(&req()).unwrap();
+        assert_eq!(reply.sender_mac, vmac);
+        assert_eq!(reply.sender_ip, Ipv4Addr::new(172, 16, 0, 5));
+        assert_eq!(reply.target_mac, MacAddr::from_u64(0xaa));
+    }
+
+    #[test]
+    fn silent_for_unknown_target() {
+        let arp = ArpResponder::new();
+        assert!(arp.respond(&req()).is_none());
+    }
+
+    #[test]
+    fn rebind_updates() {
+        let mut arp = ArpResponder::new();
+        let ip = Ipv4Addr::new(172, 16, 0, 5);
+        arp.bind(ip, MacAddr::vmac(1));
+        arp.bind(ip, MacAddr::vmac(2));
+        assert_eq!(arp.resolve(&ip), Some(MacAddr::vmac(2)));
+        assert_eq!(arp.len(), 1);
+        assert_eq!(arp.unbind(&ip), Some(MacAddr::vmac(2)));
+        assert!(arp.is_empty());
+    }
+
+    #[test]
+    fn request_packet_is_broadcast_arp() {
+        let pkt = req().to_packet(3);
+        assert_eq!(pkt.get(Field::EthType), Some(ETHTYPE_ARP as u64));
+        assert_eq!(pkt.dst_mac(), Some(MacAddr::BROADCAST));
+        assert_eq!(pkt.port(), Some(3));
+    }
+}

@@ -1,0 +1,331 @@
+//! Byte-level frame codec: Ethernet II, ARP, IPv4, TCP and UDP headers.
+//!
+//! The policy layer works on header-field maps ([`Packet`]); this module
+//! converts those located packets to and from real wire bytes, so the
+//! software data plane can ingest pcap-style frames and emit frames a real
+//! NIC would accept. IPv4 header checksums are generated and validated.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sdx_ip::MacAddr;
+use sdx_policy::{Field, Packet};
+
+use crate::arp::{ETHTYPE_ARP, ETHTYPE_IPV4};
+
+/// Frame encoding/decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A header field required for this frame type is missing.
+    MissingField(Field),
+    /// The bytes are shorter than the headers claim.
+    Truncated,
+    /// The EtherType is not one this codec understands.
+    UnsupportedEtherType(u16),
+    /// The IP protocol is not TCP or UDP.
+    UnsupportedProtocol(u8),
+    /// The IPv4 header checksum does not verify.
+    BadChecksum,
+    /// The IPv4 header had an unsupported version or length.
+    BadIpHeader,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::MissingField(field) => write!(f, "missing field {field}"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::UnsupportedEtherType(t) => write!(f, "unsupported ethertype {t:#06x}"),
+            FrameError::UnsupportedProtocol(p) => write!(f, "unsupported ip protocol {p}"),
+            FrameError::BadChecksum => write!(f, "bad IPv4 header checksum"),
+            FrameError::BadIpHeader => write!(f, "bad IPv4 header"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn need(pkt: &Packet, field: Field) -> Result<u64, FrameError> {
+    pkt.get(field).ok_or(FrameError::MissingField(field))
+}
+
+/// RFC 1071 Internet checksum over a header.
+fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Encode a located packet (plus payload) as an Ethernet frame.
+///
+/// Supports ARP frames (fields: MACs + Src/DstIp) and IPv4 with TCP or UDP
+/// (fields: MACs, IPs, IpProto, ports). The `Port` location field is not
+/// encoded — it exists only inside the fabric.
+pub fn encode_frame(pkt: &Packet, payload: &[u8]) -> Result<Bytes, FrameError> {
+    let dst_mac = MacAddr::from_u64(need(pkt, Field::DstMac)?);
+    let src_mac = MacAddr::from_u64(need(pkt, Field::SrcMac)?);
+    let ethtype = need(pkt, Field::EthType)? as u16;
+
+    let mut out = BytesMut::with_capacity(64 + payload.len());
+    out.put_slice(&dst_mac.0);
+    out.put_slice(&src_mac.0);
+    out.put_u16(ethtype);
+
+    match ethtype {
+        ETHTYPE_ARP => {
+            // Hardware type Ethernet, protocol IPv4, request opcode.
+            out.put_u16(1);
+            out.put_u16(ETHTYPE_IPV4);
+            out.put_u8(6);
+            out.put_u8(4);
+            out.put_u16(1); // opcode: request (replies are modeled in-process)
+            out.put_slice(&src_mac.0);
+            out.put_u32(need(pkt, Field::SrcIp)? as u32);
+            out.put_slice(&[0u8; 6]); // target MAC unknown
+            out.put_u32(need(pkt, Field::DstIp)? as u32);
+        }
+        ETHTYPE_IPV4 => {
+            let proto = need(pkt, Field::IpProto)? as u8;
+            let transport_len = match proto {
+                6 => 20,
+                17 => 8,
+                other => return Err(FrameError::UnsupportedProtocol(other)),
+            };
+            let total_len = 20 + transport_len + payload.len();
+
+            let mut ip = BytesMut::with_capacity(20);
+            ip.put_u8(0x45); // version 4, IHL 5
+            ip.put_u8(0); // DSCP/ECN
+            ip.put_u16(total_len as u16);
+            ip.put_u32(0); // id, flags, fragment offset
+            ip.put_u8(64); // TTL
+            ip.put_u8(proto);
+            ip.put_u16(0); // checksum placeholder
+            ip.put_u32(need(pkt, Field::SrcIp)? as u32);
+            ip.put_u32(need(pkt, Field::DstIp)? as u32);
+            let csum = internet_checksum(&ip);
+            ip[10..12].copy_from_slice(&csum.to_be_bytes());
+            out.put_slice(&ip);
+
+            let src_port = need(pkt, Field::SrcPort)? as u16;
+            let dst_port = need(pkt, Field::DstPort)? as u16;
+            match proto {
+                17 => {
+                    out.put_u16(src_port);
+                    out.put_u16(dst_port);
+                    out.put_u16((8 + payload.len()) as u16);
+                    out.put_u16(0); // UDP checksum optional over IPv4
+                }
+                6 => {
+                    out.put_u16(src_port);
+                    out.put_u16(dst_port);
+                    out.put_u32(0); // seq
+                    out.put_u32(0); // ack
+                    out.put_u8(5 << 4); // data offset 5 words
+                    out.put_u8(0x18); // PSH|ACK
+                    out.put_u16(0xffff); // window
+                    out.put_u16(0); // checksum (not computed; see docs)
+                    out.put_u16(0); // urgent
+                }
+                _ => unreachable!("validated above"),
+            }
+            out.put_slice(payload);
+        }
+        other => return Err(FrameError::UnsupportedEtherType(other)),
+    }
+    Ok(out.freeze())
+}
+
+/// Decode an Ethernet frame into a located packet (without a `Port`; the
+/// caller sets the ingress) and its payload bytes.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Packet, Bytes), FrameError> {
+    if bytes.len() < 14 {
+        return Err(FrameError::Truncated);
+    }
+    let mut buf = bytes;
+    let mut dst = [0u8; 6];
+    let mut src = [0u8; 6];
+    buf.copy_to_slice(&mut dst);
+    buf.copy_to_slice(&mut src);
+    let ethtype = buf.get_u16();
+
+    let mut pkt = Packet::new()
+        .with(Field::DstMac, MacAddr(dst))
+        .with(Field::SrcMac, MacAddr(src))
+        .with(Field::EthType, ethtype);
+
+    match ethtype {
+        ETHTYPE_ARP => {
+            if buf.len() < 28 {
+                return Err(FrameError::Truncated);
+            }
+            buf.advance(8); // htype/ptype/hlen/plen/opcode — fixed by encoder
+            buf.advance(6); // sender MAC (already in the Ethernet header)
+            let sender_ip = buf.get_u32();
+            buf.advance(6); // target MAC
+            let target_ip = buf.get_u32();
+            pkt.set(Field::SrcIp, sender_ip);
+            pkt.set(Field::DstIp, target_ip);
+            Ok((pkt, Bytes::new()))
+        }
+        ETHTYPE_IPV4 => {
+            if buf.len() < 20 {
+                return Err(FrameError::Truncated);
+            }
+            let vihl = buf[0];
+            if vihl >> 4 != 4 {
+                return Err(FrameError::BadIpHeader);
+            }
+            let ihl = ((vihl & 0x0f) as usize) * 4;
+            if ihl < 20 || buf.len() < ihl {
+                return Err(FrameError::BadIpHeader);
+            }
+            if internet_checksum(&buf[..ihl]) != 0 {
+                return Err(FrameError::BadChecksum);
+            }
+            let total_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+            if total_len < ihl || buf.len() < total_len {
+                return Err(FrameError::Truncated);
+            }
+            let proto = buf[9];
+            let src_ip = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
+            let dst_ip = u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]);
+            pkt.set(Field::IpProto, proto);
+            pkt.set(Field::SrcIp, src_ip);
+            pkt.set(Field::DstIp, dst_ip);
+
+            let mut transport = &buf[ihl..total_len];
+            let header_len = match proto {
+                17 => 8,
+                6 => {
+                    if transport.len() < 20 {
+                        return Err(FrameError::Truncated);
+                    }
+                    (((transport[12] >> 4) as usize) * 4).max(20)
+                }
+                other => return Err(FrameError::UnsupportedProtocol(other)),
+            };
+            if transport.len() < header_len {
+                return Err(FrameError::Truncated);
+            }
+            pkt.set(Field::SrcPort, transport.get_u16());
+            pkt.set(Field::DstPort, transport.get_u16());
+            let payload = &bytes[14 + ihl + header_len..14 + total_len];
+            Ok((pkt, Bytes::copy_from_slice(payload)))
+        }
+        other => Err(FrameError::UnsupportedEtherType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn udp_packet() -> Packet {
+        Packet::udp(
+            1,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 2),
+            4242,
+            53,
+        )
+        .with(Field::SrcMac, MacAddr::from_u64(0xa1))
+        .with(Field::DstMac, MacAddr::from_u64(0xb2))
+    }
+
+    #[test]
+    fn udp_round_trip_with_payload() {
+        let pkt = udp_packet();
+        let wire = encode_frame(&pkt, b"hello sdx").unwrap();
+        let (decoded, payload) = decode_frame(&wire).unwrap();
+        assert_eq!(payload.as_ref(), b"hello sdx");
+        for field in [
+            Field::SrcMac,
+            Field::DstMac,
+            Field::EthType,
+            Field::IpProto,
+            Field::SrcIp,
+            Field::DstIp,
+            Field::SrcPort,
+            Field::DstPort,
+        ] {
+            assert_eq!(decoded.get(field), pkt.get(field), "{field}");
+        }
+        // The location field is never on the wire.
+        assert_eq!(decoded.get(Field::Port), None);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let pkt = udp_packet().with(Field::IpProto, 6u8);
+        let wire = encode_frame(&pkt, b"GET /").unwrap();
+        let (decoded, payload) = decode_frame(&wire).unwrap();
+        assert_eq!(decoded.get(Field::IpProto), Some(6));
+        assert_eq!(decoded.get(Field::DstPort), Some(53));
+        assert_eq!(payload.as_ref(), b"GET /");
+    }
+
+    #[test]
+    fn arp_round_trip() {
+        let pkt = Packet::new()
+            .with(Field::EthType, ETHTYPE_ARP)
+            .with(Field::SrcMac, MacAddr::from_u64(0xa1))
+            .with(Field::DstMac, MacAddr::BROADCAST)
+            .with(Field::SrcIp, Ipv4Addr::new(172, 0, 0, 1))
+            .with(Field::DstIp, Ipv4Addr::new(172, 16, 0, 5));
+        let wire = encode_frame(&pkt, &[]).unwrap();
+        let (decoded, _) = decode_frame(&wire).unwrap();
+        assert_eq!(decoded.dst_ip(), Some(Ipv4Addr::new(172, 16, 0, 5)));
+        assert_eq!(decoded.src_ip(), Some(Ipv4Addr::new(172, 0, 0, 1)));
+        assert_eq!(decoded.dst_mac(), Some(MacAddr::BROADCAST));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let pkt = Packet::new().with(Field::EthType, ETHTYPE_IPV4);
+        assert!(matches!(
+            encode_frame(&pkt, &[]),
+            Err(FrameError::MissingField(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let wire = encode_frame(&udp_packet(), b"x").unwrap();
+        let mut bad = wire.to_vec();
+        bad[14 + 12] ^= 0xff; // flip a source-IP byte: checksum now wrong
+        assert_eq!(decode_frame(&bad).unwrap_err(), FrameError::BadChecksum);
+    }
+
+    #[test]
+    fn truncation_rejected_not_panicking() {
+        let wire = encode_frame(&udp_packet(), b"payload").unwrap();
+        for cut in 0..wire.len() {
+            let _ = decode_frame(&wire[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn unsupported_ethertype_rejected() {
+        let pkt = udp_packet().with(Field::EthType, 0x86ddu16); // IPv6
+        assert_eq!(
+            encode_frame(&pkt, &[]).unwrap_err(),
+            FrameError::UnsupportedEtherType(0x86dd)
+        );
+    }
+
+    #[test]
+    fn checksum_is_valid_per_rfc1071() {
+        let wire = encode_frame(&udp_packet(), &[]).unwrap();
+        // Recomputing over the IP header (bytes 14..34) must give zero.
+        assert_eq!(internet_checksum(&wire[14..34]), 0);
+    }
+}

@@ -1,0 +1,537 @@
+//! OpenFlow 1.0 southbound codec: serialize compiled flow rules as
+//! `OFPT_FLOW_MOD` messages a real switch accepts — the paper's controller
+//! ultimately "translates the SDX policy into forwarding rules … on
+//! OpenFlow switches". Covers the match fields and actions the SDX
+//! generates (in-port, MACs, EtherType, IPs with CIDR wildcarding, IP
+//! protocol, transport ports; set-field and output actions), with a decoder
+//! for round-trip testing.
+
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sdx_ip::MacAddr;
+use sdx_policy::{Action, Field, Match, Pattern};
+
+use crate::{FlowRule, FlowTable};
+
+/// OpenFlow protocol version 1.0.
+pub const OFP_VERSION: u8 = 0x01;
+/// OFPT_FLOW_MOD message type.
+pub const OFPT_FLOW_MOD: u8 = 14;
+/// OFPFC_ADD command.
+pub const OFPFC_ADD: u16 = 0;
+/// Maximum valid physical port number in OpenFlow 1.0.
+pub const OFPP_MAX: u16 = 0xff00;
+
+mod wildcard {
+    pub const IN_PORT: u32 = 1 << 0;
+    pub const DL_VLAN: u32 = 1 << 1;
+    pub const DL_SRC: u32 = 1 << 2;
+    pub const DL_DST: u32 = 1 << 3;
+    pub const DL_TYPE: u32 = 1 << 4;
+    pub const NW_PROTO: u32 = 1 << 5;
+    pub const TP_SRC: u32 = 1 << 6;
+    pub const TP_DST: u32 = 1 << 7;
+    pub const NW_SRC_SHIFT: u32 = 8;
+    pub const NW_DST_SHIFT: u32 = 14;
+    pub const DL_VLAN_PCP: u32 = 1 << 20;
+    pub const NW_TOS: u32 = 1 << 21;
+    /// Everything the SDX never constrains.
+    pub const ALWAYS: u32 = DL_VLAN | DL_VLAN_PCP | NW_TOS;
+}
+
+mod action_type {
+    pub const OUTPUT: u16 = 0;
+    pub const SET_DL_SRC: u16 = 4;
+    pub const SET_DL_DST: u16 = 5;
+    pub const SET_NW_SRC: u16 = 6;
+    pub const SET_NW_DST: u16 = 7;
+    pub const SET_TP_SRC: u16 = 9;
+    pub const SET_TP_DST: u16 = 10;
+}
+
+/// Conversion failures: the rule uses something OpenFlow 1.0 cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowModError {
+    /// A port number exceeds the 16-bit OpenFlow 1.0 port space (virtual
+    /// ports never reach the wire; only composed physical-port rules do).
+    PortOutOfRange(u64),
+    /// A priority exceeds 16 bits.
+    PriorityOutOfRange(u32),
+    /// An action assigns a field OpenFlow 1.0 has no setter for.
+    UnsupportedSetField(Field),
+    /// An action has no output port.
+    MissingOutput,
+    /// Multicast actions with differing assignment sets would leak
+    /// set-field state between outputs on a 1.0 switch.
+    UnsupportedMulticast,
+    /// Decoder: malformed message.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FlowModError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowModError::PortOutOfRange(p) => write!(f, "port {p} exceeds OpenFlow 1.0 range"),
+            FlowModError::PriorityOutOfRange(p) => write!(f, "priority {p} exceeds 16 bits"),
+            FlowModError::UnsupportedSetField(field) => {
+                write!(f, "OpenFlow 1.0 cannot set field {field}")
+            }
+            FlowModError::MissingOutput => write!(f, "action has no output port"),
+            FlowModError::UnsupportedMulticast => {
+                write!(f, "multicast actions assign different field sets")
+            }
+            FlowModError::Malformed(what) => write!(f, "malformed flow mod: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowModError {}
+
+fn port16(v: u64) -> Result<u16, FlowModError> {
+    let p = u16::try_from(v).map_err(|_| FlowModError::PortOutOfRange(v))?;
+    if p > OFPP_MAX {
+        return Err(FlowModError::PortOutOfRange(v));
+    }
+    Ok(p)
+}
+
+/// Serialize one rule as an `OFPT_FLOW_MOD` (ADD).
+pub fn encode_flow_mod(rule: &FlowRule, xid: u32) -> Result<Bytes, FlowModError> {
+    let priority =
+        u16::try_from(rule.priority).map_err(|_| FlowModError::PriorityOutOfRange(rule.priority))?;
+
+    // ---- ofp_match --------------------------------------------------------
+    let mut wildcards = wildcard::ALWAYS
+        | wildcard::IN_PORT
+        | wildcard::DL_SRC
+        | wildcard::DL_DST
+        | wildcard::DL_TYPE
+        | wildcard::NW_PROTO
+        | wildcard::TP_SRC
+        | wildcard::TP_DST
+        | (32 << wildcard::NW_SRC_SHIFT)
+        | (32 << wildcard::NW_DST_SHIFT);
+    let mut in_port = 0u16;
+    let mut dl_src = [0u8; 6];
+    let mut dl_dst = [0u8; 6];
+    let mut dl_type = 0u16;
+    let mut nw_proto = 0u8;
+    let mut nw_src = 0u32;
+    let mut nw_dst = 0u32;
+    let mut tp_src = 0u16;
+    let mut tp_dst = 0u16;
+
+    for (field, pattern) in rule.match_.iter() {
+        match (field, pattern) {
+            (Field::Port, Pattern::Exact(v)) => {
+                in_port = port16(*v)?;
+                wildcards &= !wildcard::IN_PORT;
+            }
+            (Field::SrcMac, Pattern::Exact(v)) => {
+                dl_src = MacAddr::from_u64(*v).0;
+                wildcards &= !wildcard::DL_SRC;
+            }
+            (Field::DstMac, Pattern::Exact(v)) => {
+                dl_dst = MacAddr::from_u64(*v).0;
+                wildcards &= !wildcard::DL_DST;
+            }
+            (Field::EthType, Pattern::Exact(v)) => {
+                dl_type = *v as u16;
+                wildcards &= !wildcard::DL_TYPE;
+            }
+            (Field::IpProto, Pattern::Exact(v)) => {
+                nw_proto = *v as u8;
+                wildcards &= !wildcard::NW_PROTO;
+            }
+            (Field::SrcPort, Pattern::Exact(v)) => {
+                tp_src = *v as u16;
+                wildcards &= !wildcard::TP_SRC;
+            }
+            (Field::DstPort, Pattern::Exact(v)) => {
+                tp_dst = *v as u16;
+                wildcards &= !wildcard::TP_DST;
+            }
+            (Field::SrcIp, pat) => {
+                let (bits, len) = ip_pattern(pat);
+                nw_src = bits;
+                wildcards &= !(0x3f << wildcard::NW_SRC_SHIFT);
+                wildcards |= ((32 - len as u32) & 0x3f) << wildcard::NW_SRC_SHIFT;
+            }
+            (Field::DstIp, pat) => {
+                let (bits, len) = ip_pattern(pat);
+                nw_dst = bits;
+                wildcards &= !(0x3f << wildcard::NW_DST_SHIFT);
+                wildcards |= ((32 - len as u32) & 0x3f) << wildcard::NW_DST_SHIFT;
+            }
+            // Prefix patterns only occur on IP fields by construction.
+            (_, Pattern::Prefix(_)) => {
+                return Err(FlowModError::Malformed("prefix pattern on non-IP field"))
+            }
+        }
+    }
+
+    // ---- actions ----------------------------------------------------------
+    let mut actions = BytesMut::new();
+    if !rule.actions.is_empty() {
+        // OpenFlow 1.0 applies actions sequentially: set-field state leaks
+        // into later outputs, so multicast is only expressible when every
+        // branch assigns the same fields.
+        let first_keys: Vec<Field> = rule.actions[0].iter().map(|(f, _)| *f).collect();
+        for a in &rule.actions[1..] {
+            let keys: Vec<Field> = a.iter().map(|(f, _)| *f).collect();
+            if keys != first_keys {
+                return Err(FlowModError::UnsupportedMulticast);
+            }
+        }
+        for action in &rule.actions {
+            encode_action(action, &mut actions)?;
+        }
+    }
+
+    // ---- message ----------------------------------------------------------
+    let total_len = 8 + 40 + 24 + actions.len();
+    let mut out = BytesMut::with_capacity(total_len);
+    out.put_u8(OFP_VERSION);
+    out.put_u8(OFPT_FLOW_MOD);
+    out.put_u16(total_len as u16);
+    out.put_u32(xid);
+    // ofp_match
+    out.put_u32(wildcards);
+    out.put_u16(in_port);
+    out.put_slice(&dl_src);
+    out.put_slice(&dl_dst);
+    out.put_u16(0); // dl_vlan
+    out.put_u8(0); // dl_vlan_pcp
+    out.put_u8(0); // pad
+    out.put_u16(dl_type);
+    out.put_u8(0); // nw_tos
+    out.put_u8(nw_proto);
+    out.put_u16(0); // pad
+    out.put_u32(nw_src);
+    out.put_u32(nw_dst);
+    out.put_u16(tp_src);
+    out.put_u16(tp_dst);
+    // flow mod body
+    out.put_u64(rule.cookie);
+    out.put_u16(OFPFC_ADD);
+    out.put_u16(0); // idle_timeout
+    out.put_u16(0); // hard_timeout
+    out.put_u16(priority);
+    out.put_u32(u32::MAX); // buffer_id: none
+    out.put_u16(0xffff); // out_port: OFPP_NONE
+    out.put_u16(0); // flags
+    out.put_slice(&actions);
+    Ok(out.freeze())
+}
+
+fn ip_pattern(pat: &Pattern) -> (u32, u8) {
+    match pat {
+        Pattern::Exact(v) => (*v as u32, 32),
+        Pattern::Prefix(p) => (p.bits(), p.len()),
+    }
+}
+
+fn encode_action(action: &Action, out: &mut BytesMut) -> Result<(), FlowModError> {
+    let mut output: Option<u16> = None;
+    for (field, value) in action.iter() {
+        match field {
+            Field::Port => output = Some(port16(*value)?),
+            Field::SrcMac | Field::DstMac => {
+                out.put_u16(if *field == Field::SrcMac {
+                    action_type::SET_DL_SRC
+                } else {
+                    action_type::SET_DL_DST
+                });
+                out.put_u16(16);
+                out.put_slice(&MacAddr::from_u64(*value).0);
+                out.put_slice(&[0u8; 6]);
+            }
+            Field::SrcIp | Field::DstIp => {
+                out.put_u16(if *field == Field::SrcIp {
+                    action_type::SET_NW_SRC
+                } else {
+                    action_type::SET_NW_DST
+                });
+                out.put_u16(8);
+                out.put_u32(*value as u32);
+            }
+            Field::SrcPort | Field::DstPort => {
+                out.put_u16(if *field == Field::SrcPort {
+                    action_type::SET_TP_SRC
+                } else {
+                    action_type::SET_TP_DST
+                });
+                out.put_u16(8);
+                out.put_u16(*value as u16);
+                out.put_u16(0);
+            }
+            other => return Err(FlowModError::UnsupportedSetField(*other)),
+        }
+    }
+    let port = output.ok_or(FlowModError::MissingOutput)?;
+    out.put_u16(action_type::OUTPUT);
+    out.put_u16(8);
+    out.put_u16(port);
+    out.put_u16(0xffff); // max_len (send full packet to controller if ever used)
+    Ok(())
+}
+
+/// Serialize a whole flow table as ADD flow mods, highest priority first.
+pub fn flow_mods_for_table(table: &FlowTable) -> Result<Vec<Bytes>, FlowModError> {
+    table
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, rule)| encode_flow_mod(rule, i as u32))
+        .collect()
+}
+
+/// Decode an `OFPT_FLOW_MOD` back into a [`FlowRule`] (round-trip testing
+/// and controller introspection).
+pub fn decode_flow_mod(bytes: &[u8]) -> Result<FlowRule, FlowModError> {
+    let mut buf = bytes;
+    if buf.len() < 8 + 40 + 24 {
+        return Err(FlowModError::Malformed("too short"));
+    }
+    let version = buf.get_u8();
+    let msg_type = buf.get_u8();
+    if version != OFP_VERSION || msg_type != OFPT_FLOW_MOD {
+        return Err(FlowModError::Malformed("not a v1.0 flow mod"));
+    }
+    let total_len = buf.get_u16() as usize;
+    if total_len != bytes.len() {
+        return Err(FlowModError::Malformed("length mismatch"));
+    }
+    buf.advance(4); // xid
+
+    let wildcards = buf.get_u32();
+    let in_port = buf.get_u16();
+    let mut dl_src = [0u8; 6];
+    buf.copy_to_slice(&mut dl_src);
+    let mut dl_dst = [0u8; 6];
+    buf.copy_to_slice(&mut dl_dst);
+    buf.advance(4); // dl_vlan, pcp, pad
+    let dl_type = buf.get_u16();
+    buf.advance(1); // nw_tos
+    let nw_proto = buf.get_u8();
+    buf.advance(2); // pad
+    let nw_src = buf.get_u32();
+    let nw_dst = buf.get_u32();
+    let tp_src = buf.get_u16();
+    let tp_dst = buf.get_u16();
+
+    let mut match_ = Match::any();
+    let mut constrain = |field: Field, pat: Pattern| {
+        match_ = match_.clone().and(field, pat).expect("distinct fields");
+    };
+    if wildcards & wildcard::IN_PORT == 0 {
+        constrain(Field::Port, Pattern::Exact(in_port as u64));
+    }
+    if wildcards & wildcard::DL_SRC == 0 {
+        constrain(Field::SrcMac, Pattern::Exact(MacAddr(dl_src).to_u64()));
+    }
+    if wildcards & wildcard::DL_DST == 0 {
+        constrain(Field::DstMac, Pattern::Exact(MacAddr(dl_dst).to_u64()));
+    }
+    if wildcards & wildcard::DL_TYPE == 0 {
+        constrain(Field::EthType, Pattern::Exact(dl_type as u64));
+    }
+    if wildcards & wildcard::NW_PROTO == 0 {
+        constrain(Field::IpProto, Pattern::Exact(nw_proto as u64));
+    }
+    if wildcards & wildcard::TP_SRC == 0 {
+        constrain(Field::SrcPort, Pattern::Exact(tp_src as u64));
+    }
+    if wildcards & wildcard::TP_DST == 0 {
+        constrain(Field::DstPort, Pattern::Exact(tp_dst as u64));
+    }
+    for (field, bits, shift) in [
+        (Field::SrcIp, nw_src, wildcard::NW_SRC_SHIFT),
+        (Field::DstIp, nw_dst, wildcard::NW_DST_SHIFT),
+    ] {
+        let wild = ((wildcards >> shift) & 0x3f).min(32) as u8;
+        if wild < 32 {
+            let prefix = sdx_ip::Prefix::from_bits(bits, 32 - wild);
+            constrain(field, Pattern::Prefix(prefix).canonical());
+        }
+    }
+
+    let cookie = buf.get_u64();
+    buf.advance(2 + 2 + 2); // command, idle, hard
+    let priority = buf.get_u16() as u32;
+    buf.advance(4 + 2 + 2); // buffer, out_port, flags
+
+    // Actions: accumulate set-fields until each OUTPUT closes one action.
+    let mut actions = Vec::new();
+    let mut current = Action::identity();
+    while !buf.is_empty() {
+        if buf.len() < 4 {
+            return Err(FlowModError::Malformed("action header"));
+        }
+        let a_type = buf.get_u16();
+        let a_len = buf.get_u16() as usize;
+        if a_len < 8 || buf.len() < a_len - 4 {
+            return Err(FlowModError::Malformed("action length"));
+        }
+        match a_type {
+            action_type::OUTPUT => {
+                let port = buf.get_u16();
+                buf.advance(2);
+                actions.push(current.clone().with(Field::Port, port as u32));
+            }
+            action_type::SET_DL_SRC | action_type::SET_DL_DST => {
+                let mut mac = [0u8; 6];
+                buf.copy_to_slice(&mut mac);
+                buf.advance(6);
+                let field = if a_type == action_type::SET_DL_SRC {
+                    Field::SrcMac
+                } else {
+                    Field::DstMac
+                };
+                current = current.with(field, MacAddr(mac));
+            }
+            action_type::SET_NW_SRC | action_type::SET_NW_DST => {
+                let ip = buf.get_u32();
+                let field = if a_type == action_type::SET_NW_SRC {
+                    Field::SrcIp
+                } else {
+                    Field::DstIp
+                };
+                current = current.with(field, Ipv4Addr::from(ip));
+            }
+            action_type::SET_TP_SRC | action_type::SET_TP_DST => {
+                let port = buf.get_u16();
+                buf.advance(2);
+                let field = if a_type == action_type::SET_TP_SRC {
+                    Field::SrcPort
+                } else {
+                    Field::DstPort
+                };
+                current = current.with(field, port);
+            }
+            _ => return Err(FlowModError::Malformed("unknown action type")),
+        }
+    }
+
+    Ok(FlowRule::new(priority, match_, actions).with_cookie(cookie))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_policy::Packet;
+
+    fn rule() -> FlowRule {
+        let match_ = Match::on(Field::Port, Pattern::Exact(1))
+            .and(Field::DstMac, Pattern::Exact(MacAddr::vmac(7).to_u64()))
+            .unwrap()
+            .and(Field::DstPort, Pattern::Exact(80))
+            .unwrap()
+            .and(Field::SrcIp, Pattern::Prefix("10.0.0.0/8".parse().unwrap()))
+            .unwrap();
+        let action = Action::set(Field::DstMac, MacAddr::from_u64(0xbb))
+            .with(Field::Port, 4u32)
+            .with(Field::DstIp, Ipv4Addr::new(9, 9, 9, 9));
+        FlowRule::new(100, match_, vec![action]).with_cookie(0xdead_beef)
+    }
+
+    #[test]
+    fn flow_mod_round_trip() {
+        let original = rule();
+        let wire = encode_flow_mod(&original, 42).unwrap();
+        let decoded = decode_flow_mod(&wire).unwrap();
+        assert_eq!(decoded.priority, original.priority);
+        assert_eq!(decoded.cookie, original.cookie);
+        assert_eq!(decoded.match_, original.match_);
+        assert_eq!(decoded.actions, original.actions);
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics_on_packets() {
+        let original = rule();
+        let decoded = decode_flow_mod(&encode_flow_mod(&original, 1).unwrap()).unwrap();
+        let pkt = Packet::new()
+            .with(Field::Port, 1u32)
+            .with(Field::DstMac, MacAddr::vmac(7))
+            .with(Field::DstPort, 80u16)
+            .with(Field::SrcIp, Ipv4Addr::new(10, 3, 2, 1));
+        assert!(original.match_.matches(&pkt));
+        assert!(decoded.match_.matches(&pkt));
+        let a = original.actions[0].apply(&pkt);
+        let b = decoded.actions[0].apply(&pkt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_rule_has_no_actions() {
+        let drop = FlowRule::new(5, Match::any(), vec![]);
+        let decoded = decode_flow_mod(&encode_flow_mod(&drop, 1).unwrap()).unwrap();
+        assert!(decoded.actions.is_empty());
+        assert!(decoded.match_.is_any());
+    }
+
+    #[test]
+    fn virtual_ports_are_rejected() {
+        let r = FlowRule::new(
+            1,
+            Match::on(Field::Port, Pattern::Exact(1_000_001)),
+            vec![],
+        );
+        assert!(matches!(
+            encode_flow_mod(&r, 1),
+            Err(FlowModError::PortOutOfRange(_))
+        ));
+        let r = FlowRule::new(1, Match::any(), vec![Action::set(Field::Port, 1_000_001u32)]);
+        assert!(matches!(
+            encode_flow_mod(&r, 1),
+            Err(FlowModError::PortOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_multicast_rejected() {
+        let a1 = Action::set(Field::Port, 2u32);
+        let a2 = Action::set(Field::Port, 3u32).with(Field::DstIp, Ipv4Addr::new(1, 1, 1, 1));
+        let r = FlowRule::new(1, Match::any(), vec![a1, a2]);
+        assert_eq!(encode_flow_mod(&r, 1).unwrap_err(), FlowModError::UnsupportedMulticast);
+    }
+
+    #[test]
+    fn homogeneous_multicast_round_trips() {
+        let a1 = Action::set(Field::Port, 2u32);
+        let a2 = Action::set(Field::Port, 3u32);
+        let r = FlowRule::new(1, Match::any(), vec![a1, a2]);
+        let decoded = decode_flow_mod(&encode_flow_mod(&r, 1).unwrap()).unwrap();
+        assert_eq!(decoded.actions.len(), 2);
+        assert_eq!(decoded.actions[1].get(Field::Port), Some(3));
+    }
+
+    #[test]
+    fn whole_table_serializes() {
+        use sdx_policy::{fwd, match_};
+        let mut table = FlowTable::new();
+        table.install_classifier(
+            &((match_(Field::DstPort, 80u16) >> fwd(2))
+                + (match_(Field::DstPort, 443u16) >> fwd(3)))
+            .compile(),
+            7,
+        );
+        let mods = flow_mods_for_table(&table).unwrap();
+        assert_eq!(mods.len(), table.len());
+        for m in &mods {
+            assert_eq!(m[0], OFP_VERSION);
+            assert_eq!(m[1], OFPT_FLOW_MOD);
+        }
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(decode_flow_mod(&[]).is_err());
+        let wire = encode_flow_mod(&rule(), 1).unwrap();
+        assert!(decode_flow_mod(&wire[..wire.len() - 1]).is_err());
+        let mut bad = wire.to_vec();
+        bad[0] = 0x04; // OpenFlow 1.3 version
+        assert!(decode_flow_mod(&bad).is_err());
+    }
+}

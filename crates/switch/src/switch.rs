@@ -1,0 +1,245 @@
+use std::collections::BTreeSet;
+
+use sdx_policy::{Classifier, Field, Packet};
+
+use crate::{FlowRule, FlowTable};
+
+/// A software SDN switch: a set of ports and one flow table.
+///
+/// The semantics follow the located-packet model: a packet arrives carrying
+/// its ingress port in `Field::Port`; the matching rule's actions rewrite
+/// headers (including `Port`, which selects the egress). The switch emits
+/// one packet per action whose final `Port` is a real port of the switch —
+/// actions leaving the packet on a virtual (non-existent) port indicate a
+/// compilation bug and are dropped with a counter.
+#[derive(Debug, Clone, Default)]
+pub struct SoftSwitch {
+    ports: BTreeSet<u32>,
+    tables: Vec<FlowTable>,
+    stats: SwitchStats,
+}
+
+/// Counters the simulations and tests assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets that arrived on a known port.
+    pub received: u64,
+    /// Packets emitted on an egress port.
+    pub forwarded: u64,
+    /// Packets dropped because no rule matched or the rule had no actions.
+    pub dropped: u64,
+    /// Packets whose action left them on an unknown port (should be zero for
+    /// a correct SDX compilation).
+    pub misdirected: u64,
+    /// Packets that arrived on an unknown port.
+    pub bad_ingress: u64,
+}
+
+impl SoftSwitch {
+    /// A switch with the given physical ports and a single flow table.
+    pub fn new(ports: impl IntoIterator<Item = u32>) -> Self {
+        Self::with_tables(ports, 1)
+    }
+
+    /// A switch with an OpenFlow-style pipeline of `n_tables` flow tables.
+    pub fn with_tables(ports: impl IntoIterator<Item = u32>, n_tables: usize) -> Self {
+        SoftSwitch {
+            ports: ports.into_iter().collect(),
+            tables: (0..n_tables.max(1)).map(|_| FlowTable::new()).collect(),
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Resize the pipeline (clears all tables).
+    pub fn reset_pipeline(&mut self, n_tables: usize) {
+        self.tables = (0..n_tables.max(1)).map(|_| FlowTable::new()).collect();
+    }
+
+    /// Number of pipeline tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total rules across the pipeline.
+    pub fn total_rules(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Read access to pipeline table `i`.
+    pub fn table_at(&self, i: usize) -> Option<&FlowTable> {
+        self.tables.get(i)
+    }
+
+    /// Mutable access to pipeline table `i`.
+    pub fn table_at_mut(&mut self, i: usize) -> Option<&mut FlowTable> {
+        self.tables.get_mut(i)
+    }
+
+    /// Add a port.
+    pub fn add_port(&mut self, port: u32) {
+        self.ports.insert(port);
+    }
+
+    /// The switch's ports.
+    pub fn ports(&self) -> impl Iterator<Item = &u32> {
+        self.ports.iter()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Read access to the first flow table.
+    pub fn table(&self) -> &FlowTable {
+        &self.tables[0]
+    }
+
+    /// Mutable access to the first flow table (rule installation).
+    pub fn table_mut(&mut self) -> &mut FlowTable {
+        &mut self.tables[0]
+    }
+
+    /// Replace the first table with a compiled classifier.
+    pub fn install_classifier(&mut self, classifier: &Classifier, cookie: u64) {
+        self.tables[0].install_classifier(classifier, cookie);
+    }
+
+    /// Install one rule into the first table.
+    pub fn install_rule(&mut self, rule: FlowRule) {
+        self.tables[0].install(rule);
+    }
+
+    /// Process one packet: returns `(egress port, packet)` pairs.
+    pub fn process(&mut self, pkt: &Packet) -> Vec<(u32, Packet)> {
+        let Some(ingress) = pkt.port() else {
+            self.stats.bad_ingress += 1;
+            return Vec::new();
+        };
+        if !self.ports.contains(&ingress) {
+            self.stats.bad_ingress += 1;
+            return Vec::new();
+        }
+        self.stats.received += 1;
+
+        // Walk the pipeline: (table, packet) work items; a goto_table rule
+        // continues matching, a plain rule emits.
+        let mut out = Vec::new();
+        let mut work = vec![(0usize, pkt.clone())];
+        let budget = self.tables.len();
+        while let Some((table_idx, pkt)) = work.pop() {
+            let Some(table) = self.tables.get_mut(table_idx) else {
+                self.stats.dropped += 1;
+                continue;
+            };
+            let Some(rule) = table.lookup(&pkt) else {
+                self.stats.dropped += 1;
+                continue;
+            };
+            if rule.actions.is_empty() {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let actions = rule.actions.clone();
+            let goto = rule.goto_table;
+            for action in &actions {
+                let emitted = action.apply(&pkt);
+                match goto {
+                    // Continue in a strictly later table (OpenFlow forbids
+                    // backwards gotos, which also bounds the walk).
+                    Some(next) if next > table_idx && next < budget => {
+                        work.push((next, emitted));
+                    }
+                    Some(_) => {
+                        self.stats.misdirected += 1;
+                    }
+                    None => match emitted.get(Field::Port) {
+                        Some(egress) if self.ports.contains(&(egress as u32)) => {
+                            self.stats.forwarded += 1;
+                            out.push((egress as u32, emitted));
+                        }
+                        _ => {
+                            self.stats.misdirected += 1;
+                        }
+                    },
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_policy::{fwd, match_, modify};
+    use std::net::Ipv4Addr;
+
+    fn web_packet(port: u32) -> Packet {
+        Packet::tcp(port, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 5555, 80)
+    }
+
+    #[test]
+    fn forwards_per_installed_policy() {
+        let mut sw = SoftSwitch::new([1, 2, 3]);
+        let policy = (match_(Field::DstPort, 80u16) >> fwd(2))
+            + (match_(Field::DstPort, 443u16) >> fwd(3));
+        sw.install_classifier(&policy.compile(), 1);
+
+        let out = sw.process(&web_packet(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(sw.stats().forwarded, 1);
+
+        let ssh = Packet::tcp(1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 5555, 22);
+        assert!(sw.process(&ssh).is_empty());
+        assert_eq!(sw.stats().dropped, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_ingress() {
+        let mut sw = SoftSwitch::new([1]);
+        let out = sw.process(&web_packet(99));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().bad_ingress, 1);
+        assert_eq!(sw.stats().received, 0);
+    }
+
+    #[test]
+    fn counts_misdirected_virtual_ports() {
+        let mut sw = SoftSwitch::new([1]);
+        // Policy forwards to port 55 which does not exist on this switch.
+        sw.install_classifier(&fwd(55).compile(), 1);
+        let out = sw.process(&web_packet(1));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().misdirected, 1);
+    }
+
+    #[test]
+    fn header_rewrites_apply() {
+        let mut sw = SoftSwitch::new([1, 2]);
+        let policy = match_(Field::DstPort, 80u16)
+            >> modify(Field::DstIp, Ipv4Addr::new(99, 9, 9, 9))
+            >> fwd(2);
+        sw.install_classifier(&policy.compile(), 1);
+        let out = sw.process(&web_packet(1));
+        assert_eq!(out[0].1.dst_ip().unwrap().to_string(), "99.9.9.9");
+    }
+
+    #[test]
+    fn multicast_emits_copies() {
+        let mut sw = SoftSwitch::new([1, 2, 3]);
+        sw.install_classifier(&(fwd(2) + fwd(3)).compile(), 1);
+        let out = sw.process(&web_packet(1));
+        assert_eq!(out.len(), 2);
+        let egresses: BTreeSet<u32> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(egresses, BTreeSet::from([2, 3]));
+    }
+
+    #[test]
+    fn packet_without_port_is_bad_ingress() {
+        let mut sw = SoftSwitch::new([1]);
+        assert!(sw.process(&Packet::new()).is_empty());
+        assert_eq!(sw.stats().bad_ingress, 1);
+    }
+}

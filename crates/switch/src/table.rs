@@ -1,0 +1,270 @@
+use std::fmt;
+
+use sdx_policy::{Action, Classifier, Match, Packet};
+use serde::{Deserialize, Serialize};
+
+/// A single flow-table entry: an OpenFlow-style (priority, match, actions)
+/// triple with byte/packet counters.
+///
+/// The match/action model is shared with the policy compiler ([`Match`] /
+/// [`Action`]), reflecting the paper's observation that compiled SDX policies
+/// "have a straightforward mapping to low-level rules on OpenFlow switches".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// Higher wins.
+    pub priority: u32,
+    /// Cookie for bulk identification/removal (e.g. fast-path rules carry a
+    /// generation cookie so the background optimizer can garbage-collect).
+    pub cookie: u64,
+    /// The match.
+    pub match_: Match,
+    /// The action list (empty = drop).
+    pub actions: Vec<Action>,
+    /// Continue matching in this pipeline table after applying the actions
+    /// (OpenFlow `goto_table`). `None` = emit.
+    pub goto_table: Option<usize>,
+    /// Packets that hit this rule.
+    pub packet_count: u64,
+}
+
+impl FlowRule {
+    /// A rule with zeroed counters and cookie.
+    pub fn new(priority: u32, match_: Match, actions: Vec<Action>) -> Self {
+        FlowRule { priority, cookie: 0, match_, actions, goto_table: None, packet_count: 0 }
+    }
+
+    /// Builder: tag with a cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Builder: continue in a later pipeline table (OpenFlow `goto_table`).
+    pub fn with_goto(mut self, table: usize) -> Self {
+        self.goto_table = Some(table);
+        self
+    }
+}
+
+impl fmt::Display for FlowRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio={} {} -> ", self.priority, self.match_)?;
+        if self.actions.is_empty() {
+            write!(f, "drop")?;
+        } else {
+            for (i, a) in self.actions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        if let Some(t) = self.goto_table {
+            write!(f, " goto({t})")?;
+        }
+        write!(f, " (n={})", self.packet_count)
+    }
+}
+
+/// A priority-ordered flow table.
+///
+/// Rules are kept sorted by descending priority; among equal priorities,
+/// insertion order decides (first installed wins), matching common switch
+/// behavior closely enough for the SDX's generated rules, which never rely
+/// on equal-priority overlap.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    rules: Vec<FlowRule>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules, highest priority first.
+    pub fn rules(&self) -> &[FlowRule] {
+        &self.rules
+    }
+
+    /// Install a rule (stable within its priority band).
+    pub fn install(&mut self, rule: FlowRule) {
+        let pos = self
+            .rules
+            .partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(pos, rule);
+    }
+
+    /// Remove every rule carrying `cookie`; returns how many were removed.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.cookie != cookie);
+        before - self.rules.len()
+    }
+
+    /// Remove all rules.
+    pub fn clear(&mut self) {
+        self.rules.clear();
+    }
+
+    /// Replace the whole table with a compiled classifier. Rule `i` of the
+    /// classifier gets priority `len - i`, preserving first-match-wins.
+    pub fn install_classifier(&mut self, classifier: &Classifier, cookie: u64) {
+        self.clear();
+        self.append_classifier(classifier, cookie, 0);
+    }
+
+    /// Append a classifier's rules *above* the existing table contents
+    /// (used by the fast path of §4.3.2, which pushes higher-priority rules
+    /// for updated prefixes without recompiling the rest).
+    pub fn append_classifier(&mut self, classifier: &Classifier, cookie: u64, priority_boost: u32) {
+        self.append_classifier_goto(classifier, cookie, priority_boost, None);
+    }
+
+    /// Like [`append_classifier`](Self::append_classifier), additionally
+    /// setting `goto_table` on every non-drop rule — how a policy stage is
+    /// installed into a multi-table pipeline.
+    pub fn append_classifier_goto(
+        &mut self,
+        classifier: &Classifier,
+        cookie: u64,
+        priority_boost: u32,
+        goto: Option<usize>,
+    ) {
+        let n = classifier.len() as u32;
+        for (i, rule) in classifier.rules().iter().enumerate() {
+            let mut fr = FlowRule::new(
+                priority_boost + n - i as u32,
+                rule.match_.clone(),
+                rule.actions.clone(),
+            )
+            .with_cookie(cookie);
+            if let (Some(t), false) = (goto, rule.is_drop()) {
+                fr = fr.with_goto(t);
+            }
+            self.install(fr);
+        }
+    }
+
+    /// Look up the packet: the highest-priority matching rule. Bumps its
+    /// packet counter.
+    pub fn lookup(&mut self, pkt: &Packet) -> Option<&FlowRule> {
+        let idx = self.rules.iter().position(|r| r.match_.matches(pkt))?;
+        self.rules[idx].packet_count += 1;
+        Some(&self.rules[idx])
+    }
+
+    /// Like `lookup` but without touching counters.
+    pub fn peek(&self, pkt: &Packet) -> Option<&FlowRule> {
+        self.rules.iter().find(|r| r.match_.matches(pkt))
+    }
+
+    /// Total packets matched across all rules.
+    pub fn total_hits(&self) -> u64 {
+        self.rules.iter().map(|r| r.packet_count).sum()
+    }
+}
+
+impl fmt::Display for FlowTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_policy::{Field, Pattern};
+
+    fn m(port: u32) -> Match {
+        Match::on(Field::Port, Pattern::Exact(port as u64))
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(1, Match::any(), vec![]));
+        t.install(FlowRule::new(10, m(1), vec![Action::set(Field::Port, 9u32)]));
+        t.install(FlowRule::new(5, m(1), vec![]));
+        assert_eq!(t.rules()[0].priority, 10);
+        assert_eq!(t.rules()[2].priority, 1);
+
+        let pkt = Packet::new().with(Field::Port, 1u32);
+        let hit = t.lookup(&pkt).unwrap();
+        assert_eq!(hit.priority, 10);
+    }
+
+    #[test]
+    fn equal_priority_first_installed_wins() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(5, m(1), vec![Action::set(Field::Port, 7u32)]));
+        t.install(FlowRule::new(5, m(1), vec![Action::set(Field::Port, 8u32)]));
+        let pkt = Packet::new().with(Field::Port, 1u32);
+        assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(7));
+    }
+
+    #[test]
+    fn counters_track_hits() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(1, Match::any(), vec![]));
+        let pkt = Packet::new();
+        t.lookup(&pkt);
+        t.lookup(&pkt);
+        assert_eq!(t.rules()[0].packet_count, 2);
+        assert_eq!(t.total_hits(), 2);
+    }
+
+    #[test]
+    fn cookie_removal() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(1, m(1), vec![]).with_cookie(7));
+        t.install(FlowRule::new(2, m(2), vec![]).with_cookie(7));
+        t.install(FlowRule::new(3, m(3), vec![]).with_cookie(9));
+        assert_eq!(t.remove_by_cookie(7), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rules()[0].cookie, 9);
+    }
+
+    #[test]
+    fn classifier_install_preserves_order() {
+        use sdx_policy::{fwd, match_};
+        let policy = (match_(Field::DstPort, 80u16) >> fwd(1)) + (match_(Field::DstPort, 443u16) >> fwd(2));
+        let classifier = policy.compile();
+        let mut t = FlowTable::new();
+        t.install_classifier(&classifier, 1);
+        assert_eq!(t.len(), classifier.len());
+        // Behavior matches the classifier on a sample.
+        let pkt = Packet::new().with(Field::DstPort, 443u16);
+        let rule = t.peek(&pkt).unwrap();
+        assert_eq!(rule.actions[0].get(Field::Port), Some(2));
+    }
+
+    #[test]
+    fn append_classifier_overrides_existing() {
+        use sdx_policy::{fwd, match_};
+        let mut t = FlowTable::new();
+        t.install_classifier(&(match_(Field::DstPort, 80u16) >> fwd(1)).compile(), 1);
+        let before = t.len() as u32;
+        // Fast-path overlay sends port-80 to 2 instead.
+        t.append_classifier(&(match_(Field::DstPort, 80u16) >> fwd(2)).compile(), 2, before);
+        let pkt = Packet::new().with(Field::DstPort, 80u16);
+        assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(2));
+        // Removing the overlay restores the original behavior.
+        t.remove_by_cookie(2);
+        assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(1));
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic workloads reproducing the SDX paper's evaluation setup (§6.1,
+//! Table 1): IXP topologies with realistic participant/prefix skew, the
+//! eyeball/transit/content policy mix, BGP update traces with the published
+//! burst statistics, and virtual-time traffic generation for the deployment
+//! experiments.
+//!
+//! All generators are deterministic given a seed.
+
+mod analysis;
+mod policies;
+mod topology;
+mod traffic;
+mod updates;
+
+pub use analysis::{
+    analyze_feed, inject_session_reset, table_sizes, FeedAnalysis, ResetDetector,
+};
+pub use policies::{classify, generate_policies, generate_policies_with_groups, AsCategory, PolicyMix};
+pub use topology::{Announcement, IxpProfile, IxpTopology};
+pub use traffic::{render_series, run_timeline, FlowSpec, TimelineEvent, TrafficBin};
+pub use updates::{
+    burst_stats, generate_trace, generate_trace_with, table1_row, trace_stats, BurstStats, Table1Row, TraceConfig, TraceEvent,
+    UpdateTrace,
+};

@@ -1,0 +1,353 @@
+//! Participant policy generation following §6.1 of the paper:
+//!
+//! * ASes are classified as *eyeball*, *transit*, or *content* and sorted by
+//!   announced-prefix count.
+//! * The top 15% of eyeballs, the top 5% of transits, and a random 5% of
+//!   content providers install custom policies.
+//! * Content providers install outbound (application-specific peering)
+//!   policies towards three random top eyeballs, plus one inbound policy
+//!   matching one header field.
+//! * Eyeball networks install inbound policies for half of the content
+//!   providers, matching one randomly selected header field.
+//! * Transit networks install outbound policies for one prefix group of half
+//!   of the top eyeballs (destination prefixes plus one extra header field)
+//!   and inbound policies proportional to the number of top content
+//!   providers.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sdx_core::{Clause, ParticipantId, ParticipantPolicy};
+use sdx_ip::PrefixSet;
+use sdx_policy::{Field, Predicate};
+use serde::{Deserialize, Serialize};
+
+use crate::IxpTopology;
+
+/// The §6.1 AS taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AsCategory {
+    /// Access networks (destinations of most flows).
+    Eyeball,
+    /// Transit providers.
+    Transit,
+    /// Content providers (sources of most flows).
+    Content,
+}
+
+/// Deterministically classify members: by index modulo — 50% eyeball,
+/// 30% transit, 20% content, a plausible IXP mix.
+pub fn classify(topology: &IxpTopology) -> BTreeMap<ParticipantId, AsCategory> {
+    topology
+        .participants
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let cat = match i % 10 {
+                0..=4 => AsCategory::Eyeball,
+                5..=7 => AsCategory::Transit,
+                _ => AsCategory::Content,
+            };
+            (p.id, cat)
+        })
+        .collect()
+}
+
+/// The generated policy mix plus bookkeeping the benches report.
+#[derive(Debug, Clone)]
+pub struct PolicyMix {
+    /// The policies, per participant (participants absent = default-only).
+    pub policies: BTreeMap<ParticipantId, ParticipantPolicy>,
+    /// Category assignment used.
+    pub categories: BTreeMap<ParticipantId, AsCategory>,
+    /// Total clause count.
+    pub clauses: usize,
+}
+
+/// One random single-header-field predicate, per §6.1's "match on one
+/// randomly selected header field".
+fn random_field_match(rng: &mut StdRng, src_prefixes: Option<&PrefixSet>) -> Predicate {
+    match rng.gen_range(0..4u8) {
+        0 => Predicate::test(Field::DstPort, rng.gen_range(1u16..1024)),
+        1 => Predicate::test(Field::SrcPort, rng.gen_range(1u16..1024)),
+        2 => Predicate::test(Field::IpProto, if rng.gen_bool(0.5) { 6u8 } else { 17u8 }),
+        _ => match src_prefixes {
+            Some(set) if !set.is_empty() => {
+                Predicate::in_prefixes(Field::SrcIp, sample_prefixes(rng, set, 4))
+            }
+            _ => Predicate::test(Field::DstPort, rng.gen_range(1u16..1024)),
+        },
+    }
+}
+
+fn sample_prefixes(rng: &mut StdRng, set: &PrefixSet, k: usize) -> PrefixSet {
+    let all: Vec<_> = set.iter().copied().collect();
+    all.choose_multiple(rng, k.min(all.len())).copied().collect()
+}
+
+/// Generate the §6.1 policy mix for a topology.
+pub fn generate_policies(topology: &IxpTopology, seed: u64) -> PolicyMix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let categories = classify(topology);
+    let order = topology.by_prefix_count();
+
+    let ranked = |cat: AsCategory| -> Vec<ParticipantId> {
+        order
+            .iter()
+            .copied()
+            .filter(|id| categories.get(id) == Some(&cat))
+            .collect()
+    };
+    let eyeballs = ranked(AsCategory::Eyeball);
+    let transits = ranked(AsCategory::Transit);
+    let contents = ranked(AsCategory::Content);
+
+    let take_frac = |v: &[ParticipantId], f: f64| -> Vec<ParticipantId> {
+        let k = ((v.len() as f64 * f).ceil() as usize).min(v.len()).max(1);
+        v[..k].to_vec()
+    };
+    let top_eyeballs = take_frac(&eyeballs, 0.15);
+    let top_transits = take_frac(&transits, 0.05);
+    let mut content_shuffled = contents.clone();
+    content_shuffled.shuffle(&mut rng);
+    let active_contents = take_frac(&content_shuffled, 0.05);
+
+    let mut policies: BTreeMap<ParticipantId, ParticipantPolicy> = BTreeMap::new();
+
+    // Content providers: outbound app-specific peering to 3 random top
+    // eyeballs, one inbound redirection policy.
+    for &cp in &active_contents {
+        let mut policy = ParticipantPolicy::new();
+        let mut targets = top_eyeballs.clone();
+        targets.retain(|t| *t != cp);
+        targets.shuffle(&mut rng);
+        for &target in targets.iter().take(3) {
+            let port = [80u16, 443, 8080, 1935][rng.gen_range(0..4)];
+            policy = policy.outbound(Clause::fwd(Predicate::test(Field::DstPort, port), target));
+        }
+        let own_port = port_of(topology, cp);
+        policy = policy.inbound(Clause::to_port(random_field_match(&mut rng, None), own_port));
+        policies.insert(cp, policy);
+    }
+
+    // Eyeballs: inbound policies for half of the (policy-active) content
+    // providers, one random header field each — typically steering by the
+    // content provider's source prefixes.
+    for &eb in &top_eyeballs {
+        let mut policy = policies.remove(&eb).unwrap_or_default();
+        let half = (active_contents.len() / 2).max(1);
+        let own_port = port_of(topology, eb);
+        for &cp in active_contents.iter().take(half) {
+            let src = topology.announced_by(cp);
+            policy = policy.inbound(Clause::to_port(
+                random_field_match(&mut rng, Some(&src)),
+                own_port,
+            ));
+        }
+        policies.insert(eb, policy);
+    }
+
+    // Transit providers: outbound policies for one prefix group of half of
+    // the top eyeballs (destination prefixes + one header field), plus
+    // inbound policies proportional to the top content providers.
+    for &tr in &top_transits {
+        let mut policy = policies.remove(&tr).unwrap_or_default();
+        let half = (top_eyeballs.len() / 2).max(1);
+        for &eb in top_eyeballs.iter().take(half) {
+            if eb == tr {
+                continue;
+            }
+            let dst = topology.announced_by(eb);
+            if dst.is_empty() {
+                continue;
+            }
+            let scoped = sample_prefixes(&mut rng, &dst, 8);
+            policy = policy.outbound(
+                Clause::fwd(random_field_match(&mut rng, None), eb).for_prefixes(scoped),
+            );
+        }
+        let own_port = port_of(topology, tr);
+        for _ in 0..(active_contents.len().max(1)) {
+            policy = policy.inbound(Clause::to_port(random_field_match(&mut rng, None), own_port));
+        }
+        policies.insert(tr, policy);
+    }
+
+    let clauses = policies.values().map(|p| p.len()).sum();
+    PolicyMix { policies, categories, clauses }
+}
+
+/// Generate a policy mix sized to produce approximately `target_groups`
+/// forwarding equivalence classes, the controlled variable of Figures 7–9.
+///
+/// The paper selects the number of prefix groups directly ("we select the
+/// number of prefix groups based on our analysis ... Figure 6") and then
+/// installs the §6.1 policy mix over them. We reproduce that by
+/// partitioning the top eyeballs' announcements into `target_groups`
+/// disjoint chunks and scoping each transit/content outbound clause to one
+/// chunk; every chunk with at least one clause becomes (at least) one FEC.
+/// More participants reuse the same chunks, so rules grow with participant
+/// count at fixed group count, as in Figure 7.
+pub fn generate_policies_with_groups(
+    topology: &IxpTopology,
+    target_groups: usize,
+    seed: u64,
+) -> PolicyMix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let categories = classify(topology);
+    let order = topology.by_prefix_count();
+
+    let eyeballs: Vec<ParticipantId> = order
+        .iter()
+        .copied()
+        .filter(|id| categories.get(id) == Some(&AsCategory::Eyeball))
+        .collect();
+    let authors: Vec<ParticipantId> = order
+        .iter()
+        .copied()
+        .filter(|id| {
+            matches!(
+                categories.get(id),
+                Some(AsCategory::Transit) | Some(AsCategory::Content)
+            )
+        })
+        .collect();
+    let top_eyeballs: Vec<ParticipantId> =
+        eyeballs.iter().copied().take((eyeballs.len() / 4).max(3)).collect();
+
+    // Partition the top eyeballs' announcements into `target_groups` chunks.
+    let mut chunks: Vec<(ParticipantId, PrefixSet)> = Vec::new();
+    let per_eyeball = (target_groups / top_eyeballs.len().max(1)).max(1);
+    for &eb in &top_eyeballs {
+        let prefixes: Vec<_> = topology.announced_by(eb).into_iter().collect();
+        if prefixes.is_empty() {
+            continue;
+        }
+        let chunk_len = (prefixes.len() / per_eyeball).max(1);
+        for chunk in prefixes.chunks(chunk_len).take(per_eyeball) {
+            chunks.push((eb, chunk.iter().copied().collect()));
+        }
+    }
+    chunks.truncate(target_groups);
+
+    // Every policy-active author installs clauses over a sample of chunks;
+    // authors (and hence total clauses) grow with the participant count, so
+    // rule counts at a fixed group count grow with participants (Figure 7).
+    let active = authors.len().min((authors.len() / 2).max(2));
+    let clauses_per_author = (target_groups / 10).clamp(1, chunks.len().max(1));
+    let mut policies: BTreeMap<ParticipantId, ParticipantPolicy> = BTreeMap::new();
+    let mut next_chunk = 0usize;
+    for &author in authors.iter().take(active) {
+        let mut policy = ParticipantPolicy::new();
+        for _ in 0..clauses_per_author {
+            let (eb, scope) = &chunks[next_chunk % chunks.len()];
+            next_chunk += 1;
+            if *eb == author {
+                continue;
+            }
+            policy = policy.outbound(
+                Clause::fwd(random_field_match(&mut rng, None), *eb).for_prefixes(scope.clone()),
+            );
+        }
+        if !policy.is_empty() {
+            policies.insert(author, policy);
+        }
+    }
+
+    let clauses = policies.values().map(|p| p.len()).sum();
+    PolicyMix { policies, categories, clauses }
+}
+
+fn port_of(topology: &IxpTopology, id: ParticipantId) -> u32 {
+    topology
+        .participants
+        .iter()
+        .find(|p| p.id == id)
+        .and_then(|p| p.primary_port())
+        .map(|p| p.port)
+        .expect("generated participants have ports")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IxpProfile;
+
+    fn topo() -> IxpTopology {
+        IxpTopology::generate(IxpProfile::ams_ix(100, 3_000), 11)
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = topo();
+        let a = generate_policies(&t, 5);
+        let b = generate_policies(&t, 5);
+        assert_eq!(a.policies, b.policies);
+        assert_eq!(a.clauses, b.clauses);
+    }
+
+    #[test]
+    fn categories_cover_everyone() {
+        let t = topo();
+        let cats = classify(&t);
+        assert_eq!(cats.len(), t.participants.len());
+        let eyeballs = cats.values().filter(|c| **c == AsCategory::Eyeball).count();
+        assert!(eyeballs >= t.participants.len() / 3);
+    }
+
+    #[test]
+    fn only_a_subset_has_policies() {
+        let t = topo();
+        let mix = generate_policies(&t, 5);
+        assert!(!mix.policies.is_empty());
+        assert!(mix.policies.len() < t.participants.len() / 2);
+        assert!(mix.clauses > 0);
+    }
+
+    #[test]
+    fn content_outbound_targets_eyeballs() {
+        let t = topo();
+        let mix = generate_policies(&t, 5);
+        for (id, policy) in &mix.policies {
+            if mix.categories.get(id) == Some(&AsCategory::Content) {
+                for clause in &policy.outbound {
+                    if let sdx_core::Dest::Participant(to) = clause.dest {
+                        assert_eq!(mix.categories.get(&to), Some(&AsCategory::Eyeball));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transit_outbound_is_prefix_scoped() {
+        let t = topo();
+        let mix = generate_policies(&t, 5);
+        let mut saw_scoped = false;
+        for (id, policy) in &mix.policies {
+            if mix.categories.get(id) == Some(&AsCategory::Transit) {
+                for clause in &policy.outbound {
+                    assert!(clause.dst_prefixes.is_some());
+                    saw_scoped = true;
+                }
+            }
+        }
+        assert!(saw_scoped);
+    }
+
+    #[test]
+    fn generated_mix_compiles_end_to_end() {
+        let t = IxpTopology::generate(IxpProfile::ams_ix(40, 800), 2);
+        let mix = generate_policies(&t, 2);
+        let mut sdx = sdx_core::SdxRuntime::default();
+        t.install(&mut sdx);
+        for (id, policy) in mix.policies {
+            sdx.set_policy(id, policy);
+        }
+        let stats = sdx.compile().expect("compiles");
+        assert!(stats.rules > 0);
+        assert!(stats.groups > 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Synthetic IXP topologies with the participant/prefix skew of the large
+//! European exchanges the paper measured (§6.1): roughly 1% of member ASes
+//! originate more than half of all prefixes, while the bottom 90% together
+//! announce around 1%.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdx_bgp::{AsPath, Asn, PathAttributes};
+use sdx_core::{Participant, ParticipantId, PortConfig, SdxRuntime};
+use sdx_ip::{MacAddr, Prefix, PrefixSet};
+use serde::{Deserialize, Serialize};
+
+/// Profile of an exchange to synthesize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IxpProfile {
+    /// Display name.
+    pub name: String,
+    /// Number of member ASes.
+    pub participants: usize,
+    /// Total distinct prefixes announced across all members.
+    pub prefixes: usize,
+    /// Fraction of members attached with two ports instead of one.
+    pub multi_port_fraction: f64,
+    /// Fraction of prefixes also announced by a second member (a customer
+    /// prefix carried by another transit at the exchange). Multi-homing is
+    /// what makes forwarding-equivalence classes outnumber participants,
+    /// as in Figure 6.
+    pub multi_home_fraction: f64,
+    /// Skew exponent of the rank-weighted prefix-count distribution
+    /// (2.0 reproduces the published AMS-IX skew closely).
+    pub skew: f64,
+}
+
+impl IxpProfile {
+    /// A profile shaped like AMS-IX (scaled by the caller's prefix budget).
+    pub fn ams_ix(participants: usize, prefixes: usize) -> Self {
+        IxpProfile {
+            name: "AMS-IX".into(),
+            participants,
+            prefixes,
+            multi_port_fraction: 0.2,
+            multi_home_fraction: 0.3,
+            skew: 2.0,
+        }
+    }
+
+    /// A profile shaped like DE-CIX.
+    pub fn de_cix(participants: usize, prefixes: usize) -> Self {
+        IxpProfile { name: "DE-CIX".into(), ..Self::ams_ix(participants, prefixes) }
+    }
+
+    /// A profile shaped like LINX.
+    pub fn linx(participants: usize, prefixes: usize) -> Self {
+        IxpProfile { name: "LINX".into(), ..Self::ams_ix(participants, prefixes) }
+    }
+}
+
+/// One member's announcement batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The announcing participant.
+    pub from: ParticipantId,
+    /// The prefixes it originates/carries.
+    pub prefixes: Vec<Prefix>,
+    /// The attributes it announces them with.
+    pub attrs: PathAttributes,
+}
+
+/// A synthesized exchange.
+#[derive(Debug, Clone)]
+pub struct IxpTopology {
+    /// The generating profile.
+    pub profile: IxpProfile,
+    /// Member configurations.
+    pub participants: Vec<Participant>,
+    /// Announcements, one batch per member (members may have several).
+    pub announcements: Vec<Announcement>,
+}
+
+impl IxpTopology {
+    /// Generate deterministically from a seed.
+    pub fn generate(profile: IxpProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = profile.participants;
+
+        // Rank-weighted prefix counts: weight(rank) = rank^-skew.
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-profile.skew)).collect();
+        let total_weight: f64 = weights.iter().sum();
+        let mut counts: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total_weight) * profile.prefixes as f64).round() as usize)
+            .map(|c| c.max(1))
+            .collect();
+        // Trim/pad to the exact total.
+        let mut total: usize = counts.iter().sum();
+        let mut i = 0;
+        while total > profile.prefixes && i < counts.len() {
+            if counts[i] > 1 {
+                counts[i] -= 1;
+                total -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        while total < profile.prefixes {
+            counts[0] += 1;
+            total += 1;
+        }
+
+        let mut participants = Vec::with_capacity(n);
+        let mut announcements = Vec::with_capacity(n);
+        let mut next_prefix: u32 = 0x0400_0000; // 4.0.0.0, /24 blocks upward
+
+        for (idx, count) in counts.iter().copied().enumerate() {
+            let id = ParticipantId(idx as u32 + 1);
+            let asn = Asn(65_000 + idx as u32 + 1);
+            let nports = if rng.gen_bool(profile.multi_port_fraction) { 2 } else { 1 };
+            let ports: Vec<PortConfig> = (0..nports)
+                .map(|k| {
+                    let port = (idx as u32 + 1) * 10 + k;
+                    PortConfig {
+                        port,
+                        mac: MacAddr::from_u64(0x0a00_0000_0000 + port as u64),
+                        ip: Ipv4Addr::from(0x0afe_0000 + port),
+                    }
+                })
+                .collect();
+            let router_ip = ports[0].ip;
+            participants.push(Participant::new(id, asn, ports));
+
+            let mut prefixes = Vec::with_capacity(count);
+            for _ in 0..count {
+                prefixes.push(Prefix::from_bits(next_prefix, 24));
+                next_prefix += 256;
+            }
+            // AS path: the member, a few random transit hops, the origin.
+            let hops = rng.gen_range(0..3);
+            let mut path = vec![asn.0];
+            for _ in 0..hops {
+                path.push(rng.gen_range(1_000..60_000));
+            }
+            path.push(rng.gen_range(60_000..64_999));
+            announcements.push(Announcement {
+                from: id,
+                prefixes,
+                attrs: PathAttributes::new(AsPath::sequence(path), router_ip),
+            });
+        }
+
+        // Multi-homing: a fraction of prefixes is additionally announced by
+        // a second member (skew-sampled, so popular transits carry most of
+        // them) with a longer AS path through the primary.
+        let mut secondary: BTreeMap<usize, Vec<Prefix>> = BTreeMap::new();
+        let primary: Vec<(usize, Prefix, u32)> = announcements
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| {
+                let first_as = a.attrs.as_path.first_as().map(|x| x.0).unwrap_or(0);
+                a.prefixes.iter().map(move |p| (i, *p, first_as))
+            })
+            .collect();
+        for (primary_idx, prefix, _) in &primary {
+            if !rng.gen_bool(profile.multi_home_fraction) {
+                continue;
+            }
+            // Skewed secondary choice: rank^-1.5 over members.
+            let r: f64 = rng.gen::<f64>();
+            let rank = ((r.powf(2.0) * n as f64) as usize).min(n - 1);
+            if rank == *primary_idx {
+                continue;
+            }
+            secondary.entry(rank).or_default().push(*prefix);
+        }
+        for (idx, prefixes) in secondary {
+            let asn = participants[idx].asn;
+            let router_ip = participants[idx].ports[0].ip;
+            // Carry the primary's path behind the secondary member.
+            let base = &announcements[idx].attrs.as_path;
+            let mut path: Vec<u32> = vec![asn.0];
+            path.extend(base.asns().iter().skip(1).map(|a| a.0));
+            path.push(rng.gen_range(60_000..64_999));
+            announcements.push(Announcement {
+                from: participants[idx].id,
+                prefixes,
+                attrs: PathAttributes::new(AsPath::sequence(path), router_ip),
+            });
+        }
+
+        IxpTopology { profile, participants, announcements }
+    }
+
+    /// Register every participant and announcement on an SDX runtime.
+    pub fn install(&self, sdx: &mut SdxRuntime) {
+        for p in &self.participants {
+            sdx.add_participant(p.clone());
+        }
+        for a in &self.announcements {
+            sdx.announce(a.from, a.prefixes.iter().copied(), a.attrs.clone());
+        }
+    }
+
+    /// The prefixes a participant announces.
+    pub fn announced_by(&self, id: ParticipantId) -> PrefixSet {
+        self.announcements
+            .iter()
+            .filter(|a| a.from == id)
+            .flat_map(|a| a.prefixes.iter().copied())
+            .collect()
+    }
+
+    /// Every announced prefix (distinct).
+    pub fn all_prefixes(&self) -> Vec<Prefix> {
+        let set: PrefixSet = self
+            .announcements
+            .iter()
+            .flat_map(|a| a.prefixes.iter().copied())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Participants sorted by announced-prefix count, descending (the
+    /// "top" ASes of §6.1).
+    pub fn by_prefix_count(&self) -> Vec<ParticipantId> {
+        let mut counts: BTreeMap<ParticipantId, usize> = BTreeMap::new();
+        for a in &self.announcements {
+            *counts.entry(a.from).or_default() += a.prefixes.len();
+        }
+        let mut ids: Vec<ParticipantId> = self.participants.iter().map(|p| p.id).collect();
+        ids.sort_by_key(|id| std::cmp::Reverse(counts.get(id).copied().unwrap_or(0)));
+        ids
+    }
+
+    /// The share of prefixes announced by the top `fraction` of members.
+    pub fn top_share(&self, fraction: f64) -> f64 {
+        let order = self.by_prefix_count();
+        let k = ((order.len() as f64 * fraction).ceil() as usize).max(1);
+        let top: usize = order[..k]
+            .iter()
+            .map(|id| self.announced_by(*id).len())
+            .sum();
+        top as f64 / self.all_prefixes().len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> IxpTopology {
+        IxpTopology::generate(IxpProfile::ams_ix(100, 5_000), 7)
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = IxpTopology::generate(IxpProfile::ams_ix(50, 1_000), 42);
+        let b = IxpTopology::generate(IxpProfile::ams_ix(50, 1_000), 42);
+        assert_eq!(a.participants, b.participants);
+        assert_eq!(a.announcements, b.announcements);
+        let c = IxpTopology::generate(IxpProfile::ams_ix(50, 1_000), 43);
+        assert_ne!(a.announcements, c.announcements);
+    }
+
+    #[test]
+    fn exact_totals() {
+        let t = topo();
+        assert_eq!(t.participants.len(), 100);
+        assert_eq!(t.all_prefixes().len(), 5_000);
+        // Prefixes are globally unique.
+        let set: PrefixSet = t.all_prefixes().into_iter().collect();
+        assert_eq!(set.len(), 5_000);
+    }
+
+    #[test]
+    fn skew_matches_published_shape() {
+        let t = IxpTopology::generate(IxpProfile::ams_ix(300, 30_000), 1);
+        // ~1% of ASes announce more than 50%.
+        assert!(t.top_share(0.01) > 0.5, "top 1% share = {}", t.top_share(0.01));
+        // The bottom 90% announce only a few percent.
+        let bottom_90 = 1.0 - t.top_share(0.10);
+        assert!(bottom_90 < 0.05, "bottom 90% share = {bottom_90}");
+        // Everyone announces at least one prefix.
+        for p in &t.participants {
+            assert!(!t.announced_by(p.id).is_empty());
+        }
+    }
+
+    #[test]
+    fn install_populates_runtime() {
+        let t = IxpTopology::generate(IxpProfile::ams_ix(20, 500), 3);
+        let mut sdx = SdxRuntime::default();
+        t.install(&mut sdx);
+        assert_eq!(sdx.participants().count(), 20);
+        assert_eq!(sdx.route_server().prefix_count(), 500);
+    }
+
+    #[test]
+    fn ordering_is_by_prefix_count() {
+        let t = topo();
+        let order = t.by_prefix_count();
+        let counts: Vec<usize> = order.iter().map(|id| t.announced_by(*id).len()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn ports_are_unique_and_physical() {
+        let t = topo();
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &t.participants {
+            for port in &p.ports {
+                assert!(port.port < sdx_core::VPORT_BASE);
+                assert!(seen.insert(port.port), "duplicate port {}", port.port);
+            }
+        }
+    }
+}

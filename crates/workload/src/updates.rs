@@ -1,0 +1,333 @@
+//! BGP update traces with the burst statistics of Table 1 / §4.3.2:
+//!
+//! * only 10–14% of prefixes see any update over a week;
+//! * updates arrive in bursts, 75% of which touch at most three prefixes;
+//! * inter-burst gaps are ≥ 10 s 75% of the time and ≥ 60 s half the time.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sdx_bgp::{PathAttributes, Update};
+use sdx_core::ParticipantId;
+use sdx_ip::Prefix;
+use serde::{Deserialize, Serialize};
+
+use crate::IxpTopology;
+
+/// Trace generation knobs; the defaults reproduce the published statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Trace duration in (virtual) seconds. A week is 604 800.
+    pub duration_s: u64,
+    /// Fraction of prefixes eligible to flap (the "unstable" set).
+    pub unstable_fraction: f64,
+    /// Probability an update is a withdrawal (vs a re-announcement with a
+    /// different path).
+    pub withdraw_probability: f64,
+    /// Mean number of raw feed updates per best-path-change event (BGP path
+    /// exploration and duplicate announcements). Table 1 counts raw updates;
+    /// the SDX only reacts to the change events.
+    pub raw_multiplicity_mean: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            duration_s: 604_800,
+            unstable_fraction: 0.12,
+            withdraw_probability: 0.25,
+            raw_multiplicity_mean: 420.0,
+        }
+    }
+}
+
+/// One timestamped update from a participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time, seconds from trace start.
+    pub at_s: u64,
+    /// The announcing/withdrawing participant.
+    pub from: ParticipantId,
+    /// The update.
+    pub update: Update,
+}
+
+/// A generated trace plus its summary statistics.
+#[derive(Debug, Clone)]
+pub struct UpdateTrace {
+    /// The events, time-ordered.
+    pub events: Vec<TraceEvent>,
+    /// Number of bursts generated.
+    pub bursts: usize,
+    /// Distinct prefixes that saw at least one update.
+    pub prefixes_updated: usize,
+    /// Total best-path-change events (announcements + withdrawals).
+    pub updates: usize,
+    /// Modeled raw feed updates (change events times path-exploration
+    /// multiplicity) — the quantity Table 1 reports.
+    pub raw_updates: usize,
+    /// Size of the unstable prefix set; over a full-length trace the
+    /// background churn touches all of it, so Table 1's "prefixes seeing
+    /// updates" equals this.
+    pub unstable_prefixes: usize,
+}
+
+/// Draw an inter-burst gap matching the published distribution.
+fn gap_seconds(rng: &mut StdRng) -> u64 {
+    let r: f64 = rng.gen();
+    if r < 0.25 {
+        rng.gen_range(1..10) // the impatient quartile
+    } else if r < 0.50 {
+        rng.gen_range(10..60)
+    } else {
+        rng.gen_range(60..600) // half the gaps exceed a minute
+    }
+}
+
+/// Draw a burst size: 75% ≤ 3 prefixes, a tail up to ~100, and (rarely)
+/// a four-digit burst like the single >1000-prefix event the paper saw.
+fn burst_size(rng: &mut StdRng) -> usize {
+    let r: f64 = rng.gen();
+    if r < 0.75 {
+        rng.gen_range(1..=3)
+    } else if r < 0.95 {
+        rng.gen_range(4..=20)
+    } else if r < 0.9995 {
+        rng.gen_range(21..=100)
+    } else {
+        rng.gen_range(1_000..=2_000)
+    }
+}
+
+/// Generate a trace over the topology's announced prefixes.
+pub fn generate_trace(topology: &IxpTopology, config: TraceConfig, seed: u64) -> UpdateTrace {
+    let mut events = Vec::new();
+    let summary = generate_trace_with(topology, config, seed, |e| events.push(e));
+    UpdateTrace { events, ..summary }
+}
+
+/// Streaming trace statistics: runs the same generator without storing the
+/// events (full-scale Table 1 traces have tens of millions of updates).
+pub fn trace_stats(topology: &IxpTopology, config: TraceConfig, seed: u64) -> UpdateTrace {
+    generate_trace_with(topology, config, seed, |_| {})
+}
+
+/// The generator core: emits every event to `sink` and returns the summary
+/// (with an empty `events` vector).
+pub fn generate_trace_with(
+    topology: &IxpTopology,
+    config: TraceConfig,
+    seed: u64,
+    mut sink: impl FnMut(TraceEvent),
+) -> UpdateTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // The unstable subset: flaps are confined to it, so the fraction of
+    // prefixes ever updated lands near `unstable_fraction`.
+    // One instance per distinct prefix (multi-homed prefixes flap at their
+    // primary announcer).
+    let mut seen = std::collections::BTreeSet::new();
+    let mut owners: Vec<(Prefix, ParticipantId, PathAttributes)> = topology
+        .announcements
+        .iter()
+        .flat_map(|a| a.prefixes.iter().map(move |p| (*p, a.from, a.attrs.clone())))
+        .filter(|(p, _, _)| seen.insert(*p))
+        .collect();
+    owners.shuffle(&mut rng);
+    let unstable_count =
+        ((owners.len() as f64) * config.unstable_fraction).round().max(1.0) as usize;
+    let unstable = &owners[..unstable_count.min(owners.len())];
+
+    let mut touched = std::collections::BTreeSet::new();
+    let mut updates = 0usize;
+    let mut raw_updates = 0usize;
+    let mut bursts = 0usize;
+    let mut now = 0u64;
+
+    loop {
+        now += gap_seconds(&mut rng);
+        if now >= config.duration_s {
+            break;
+        }
+        bursts += 1;
+        let size = burst_size(&mut rng).min(unstable.len());
+        // A burst touches a contiguous run of the (shuffled) unstable set,
+        // approximating the correlated-prefix structure of real bursts.
+        let start = rng.gen_range(0..unstable.len());
+        for k in 0..size {
+            let (prefix, owner, attrs) = &unstable[(start + k) % unstable.len()];
+            touched.insert(*prefix);
+            updates += 1;
+            // Raw-feed multiplicity: geometric-ish with the configured mean.
+            let mean = config.raw_multiplicity_mean.max(1.0);
+            raw_updates += 1 + (-(1.0 - rng.gen::<f64>()).ln() * (mean - 1.0)) as usize;
+            let update = if rng.gen_bool(config.withdraw_probability) {
+                Update::withdraw([*prefix])
+            } else {
+                // Re-announce with a perturbed path (a best-path change).
+                let mut attrs = attrs.clone();
+                attrs.as_path = attrs.as_path.prepend(sdx_bgp::Asn(rng.gen_range(1_000..60_000)));
+                Update::announce([*prefix], attrs)
+            };
+            sink(TraceEvent { at_s: now, from: *owner, update });
+        }
+    }
+
+    UpdateTrace {
+        events: Vec::new(),
+        bursts,
+        prefixes_updated: touched.len(),
+        updates,
+        raw_updates,
+        unstable_prefixes: unstable.len(),
+    }
+}
+
+/// A Table 1 row: the summary statistics the paper reports per IXP dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Exchange name.
+    pub ixp: String,
+    /// Members in the synthetic dataset.
+    pub peers: usize,
+    /// Announced prefixes.
+    pub prefixes: usize,
+    /// Total BGP updates in the trace.
+    pub bgp_updates: usize,
+    /// Percentage of prefixes seeing at least one update.
+    pub pct_prefixes_updated: f64,
+}
+
+/// Summarize a topology + trace as a Table 1 row. Reports raw feed updates
+/// and the unstable-set size (the prefixes a week of churn touches).
+pub fn table1_row(topology: &IxpTopology, trace: &UpdateTrace) -> Table1Row {
+    let prefixes = topology.all_prefixes().len();
+    Table1Row {
+        ixp: topology.profile.name.clone(),
+        peers: topology.profile.participants,
+        prefixes,
+        bgp_updates: trace.raw_updates,
+        pct_prefixes_updated: 100.0 * trace.unstable_prefixes as f64 / prefixes as f64,
+    }
+}
+
+/// Burst-level summary used to validate the trace against §4.3.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstStats {
+    /// Fraction of bursts touching ≤ 3 prefixes.
+    pub small_burst_fraction: f64,
+    /// Fraction of inter-burst gaps ≥ 10 s.
+    pub gap_ge_10s_fraction: f64,
+    /// Fraction of inter-burst gaps ≥ 60 s.
+    pub gap_ge_60s_fraction: f64,
+}
+
+/// Compute burst statistics from a trace.
+pub fn burst_stats(trace: &UpdateTrace) -> BurstStats {
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut times: Vec<u64> = Vec::new();
+    let mut last_t = None;
+    for e in &trace.events {
+        if last_t == Some(e.at_s) {
+            *sizes.last_mut().unwrap() += 1;
+        } else {
+            sizes.push(1);
+            times.push(e.at_s);
+            last_t = Some(e.at_s);
+        }
+    }
+    let gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let frac = |pred: &dyn Fn(&u64) -> bool| {
+        if gaps.is_empty() {
+            return 0.0;
+        }
+        gaps.iter().filter(|g| pred(g)).count() as f64 / gaps.len() as f64
+    };
+    BurstStats {
+        small_burst_fraction: if sizes.is_empty() {
+            0.0
+        } else {
+            sizes.iter().filter(|s| **s <= 3).count() as f64 / sizes.len() as f64
+        },
+        gap_ge_10s_fraction: frac(&|g| *g >= 10),
+        gap_ge_60s_fraction: frac(&|g| *g >= 60),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IxpProfile;
+
+    fn topo() -> IxpTopology {
+        IxpTopology::generate(IxpProfile::ams_ix(60, 4_000), 3)
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = topo();
+        let a = generate_trace(&t, TraceConfig::default(), 9);
+        let b = generate_trace(&t, TraceConfig::default(), 9);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn respects_unstable_fraction() {
+        let t = topo();
+        let trace = generate_trace(&t, TraceConfig::default(), 9);
+        let frac = trace.prefixes_updated as f64 / t.all_prefixes().len() as f64;
+        assert!(frac > 0.02 && frac <= 0.15, "updated fraction {frac}");
+    }
+
+    #[test]
+    fn burst_statistics_match_paper() {
+        let t = topo();
+        let trace = generate_trace(&t, TraceConfig::default(), 9);
+        let stats = burst_stats(&trace);
+        assert!(stats.small_burst_fraction > 0.65, "{stats:?}");
+        assert!(stats.gap_ge_10s_fraction > 0.65, "{stats:?}");
+        assert!(stats.gap_ge_60s_fraction > 0.40, "{stats:?}");
+        assert!(stats.gap_ge_60s_fraction < 0.62, "{stats:?}");
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_typed() {
+        let t = topo();
+        let trace = generate_trace(&t, TraceConfig::default(), 9);
+        assert!(trace.events.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        let withdrawals = trace
+            .events
+            .iter()
+            .filter(|e| !e.update.withdraw.is_empty())
+            .count();
+        assert!(withdrawals > 0);
+        assert!(withdrawals < trace.events.len());
+    }
+
+    #[test]
+    fn table1_row_reports_percentages() {
+        let t = topo();
+        let trace = generate_trace(&t, TraceConfig::default(), 9);
+        let row = table1_row(&t, &trace);
+        assert_eq!(row.peers, 60);
+        assert_eq!(row.prefixes, 4_000);
+        assert!(row.pct_prefixes_updated > 5.0 && row.pct_prefixes_updated < 20.0);
+        assert_eq!(row.bgp_updates, trace.raw_updates);
+        // Raw updates are far more numerous than change events.
+        assert!(trace.raw_updates > trace.updates * 50);
+    }
+
+    #[test]
+    fn updates_apply_cleanly_to_a_runtime() {
+        let t = IxpTopology::generate(IxpProfile::ams_ix(20, 300), 3);
+        let mut sdx = sdx_core::SdxRuntime::default();
+        t.install(&mut sdx);
+        sdx.compile().unwrap();
+        let trace = generate_trace(&t, TraceConfig { duration_s: 3_600, ..Default::default() }, 4);
+        for e in trace.events.iter().take(50) {
+            sdx.apply_update(e.from, &e.update);
+        }
+        // The fast path processed them all.
+        assert!(sdx.incremental_stats().updates > 0);
+    }
+}

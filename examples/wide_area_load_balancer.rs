@@ -1,0 +1,161 @@
+//! The paper's second deployment experiment (Figure 4b / 5b): wide-area
+//! server load balancing by a *remote* participant.
+//!
+//! An AWS tenant with no physical presence at the exchange announces an
+//! anycast service prefix through the SDX and, at t=246 s, installs a policy
+//! rewriting request destinations by client source — splitting load across
+//! two server instances reachable via different transits.
+//!
+//! Run with: `cargo run --example wide_area_load_balancer`
+
+use std::net::Ipv4Addr;
+
+use sdx::bgp::{AsPath, Asn, PathAttributes};
+use sdx::core::{
+    Clause, Dest, FabricSim, Participant, ParticipantId, ParticipantPolicy, PortConfig, SdxRuntime,
+};
+use sdx::ip::MacAddr;
+use sdx::policy::Field;
+use sdx::workload::{render_series, run_timeline, FlowSpec, TimelineEvent, TrafficBin};
+
+const A: ParticipantId = ParticipantId(1); // eyeball hosting the clients
+const B: ParticipantId = ParticipantId(2); // transit to instance #1
+const C: ParticipantId = ParticipantId(3); // transit to instance #2
+const TENANT: ParticipantId = ParticipantId(4); // remote AWS tenant
+
+const ANYCAST: &str = "74.125.1.0/24";
+const INSTANCE_1: &str = "52.10.0.10";
+const INSTANCE_2: &str = "52.20.0.20";
+
+fn port(n: u32, ip_last: u8) -> PortConfig {
+    PortConfig {
+        port: n,
+        mac: MacAddr::from_u64(0x0a00_0000_0000 + n as u64),
+        ip: Ipv4Addr::new(172, 0, 0, ip_last),
+    }
+}
+
+fn main() {
+    let mut sdx = SdxRuntime::default();
+    sdx.add_participant(Participant::new(A, Asn(65001), vec![port(1, 11)]));
+    sdx.add_participant(Participant::new(B, Asn(65002), vec![port(2, 21)]));
+    sdx.add_participant(Participant::new(C, Asn(65003), vec![port(3, 31)]));
+    sdx.add_participant(Participant::remote(TENANT, Asn(64500)));
+
+    // Transits reach the two instance prefixes.
+    sdx.announce(
+        B,
+        ["52.10.0.0/16".parse().unwrap()],
+        PathAttributes::new(AsPath::sequence([65002, 16509]), Ipv4Addr::new(172, 0, 0, 21)),
+    );
+    sdx.announce(
+        C,
+        ["52.20.0.0/16".parse().unwrap()],
+        PathAttributes::new(AsPath::sequence([65003, 16509]), Ipv4Addr::new(172, 0, 0, 31)),
+    );
+    // The tenant announces the anycast service prefix *through the SDX*.
+    sdx.announce(
+        TENANT,
+        [ANYCAST.parse().unwrap()],
+        PathAttributes::new(AsPath::sequence([64500]), Ipv4Addr::new(172, 0, 0, 99)),
+    );
+
+    // Initially every request goes to instance #1.
+    let initial = ParticipantPolicy::new().inbound(
+        Clause {
+            match_: sdx::policy::Predicate::True,
+            dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
+            rewrites: vec![(
+                Field::DstIp,
+                u32::from(INSTANCE_1.parse::<Ipv4Addr>().unwrap()) as u64,
+            )],
+            dest: Dest::BgpDefault,
+            unfiltered: false,
+        },
+    );
+    sdx.set_policy(TENANT, initial);
+    sdx.compile().expect("initial compilation");
+
+    let mut sim = FabricSim::new(sdx);
+
+    // Three client flows towards the anycast address; one client
+    // (204.57.0.67) will be shifted to instance #2.
+    let flow = |src: [u8; 4], sport: u16| FlowSpec {
+        from: A,
+        src: Ipv4Addr::from(src),
+        dst: "74.125.1.1".parse().unwrap(),
+        src_port: sport,
+        dst_port: 80,
+        rate_mbps: 1.0,
+    };
+    let flows = [
+        flow([204, 57, 0, 67], 1001),
+        flow([10, 8, 0, 5], 1002),
+        flow([10, 9, 0, 6], 1003),
+    ];
+
+    let events = vec![TimelineEvent::at(246, |sim: &mut FabricSim| {
+        println!("# t=246: tenant installs the wide-area load-balance policy");
+        let balanced = ParticipantPolicy::new()
+            // The shifted client goes to instance #2...
+            .inbound(
+                Clause {
+                    match_: sdx::policy::Predicate::test_prefix(
+                        Field::SrcIp,
+                        "204.57.0.0/16".parse().unwrap(),
+                    ),
+                    dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
+                    rewrites: vec![(
+                        Field::DstIp,
+                        u32::from(INSTANCE_2.parse::<Ipv4Addr>().unwrap()) as u64,
+                    )],
+                    dest: Dest::BgpDefault,
+                    unfiltered: false,
+                },
+            )
+            // ...everyone else stays on instance #1.
+            .inbound(
+                Clause {
+                    match_: sdx::policy::Predicate::True,
+                    dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
+                    rewrites: vec![(
+                        Field::DstIp,
+                        u32::from(INSTANCE_1.parse::<Ipv4Addr>().unwrap()) as u64,
+                    )],
+                    dest: Dest::BgpDefault,
+                    unfiltered: false,
+                },
+            );
+        sim.runtime_mut().set_policy(TENANT, balanced);
+        sim.runtime_mut().compile().expect("recompilation");
+    })];
+
+    let bins = run_timeline(&mut sim, &flows, events, 600, 15);
+
+    let inst = |ip: &'static str| {
+        move |b: &TrafficBin| {
+            b.mbps_by_destination
+                .get(&ip.parse::<Ipv4Addr>().unwrap())
+                .copied()
+                .unwrap_or(0.0)
+        }
+    };
+    println!("# Figure 5b — traffic rate by AWS instance (Mbps)");
+    print!(
+        "{}",
+        render_series(
+            &bins,
+            &[
+                ("instance_1", Box::new(inst(INSTANCE_1))),
+                ("instance_2", Box::new(inst(INSTANCE_2))),
+            ],
+        )
+    );
+
+    let at = |t: u64| bins.iter().find(|b| b.t_s == t).unwrap();
+    assert_eq!(inst(INSTANCE_1)(at(0)), 3.0);
+    assert_eq!(inst(INSTANCE_2)(at(0)), 0.0);
+    assert_eq!(inst(INSTANCE_1)(at(255)), 2.0);
+    assert_eq!(inst(INSTANCE_2)(at(255)), 1.0);
+    println!("# shape check passed: (3.0, 0.0) → (2.0, 1.0) at the policy install");
+}

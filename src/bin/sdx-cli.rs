@@ -1,0 +1,38 @@
+//! `sdx-cli` — drive a software-defined exchange from a scenario file.
+//!
+//! ```bash
+//! cargo run --bin sdx-cli -- scenarios/figure1.sdx
+//! cat scenario.sdx | cargo run --bin sdx-cli
+//! ```
+//!
+//! See `sdx::scenario` for the command language.
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let input = match args.get(1).map(String::as_str) {
+        Some("--help") | Some("-h") => {
+            eprintln!("usage: sdx-cli [SCENARIO-FILE]   (reads stdin if no file)");
+            eprintln!("commands: participant remote announce withdraw deny-export");
+            eprintln!("          policy compile send table groups advertisements echo");
+            return;
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("sdx-cli: cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            buf
+        }
+    };
+    match sdx::scenario::run_scenario(&input) {
+        Ok(transcript) => print!("{transcript}"),
+        Err(e) => {
+            eprintln!("sdx-cli: {e}");
+            std::process::exit(1);
+        }
+    }
+}

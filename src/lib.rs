@@ -1,0 +1,20 @@
+//! SDX — a Software Defined Internet Exchange.
+//!
+//! This facade crate re-exports the whole workspace so applications can use a
+//! single dependency. See the individual crates for details:
+//!
+//! * [`ip`] — IPv4 prefixes, tries, sets, MAC addresses.
+//! * [`policy`] — the Pyretic-style policy language and classifier compiler.
+//! * [`bgp`] — BGP wire codec, RIBs, decision process, route server.
+//! * [`switch`] — software switch, flow tables, ARP, border routers.
+//! * [`core`] — the SDX controller and runtime.
+//! * [`workload`] — synthetic IXP workloads matching the paper's evaluation.
+
+pub mod scenario;
+
+pub use sdx_bgp as bgp;
+pub use sdx_core as core;
+pub use sdx_ip as ip;
+pub use sdx_policy as policy;
+pub use sdx_switch as switch;
+pub use sdx_workload as workload;

@@ -1,0 +1,306 @@
+//! Cross-crate integration tests: the full SDX stack driven end to end —
+//! BGP wire messages into the route server, generated workloads through the
+//! compiler, and packets through the compiled fabric.
+
+use std::net::Ipv4Addr;
+
+use sdx::bgp::wire::{self, Message};
+use sdx::bgp::{
+    AsPath, Asn, PathAttributes, Session, SessionConfig, SessionState, Update,
+};
+use sdx::core::{CompileOptions, FabricSim, SdxRuntime};
+use sdx::ip::Prefix;
+use sdx::policy::{Field, Packet};
+use sdx::workload::{generate_policies, generate_trace, IxpProfile, IxpTopology, TraceConfig};
+
+/// A workload-sized exchange compiles and forwards with zero misdirections.
+#[test]
+fn generated_workload_forwards_cleanly() {
+    let topology = IxpTopology::generate(IxpProfile::ams_ix(30, 600), 17);
+    let mix = generate_policies(&topology, 17);
+    let mut sdx = SdxRuntime::default();
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    let stats = sdx.compile().expect("compiles");
+    assert!(stats.rules > 0);
+
+    let mut sim = FabricSim::new(sdx);
+    sim.sync();
+
+    // Fire traffic from every participant to a sample of every other
+    // participant's prefixes.
+    let participants: Vec<_> = topology.participants.iter().map(|p| p.id).collect();
+    let mut delivered = 0usize;
+    for &from in &participants {
+        let own = topology.announced_by(from);
+        for &to in participants.iter().take(10) {
+            if from == to {
+                continue;
+            }
+            let Some(prefix) = topology.announced_by(to).iter().next().copied() else {
+                continue;
+            };
+            if own.contains(&prefix) {
+                continue; // announcers keep their own prefixes off the fabric
+            }
+            let pkt = Packet::new()
+                .with(Field::EthType, 0x0800u16)
+                .with(Field::IpProto, 6u8)
+                .with(Field::SrcIp, Ipv4Addr::new(198, 51, 100, 1))
+                .with(Field::DstIp, prefix.first_addr())
+                .with(Field::SrcPort, 40_000u16)
+                .with(Field::DstPort, 60_000u16); // avoid policy ports
+            delivered += sim.send_from(from, pkt).len();
+        }
+    }
+    assert!(delivered > 100, "only {delivered} deliveries");
+    let stats = sim.runtime().switch().stats();
+    assert_eq!(stats.misdirected, 0);
+    assert_eq!(stats.bad_ingress, 0);
+}
+
+/// Default forwarding delivers to the participant the route server picked.
+#[test]
+fn default_forwarding_agrees_with_route_server() {
+    let topology = IxpTopology::generate(IxpProfile::ams_ix(20, 400), 23);
+    let mut sdx = SdxRuntime::default();
+    topology.install(&mut sdx);
+    // No policies at all: everything follows BGP.
+    sdx.compile().unwrap();
+    let mut sim = FabricSim::new(sdx);
+    sim.sync();
+
+    let sender = topology.participants[0].id;
+    let own = topology.announced_by(sender);
+    for announcement in topology.announcements.iter().take(15) {
+        let Some(prefix) = announcement.prefixes.first() else {
+            continue;
+        };
+        if own.contains(prefix) {
+            continue;
+        }
+        let expect = sim
+            .runtime()
+            .route_server()
+            .best_route(prefix, sender.peer())
+            .map(|c| c.peer);
+        let pkt = Packet::new()
+            .with(Field::EthType, 0x0800u16)
+            .with(Field::IpProto, 17u8)
+            .with(Field::SrcIp, Ipv4Addr::new(198, 51, 100, 9))
+            .with(Field::DstIp, prefix.first_addr())
+            .with(Field::SrcPort, 1u16)
+            .with(Field::DstPort, 2u16);
+        let out = sim.send_from(sender, pkt);
+        match expect {
+            Some(peer) => {
+                assert_eq!(out.len(), 1, "{prefix}");
+                assert_eq!(out[0].to.peer(), peer, "{prefix}");
+            }
+            None => assert!(out.is_empty(), "{prefix}"),
+        }
+    }
+}
+
+/// A trace of BGP updates keeps forwarding consistent with the route
+/// server's evolving view, through the fast path and reoptimization.
+#[test]
+fn update_trace_keeps_dataplane_in_sync() {
+    let topology = IxpTopology::generate(IxpProfile::ams_ix(15, 200), 29);
+    let mut sdx = SdxRuntime::default();
+    topology.install(&mut sdx);
+    sdx.compile().unwrap();
+    let mut sim = FabricSim::new(sdx);
+    sim.sync();
+
+    let trace = generate_trace(
+        &topology,
+        TraceConfig { duration_s: 7_200, unstable_fraction: 0.5, ..Default::default() },
+        31,
+    );
+    let sender = topology.participants[2].id;
+    let mut checked = 0;
+    for (i, event) in trace.events.iter().enumerate() {
+        sim.runtime_mut().apply_update(event.from, &event.update);
+        sim.sync();
+        // Every 10 events, verify a touched prefix forwards to its current
+        // best route.
+        if i % 10 != 0 {
+            continue;
+        }
+        let Some(prefix) = event.update.touched_prefixes().next().copied() else {
+            continue;
+        };
+        if sim.runtime().route_server().announced_by(sender.peer()).contains(&prefix) {
+            continue;
+        }
+        let expect = sim
+            .runtime()
+            .route_server()
+            .best_route(&prefix, sender.peer())
+            .map(|c| c.peer);
+        let pkt = Packet::new()
+            .with(Field::EthType, 0x0800u16)
+            .with(Field::IpProto, 17u8)
+            .with(Field::SrcIp, Ipv4Addr::new(198, 51, 100, 9))
+            .with(Field::DstIp, prefix.first_addr())
+            .with(Field::SrcPort, 1u16)
+            .with(Field::DstPort, 2u16);
+        let out = sim.send_from(sender, pkt);
+        match expect {
+            Some(peer) if peer != sender.peer() => {
+                assert_eq!(out.len(), 1, "event {i}, prefix {prefix}");
+                assert_eq!(out[0].to.peer(), peer, "event {i}, prefix {prefix}");
+                checked += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(checked > 5, "only {checked} checks exercised");
+
+    // Background reoptimization coalesces overlays without changing behavior.
+    sim.runtime_mut().reoptimize().unwrap();
+    assert!(sim.runtime().overlays().is_empty());
+}
+
+/// BGP wire messages survive the full encode → stream → decode → route
+/// server path.
+#[test]
+fn wire_messages_drive_the_route_server() {
+    let update = Update::announce(
+        ["203.0.113.0/24".parse::<Prefix>().unwrap()],
+        PathAttributes::new(AsPath::sequence([65002, 3356]), Ipv4Addr::new(10, 0, 0, 2)),
+    );
+    // Encode on the "router" side.
+    let bytes = wire::encode(&Message::Update(update.clone()));
+    // Decode on the route-server side.
+    let (decoded, _) = wire::decode(&bytes).unwrap();
+    let Message::Update(got) = decoded else {
+        panic!("wrong message type");
+    };
+    assert_eq!(got, update);
+
+    let mut sdx = SdxRuntime::default();
+    let a = sdx::core::ParticipantId(1);
+    let b = sdx::core::ParticipantId(2);
+    sdx.add_participant(sdx::core::Participant::new(
+        a,
+        Asn(65001),
+        vec![sdx::core::PortConfig {
+            port: 1,
+            mac: sdx::ip::MacAddr::from_u64(1),
+            ip: Ipv4Addr::new(172, 0, 0, 1),
+        }],
+    ));
+    sdx.add_participant(sdx::core::Participant::new(
+        b,
+        Asn(65002),
+        vec![sdx::core::PortConfig {
+            port: 2,
+            mac: sdx::ip::MacAddr::from_u64(2),
+            ip: Ipv4Addr::new(172, 0, 0, 2),
+        }],
+    ));
+    sdx.apply_update(b, &got);
+    let best = sdx
+        .route_server()
+        .best_route(&"203.0.113.0/24".parse().unwrap(), a.peer())
+        .unwrap();
+    assert_eq!(best.peer, b.peer());
+}
+
+/// Two BGP session FSMs, wired over the in-memory transport, reach
+/// Established and deliver an update that then lands in a route server.
+#[test]
+fn session_fsm_feeds_route_server() {
+    let mut router = Session::new(SessionConfig {
+        asn: Asn(65002),
+        router_id: sdx::bgp::RouterId(2),
+        hold_time: 90,
+    });
+    let mut server = Session::new(SessionConfig {
+        asn: Asn(64512),
+        router_id: sdx::bgp::RouterId(1),
+        hold_time: 90,
+    });
+    let (mut re, mut se) = sdx::bgp::session::pipe();
+
+    let update = Update::announce(
+        ["198.18.0.0/15".parse::<Prefix>().unwrap()],
+        PathAttributes::new(AsPath::sequence([65002]), Ipv4Addr::new(10, 0, 0, 2)),
+    );
+    let (_, delivered_to_server) = sdx::bgp::session::run_pair(
+        &mut router,
+        &mut server,
+        &mut re,
+        &mut se,
+        vec![update.clone()],
+        Vec::new(),
+    );
+    assert_eq!(router.state(), SessionState::Established);
+    assert_eq!(server.state(), SessionState::Established);
+    assert_eq!(delivered_to_server, vec![update.clone()]);
+
+    let mut rs = sdx::bgp::RouteServer::new();
+    rs.add_peer(sdx::bgp::PeerId(2), Asn(65002), sdx::bgp::RouterId(2));
+    rs.add_peer(sdx::bgp::PeerId(3), Asn(65003), sdx::bgp::RouterId(3));
+    for u in delivered_to_server {
+        rs.apply_update(sdx::bgp::PeerId(2), &u);
+    }
+    assert!(rs
+        .best_route(&"198.18.0.0/15".parse().unwrap(), sdx::bgp::PeerId(3))
+        .is_some());
+}
+
+/// Naive (no-VNH) compilation forwards identically on a generated workload.
+#[test]
+fn vnh_optimization_is_semantically_transparent() {
+    let topology = IxpTopology::generate(IxpProfile::ams_ix(12, 150), 37);
+    let mix = generate_policies(&topology, 37);
+
+    let build = |options: CompileOptions| {
+        let mut sdx = SdxRuntime::new(options);
+        topology.install(&mut sdx);
+        for (id, policy) in &mix.policies {
+            sdx.set_policy(*id, policy.clone());
+        }
+        sdx.compile().unwrap();
+        let mut sim = FabricSim::new(sdx);
+        sim.sync();
+        sim
+    };
+    let mut vnh = build(CompileOptions::default());
+    let mut naive = build(CompileOptions { use_vnh: false, ..Default::default() });
+
+    let participants: Vec<_> = topology.participants.iter().map(|p| p.id).collect();
+    for &from in participants.iter().take(6) {
+        let own = topology.announced_by(from);
+        for &to in &participants {
+            if from == to {
+                continue;
+            }
+            let Some(prefix) = topology.announced_by(to).iter().next().copied() else {
+                continue;
+            };
+            if own.contains(&prefix) {
+                continue;
+            }
+            for dport in [80u16, 443, 12345] {
+                let pkt = Packet::new()
+                    .with(Field::EthType, 0x0800u16)
+                    .with(Field::IpProto, 6u8)
+                    .with(Field::SrcIp, Ipv4Addr::new(198, 51, 100, 1))
+                    .with(Field::DstIp, prefix.first_addr())
+                    .with(Field::SrcPort, 4_000u16)
+                    .with(Field::DstPort, dport);
+                let a: Vec<_> =
+                    vnh.send_from(from, pkt.clone()).into_iter().map(|d| (d.to, d.port)).collect();
+                let b: Vec<_> =
+                    naive.send_from(from, pkt).into_iter().map(|d| (d.to, d.port)).collect();
+                assert_eq!(a, b, "{from} -> {prefix} :{dport}");
+            }
+        }
+    }
+}
