@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo CI: build, test, lint, format — all offline (the workspace vendors
+# its external dependencies under vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release"
+cargo build --release --offline --workspace
+
+echo "== cargo test"
+cargo test -q --offline --workspace
+
+echo "== cargo clippy"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== sdx-lint scenarios"
+target/release/sdx-lint --quiet scenarios/figure1.sdx
+for s in scenarios/lint-*.sdx; do
+    # Seeded-defect fixtures must be flagged (exit 1) — not crash (exit 2+).
+    if target/release/sdx-lint --quiet "$s" > /dev/null; then
+        echo "ci: $s unexpectedly clean" >&2; exit 1
+    elif [ $? -ne 1 ]; then
+        echo "ci: $s failed to run" >&2; exit 1
+    fi
+done
+
+echo "ci: all green"

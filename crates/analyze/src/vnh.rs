@@ -1,0 +1,229 @@
+//! Pass 4: VNH / ARP consistency.
+//!
+//! The VNH optimization (§4.2) only works when three tables agree: the
+//! compiler's VNH allocation, the flow rules matching VMAC tags, and the
+//! ARP responder that hands senders those tags. This pass cross-checks
+//! them:
+//!
+//! * **`unknown-vmac`** — a sender-stage rule matches a destination MAC
+//!   that is neither an allocated VMAC nor a router interface MAC. No ARP
+//!   answer can ever produce that tag, so the rule is dead — and if
+//!   anything *did* emit it, the composed pipeline's behavior is
+//!   unspecified. In a healthy pipeline this never fires; it catches
+//!   allocator/compiler state divergence.
+//! * **`duplicate-vnh`** — the allocation assigned one VNH IP or one VMAC
+//!   to two forwarding equivalence classes; ARP would answer for only one.
+//! * **`missing-arp`** — a VNH whose VMAC the flow table matches on has no
+//!   ARP binding (checked only when the caller supplies ARP state):
+//!   senders can never resolve the next hop, so the class blackholes.
+//! * **`orphan-vnh`** — an allocated VNH whose VMAC no sender-stage rule
+//!   matches: traffic tagged with it falls through to the fabric's
+//!   catch-all drop.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdx_policy::{Field, Pattern};
+
+use crate::{AnalysisInput, Diagnostic, PassKind, Severity};
+
+/// Run the pass.
+pub fn run(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let router_macs: BTreeSet<u64> = input
+        .participants
+        .iter()
+        .flat_map(|p| p.router_macs.iter().copied())
+        .collect();
+    let vmacs: BTreeSet<u64> = input.vnh.iter().map(|(_, vmac)| *vmac).collect();
+
+    // Duplicate allocations.
+    let mut seen_ip: BTreeMap<std::net::Ipv4Addr, usize> = BTreeMap::new();
+    let mut seen_mac: BTreeMap<u64, usize> = BTreeMap::new();
+    for (g, (ip, vmac)) in input.vnh.iter().enumerate() {
+        if let Some(first) = seen_ip.insert(*ip, g) {
+            out.push(duplicate(format!(
+                "VNH {ip} is allocated to groups {first} and {g}"
+            )));
+        }
+        if let Some(first) = seen_mac.insert(*vmac, g) {
+            out.push(duplicate(format!(
+                "VMAC {vmac:#014x} is allocated to groups {first} and {g}"
+            )));
+        }
+    }
+
+    // Every DstMac the sender stage matches must be a known tag.
+    let mut referenced: BTreeSet<u64> = BTreeSet::new();
+    for (i, rule) in input.stage1.rules().iter().enumerate() {
+        let Some(Pattern::Exact(mac)) = rule.match_.get(Field::DstMac) else {
+            continue;
+        };
+        if vmacs.contains(mac) {
+            referenced.insert(*mac);
+        } else if !router_macs.contains(mac) {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                pass: PassKind::Vnh,
+                code: "unknown-vmac",
+                message: format!(
+                    "sender-stage rule {i} matches dstmac {mac:#014x}, which is neither an \
+                     allocated VMAC nor a router MAC"
+                ),
+                participant: None,
+                clause: None,
+                witness: sdx_policy::witness_outside(&rule.match_, &[]),
+            });
+        }
+    }
+
+    for (g, (ip, vmac)) in input.vnh.iter().enumerate() {
+        if referenced.contains(vmac) {
+            // A referenced VNH must be resolvable by senders.
+            if let Some(bound) = &input.arp_bound {
+                if !bound.contains(ip) {
+                    out.push(Diagnostic {
+                        severity: Severity::Error,
+                        pass: PassKind::Vnh,
+                        code: "missing-arp",
+                        message: format!(
+                            "VNH {ip} (group {g}) is matched by the flow table but has no ARP \
+                             binding; senders cannot resolve it"
+                        ),
+                        participant: None,
+                        clause: None,
+                        witness: None,
+                    });
+                }
+            }
+        } else {
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                pass: PassKind::Vnh,
+                code: "orphan-vnh",
+                message: format!(
+                    "VNH {ip} (group {g}, VMAC {vmac:#014x}) is allocated but no sender-stage \
+                     rule matches its tag; tagged traffic falls through to the catch-all"
+                ),
+                participant: None,
+                clause: None,
+                witness: None,
+            });
+        }
+    }
+}
+
+fn duplicate(message: String) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Error,
+        pass: PassKind::Vnh,
+        code: "duplicate-vnh",
+        message,
+        participant: None,
+        clause: None,
+        witness: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParticipantInfo;
+    use sdx_policy::{Classifier, Match, Rule};
+    use std::net::Ipv4Addr;
+
+    fn stage1_matching(vmacs: &[u64]) -> Classifier {
+        Classifier::new(
+            vmacs
+                .iter()
+                .map(|m| Rule::pass(Match::on(Field::DstMac, Pattern::Exact(*m))))
+                .collect(),
+        )
+    }
+
+    fn base_input(vnh: Vec<(Ipv4Addr, u64)>, stage1: Classifier) -> AnalysisInput {
+        AnalysisInput {
+            participants: vec![ParticipantInfo {
+                id: 1,
+                vport: 1_000_001,
+                ports: vec![1],
+                router_macs: vec![0xaa],
+                outbound: Vec::new(),
+                inbound: Vec::new(),
+            }],
+            stage1,
+            vnh,
+            vport_base: 1_000_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn consistent_tables_are_clean() {
+        let input = base_input(
+            vec![(Ipv4Addr::new(172, 1, 0, 1), 0xbb)],
+            stage1_matching(&[0xbb, 0xaa]),
+        );
+        let mut out = Vec::new();
+        run(&input, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unreferenced_tag_in_flow_table_is_flagged() {
+        // The flow table matches VMAC 0xcc, but the allocation only knows
+        // 0xbb — e.g. a stale table from a previous allocation epoch.
+        let input = base_input(
+            vec![(Ipv4Addr::new(172, 1, 0, 1), 0xbb)],
+            stage1_matching(&[0xbb, 0xcc]),
+        );
+        let mut out = Vec::new();
+        run(&input, &mut out);
+        let hits: Vec<_> = out.iter().filter(|d| d.code == "unknown-vmac").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn missing_arp_binding_is_flagged() {
+        let mut input = base_input(
+            vec![
+                (Ipv4Addr::new(172, 1, 0, 1), 0xbb),
+                (Ipv4Addr::new(172, 1, 0, 2), 0xcc),
+            ],
+            stage1_matching(&[0xbb, 0xcc]),
+        );
+        // Only the first VNH is ARP-bound.
+        input.arp_bound = Some([Ipv4Addr::new(172, 1, 0, 1)].into_iter().collect());
+        let mut out = Vec::new();
+        run(&input, &mut out);
+        let hits: Vec<_> = out.iter().filter(|d| d.code == "missing-arp").collect();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("172.1.0.2"));
+    }
+
+    #[test]
+    fn duplicate_allocation_is_flagged() {
+        let input = base_input(
+            vec![
+                (Ipv4Addr::new(172, 1, 0, 1), 0xbb),
+                (Ipv4Addr::new(172, 1, 0, 1), 0xcc),
+            ],
+            stage1_matching(&[0xbb, 0xcc]),
+        );
+        let mut out = Vec::new();
+        run(&input, &mut out);
+        assert_eq!(out.iter().filter(|d| d.code == "duplicate-vnh").count(), 1);
+    }
+
+    #[test]
+    fn orphan_vnh_is_a_warning() {
+        let input = base_input(
+            vec![(Ipv4Addr::new(172, 1, 0, 1), 0xbb)],
+            stage1_matching(&[]),
+        );
+        let mut out = Vec::new();
+        run(&input, &mut out);
+        let hits: Vec<_> = out.iter().filter(|d| d.code == "orphan-vnh").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warning);
+    }
+}

@@ -7,7 +7,10 @@ use sdx_core::{CompileOptions, SdxRuntime};
 use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 
 fn setup() -> (SdxRuntime, sdx_core::ParticipantId, Update) {
-    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(80, 3_000) };
+    let profile = IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(80, 3_000)
+    };
     let topology = IxpTopology::generate(profile, 45);
     let mix = generate_policies_with_groups(&topology, 200, 45);
     let mut sdx = SdxRuntime::new(CompileOptions::default());
@@ -16,7 +19,13 @@ fn setup() -> (SdxRuntime, sdx_core::ParticipantId, Update) {
         sdx.set_policy(*id, policy.clone());
     }
     sdx.compile().unwrap();
-    let prefix = *sdx.compilation().unwrap().group_index.keys().next().unwrap();
+    let prefix = *sdx
+        .compilation()
+        .unwrap()
+        .group_index
+        .keys()
+        .next()
+        .unwrap();
     let a = topology
         .announcements
         .iter()
@@ -31,7 +40,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fastpath");
     g.sample_size(10);
     let (mut sdx, from, update) = setup();
-    g.bench_function("update_fast_path", |b| b.iter(|| sdx.apply_update(from, &update)));
+    g.bench_function("update_fast_path", |b| {
+        b.iter(|| sdx.apply_update(from, &update))
+    });
     let (mut sdx, from, update) = setup();
     g.bench_function("update_full_recompile", |b| {
         b.iter(|| {

@@ -7,7 +7,10 @@ use sdx_core::{CompileOptions, SdxRuntime};
 use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 
 fn build(options: CompileOptions) -> SdxRuntime {
-    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(60, 3_000) };
+    let profile = IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(60, 3_000)
+    };
     let topology = IxpTopology::generate(profile, 42);
     let mix = generate_policies_with_groups(&topology, 150, 42);
     let mut sdx = SdxRuntime::new(options);
@@ -22,16 +25,21 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_mds");
     g.sample_size(10);
     for &use_vnh in &[true, false] {
-        let options = CompileOptions { use_vnh, ..Default::default() };
+        let options = CompileOptions {
+            use_vnh,
+            ..Default::default()
+        };
         let mut sdx = build(options);
         let stats = sdx.compile().unwrap();
         eprintln!(
             "ablation_mds: use_vnh={use_vnh} -> {} rules, {} groups",
             stats.rules, stats.groups
         );
-        g.bench_with_input(BenchmarkId::new("compile", format!("vnh_{use_vnh}")), &(), |b, _| {
-            b.iter(|| sdx.compile().unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compile", format!("vnh_{use_vnh}")),
+            &(),
+            |b, _| b.iter(|| sdx.compile().unwrap()),
+        );
     }
     g.finish();
 }

@@ -9,10 +9,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_memo");
     g.sample_size(10);
     for &memoize in &[true, false] {
-        let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(80, 3_000) };
+        let profile = IxpProfile {
+            multi_home_fraction: 0.0,
+            ..IxpProfile::ams_ix(80, 3_000)
+        };
         let topology = IxpTopology::generate(profile, 44);
         let mix = generate_policies_with_groups(&topology, 200, 44);
-        let mut sdx = SdxRuntime::new(CompileOptions { memoize, ..Default::default() });
+        let mut sdx = SdxRuntime::new(CompileOptions {
+            memoize,
+            ..Default::default()
+        });
         topology.install(&mut sdx);
         for (id, policy) in &mix.policies {
             sdx.set_policy(*id, policy.clone());

@@ -10,7 +10,10 @@ use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pairwise");
     g.sample_size(10);
-    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(60, 3_000) };
+    let profile = IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(60, 3_000)
+    };
     let topology = IxpTopology::generate(profile, 43);
     let mix = generate_policies_with_groups(&topology, 150, 43);
     let mut sdx = SdxRuntime::new(CompileOptions::default());
@@ -23,10 +26,17 @@ fn bench(c: &mut Criterion) {
     let (s1, s2) = (compilation.stage1.clone(), compilation.stage2.clone());
 
     // The two variants must agree.
-    assert_eq!(sequential_compose(&s1, &s2), sequential_compose_naive(&s1, &s2));
+    assert_eq!(
+        sequential_compose(&s1, &s2),
+        sequential_compose_naive(&s1, &s2)
+    );
 
-    g.bench_function("compose_pruned", |b| b.iter(|| sequential_compose(&s1, &s2)));
-    g.bench_function("compose_all_pairs", |b| b.iter(|| sequential_compose_naive(&s1, &s2)));
+    g.bench_function("compose_pruned", |b| {
+        b.iter(|| sequential_compose(&s1, &s2))
+    });
+    g.bench_function("compose_all_pairs", |b| {
+        b.iter(|| sequential_compose_naive(&s1, &s2))
+    });
     g.finish();
 }
 

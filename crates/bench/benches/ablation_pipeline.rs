@@ -8,10 +8,16 @@ use sdx_core::{CompileOptions, SdxRuntime};
 use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 
 fn build(multi_table: bool) -> SdxRuntime {
-    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(100, 5_000) };
+    let profile = IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(100, 5_000)
+    };
     let topology = IxpTopology::generate(profile, 46);
     let mix = generate_policies_with_groups(&topology, 300, 46);
-    let mut sdx = SdxRuntime::new(CompileOptions { multi_table, ..Default::default() });
+    let mut sdx = SdxRuntime::new(CompileOptions {
+        multi_table,
+        ..Default::default()
+    });
     topology.install(&mut sdx);
 
     // Composition's cost is the cross-product of sender rules with receiver

@@ -9,7 +9,10 @@ use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_update");
     g.sample_size(20);
-    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(100, 5_000) };
+    let profile = IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(100, 5_000)
+    };
     let topology = IxpTopology::generate(profile, 10);
     let mix = generate_policies_with_groups(&topology, 300, 10);
     let mut sdx = SdxRuntime::new(CompileOptions::default());
@@ -18,7 +21,13 @@ fn bench(c: &mut Criterion) {
         sdx.set_policy(*id, policy.clone());
     }
     sdx.compile().unwrap();
-    let prefix = *sdx.compilation().unwrap().group_index.keys().next().unwrap();
+    let prefix = *sdx
+        .compilation()
+        .unwrap()
+        .group_index
+        .keys()
+        .next()
+        .unwrap();
     let a = topology
         .announcements
         .iter()

@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
             .iter()
             .map(|p| topology.announced_by(p.id))
             .collect();
-        g.bench_with_input(BenchmarkId::new("mds", format!("{n}x{x}")), &collection, |b, coll| {
-            b.iter(|| minimum_disjoint_subsets(coll))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("mds", format!("{n}x{x}")),
+            &collection,
+            |b, coll| b.iter(|| minimum_disjoint_subsets(coll)),
+        );
     }
     g.finish();
 }

@@ -7,7 +7,10 @@ use sdx_core::{CompileOptions, SdxRuntime};
 use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 
 fn build(n: usize, groups: usize) -> SdxRuntime {
-    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(n, 8_000) };
+    let profile = IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(n, 8_000)
+    };
     let topology = IxpTopology::generate(profile, 7);
     let mix = generate_policies_with_groups(&topology, groups, 7);
     let mut sdx = SdxRuntime::new(CompileOptions::default());

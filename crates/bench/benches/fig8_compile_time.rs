@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_compile_time");
     g.sample_size(10);
     for &(n, groups) in &[(100usize, 200usize), (200, 200), (100, 600)] {
-        let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(n, 8_000) };
+        let profile = IxpProfile {
+            multi_home_fraction: 0.0,
+            ..IxpProfile::ams_ix(n, 8_000)
+        };
         let topology = IxpTopology::generate(profile, 8);
         let mix = generate_policies_with_groups(&topology, groups, 8);
         g.bench_with_input(

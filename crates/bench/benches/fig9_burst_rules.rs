@@ -10,7 +10,10 @@ use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_burst");
     g.sample_size(10);
-    let profile = IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(100, 5_000) };
+    let profile = IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(100, 5_000)
+    };
     let topology = IxpTopology::generate(profile, 9);
     let mix = generate_policies_with_groups(&topology, 300, 9);
     let mut sdx = SdxRuntime::new(CompileOptions::default());
@@ -19,7 +22,14 @@ fn bench(c: &mut Criterion) {
         sdx.set_policy(*id, policy.clone());
     }
     sdx.compile().unwrap();
-    let prefixes: Vec<_> = sdx.compilation().unwrap().group_index.keys().copied().take(20).collect();
+    let prefixes: Vec<_> = sdx
+        .compilation()
+        .unwrap()
+        .group_index
+        .keys()
+        .copied()
+        .take(20)
+        .collect();
     let updates: Vec<_> = prefixes
         .iter()
         .map(|prefix| {

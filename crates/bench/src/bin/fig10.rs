@@ -3,16 +3,19 @@
 
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
+use sdx_bench::percentile;
 use sdx_bgp::Update;
 use sdx_core::{CompileOptions, SdxRuntime};
-use sdx_bench::percentile;
 use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 
 /// Figures 7–10 control the prefix-group count directly, so the table is
 /// generated without multi-homing (each prefix has one announcer and the
 /// group count tracks the policy partition).
 fn single_homed(participants: usize, prefixes: usize) -> IxpProfile {
-    IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(participants, prefixes) }
+    IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(participants, prefixes)
+    }
 }
 
 fn main() {
@@ -53,7 +56,11 @@ fn main() {
         }
         times_us.sort_unstable();
         for p in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.00] {
-            println!("{n}\t{:.2}\t{:.3}", p, percentile(&times_us, p) as f64 / 1_000.0);
+            println!(
+                "{n}\t{:.2}\t{:.3}",
+                p,
+                percentile(&times_us, p) as f64 / 1_000.0
+            );
         }
     }
 }

@@ -17,8 +17,7 @@ fn main() {
     for &n in &[100usize, 200, 300] {
         // Like the paper: the top-N ASes (those announcing more than one
         // prefix) of an AMS-IX-sized table.
-        let topology =
-            IxpTopology::generate(IxpProfile::ams_ix(n, (30_000.0 * scale) as usize), 6);
+        let topology = IxpTopology::generate(IxpProfile::ams_ix(n, (30_000.0 * scale) as usize), 6);
         let mut all = topology.all_prefixes();
         all.shuffle(&mut rng);
         for &x in &[0usize, 5_000, 10_000, 15_000, 20_000, 25_000] {

@@ -8,7 +8,10 @@ use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 /// generated without multi-homing (each prefix has one announcer and the
 /// group count tracks the policy partition).
 fn single_homed(participants: usize, prefixes: usize) -> IxpProfile {
-    IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(participants, prefixes) }
+    IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(participants, prefixes)
+    }
 }
 
 fn main() {
@@ -24,7 +27,11 @@ fn main() {
                 sdx.set_policy(*id, policy.clone());
             }
             let stats = sdx.compile().expect("compiles");
-            println!("{n}\t{target}\t{}\t{:.2}", stats.groups, stats.duration_us as f64 / 1_000.0);
+            println!(
+                "{n}\t{target}\t{}\t{:.2}",
+                stats.groups,
+                stats.duration_us as f64 / 1_000.0
+            );
         }
     }
 }

@@ -12,7 +12,10 @@ use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 /// generated without multi-homing (each prefix has one announcer and the
 /// group count tracks the policy partition).
 fn single_homed(participants: usize, prefixes: usize) -> IxpProfile {
-    IxpProfile { multi_home_fraction: 0.0, ..IxpProfile::ams_ix(participants, prefixes) }
+    IxpProfile {
+        multi_home_fraction: 0.0,
+        ..IxpProfile::ams_ix(participants, prefixes)
+    }
 }
 
 fn main() {

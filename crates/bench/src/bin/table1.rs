@@ -10,7 +10,10 @@ use sdx_workload::{table1_row, trace_stats, IxpProfile, IxpTopology, TraceConfig
 fn main() {
     let scale = arg_scale(1.0);
     println!("# Table 1 — IXP datasets (synthetic, scale {scale})");
-    println!("{:<8} {:>6} {:>9} {:>12} {:>22}", "IXP", "peers", "prefixes", "BGP updates", "% prefixes w/ updates");
+    println!(
+        "{:<8} {:>6} {:>9} {:>12} {:>22}",
+        "IXP", "peers", "prefixes", "BGP updates", "% prefixes w/ updates"
+    );
     let paper = [
         ("AMS-IX", 639, 518_082, 11_161_624, 9.88),
         ("DE-CIX", 580, 518_391, 30_934_525, 13.64),
@@ -38,7 +41,11 @@ fn main() {
         );
         println!(
             "{:<8} {:>6} {:>9} {:>12} {:>21.2}%   <- paper",
-            name, peers, (*prefixes as f64 * scale) as usize, (*paper_updates as f64 * scale) as usize, paper_pct
+            name,
+            peers,
+            (*prefixes as f64 * scale) as usize,
+            (*paper_updates as f64 * scale) as usize,
+            paper_pct
         );
     }
 }

@@ -116,7 +116,9 @@ impl FromStr for AsPathPattern {
                         }
                         n = n * 10 + (d as u64 - '0' as u64);
                         if n > u32::MAX as u64 {
-                            return Err(PatternError(format!("AS number too large in {trimmed:?}")));
+                            return Err(PatternError(format!(
+                                "AS number too large in {trimmed:?}"
+                            )));
                         }
                         chars.next();
                     }
@@ -134,7 +136,10 @@ impl FromStr for AsPathPattern {
         }
         // Collapse adjacent gaps (e.g. from an unanchored `.*174.*`).
         tokens.dedup_by(|a, b| *a == Token::Gap && *b == Token::Gap);
-        Ok(AsPathPattern { tokens, source: trimmed.to_string() })
+        Ok(AsPathPattern {
+            tokens,
+            source: trimmed.to_string(),
+        })
     }
 }
 

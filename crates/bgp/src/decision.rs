@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn shorter_as_path_wins() {
-        assert_eq!(prefer(&cand(1, 1, None), &cand(2, 3, None)), Ordering::Greater);
+        assert_eq!(
+            prefer(&cand(1, 1, None), &cand(2, 3, None)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -104,7 +104,9 @@ mod tests {
 
     #[test]
     fn allow_peer_reverses_denial() {
-        let pol = ExportPolicy::export_all().deny_peer(PeerId(1)).allow_peer(PeerId(1));
+        let pol = ExportPolicy::export_all()
+            .deny_peer(PeerId(1))
+            .allow_peer(PeerId(1));
         assert!(pol.allows(&p("10.0.0.0/8"), PeerId(1)));
     }
 }

@@ -103,7 +103,10 @@ impl CandidateTable {
 
     /// All candidates for a prefix.
     pub fn candidates(&self, prefix: &Prefix) -> impl Iterator<Item = (&PeerId, &Route)> {
-        self.by_prefix.get(prefix).into_iter().flat_map(|m| m.iter())
+        self.by_prefix
+            .get(prefix)
+            .into_iter()
+            .flat_map(|m| m.iter())
     }
 
     /// Every prefix with at least one candidate.

@@ -177,10 +177,7 @@ mod tests {
     #[test]
     fn update_roundtrip_to_routes() {
         let u = Update::announce(
-            [
-                "10.0.0.0/8".parse().unwrap(),
-                "20.0.0.0/8".parse().unwrap(),
-            ],
+            ["10.0.0.0/8".parse().unwrap(), "20.0.0.0/8".parse().unwrap()],
             attrs(),
         );
         let routes = u.routes();

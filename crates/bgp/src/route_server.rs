@@ -61,7 +61,11 @@ impl RouteServer {
     pub fn add_peer(&mut self, peer: PeerId, asn: Asn, router_id: RouterId) {
         self.peers.insert(
             peer,
-            PeerInfo { asn, router_id, export: ExportPolicy::export_all() },
+            PeerInfo {
+                asn,
+                router_id,
+                export: ExportPolicy::export_all(),
+            },
         );
         self.adj_in.entry(peer).or_default();
     }
@@ -207,7 +211,11 @@ impl RouteServer {
                         return None;
                     }
                 }
-                Some(Candidate { peer: *peer, router_id: info.router_id, route: route.clone() })
+                Some(Candidate {
+                    peer: *peer,
+                    router_id: info.router_id,
+                    route: route.clone(),
+                })
             })
             .collect()
     }
@@ -278,7 +286,10 @@ impl RouteServer {
 
     /// Every prefix a peer currently announces.
     pub fn announced_by(&self, peer: PeerId) -> PrefixSet {
-        self.adj_in.get(&peer).map(|rib| rib.prefixes()).unwrap_or_default()
+        self.adj_in
+            .get(&peer)
+            .map(|rib| rib.prefixes())
+            .unwrap_or_default()
     }
 
     /// A peer's route for a specific prefix, if it announces one.
@@ -305,7 +316,11 @@ impl RouteServer {
             .candidates(prefix)
             .filter_map(|(peer, route)| {
                 let info = self.peers.get(peer)?;
-                Some(Candidate { peer: *peer, router_id: info.router_id, route: route.clone() })
+                Some(Candidate {
+                    peer: *peer,
+                    router_id: info.router_id,
+                    route: route.clone(),
+                })
             })
             .collect();
         decision::select(candidates.iter()).cloned()
@@ -391,12 +406,27 @@ mod tests {
         rs.add_peer(B, Asn(200), RouterId(2));
         rs.add_peer(C, Asn(300), RouterId(3));
 
-        rs.announce(B, [p("11.0.0.0/8"), p("12.0.0.0/8"), p("13.0.0.0/8"), p("14.0.0.0/8")],
-            attrs(&[200, 65001], [10, 0, 0, 2]));
-        rs.set_export_policy(B, ExportPolicy::export_all().deny_prefix_to(p("14.0.0.0/8"), A));
+        rs.announce(
+            B,
+            [
+                p("11.0.0.0/8"),
+                p("12.0.0.0/8"),
+                p("13.0.0.0/8"),
+                p("14.0.0.0/8"),
+            ],
+            attrs(&[200, 65001], [10, 0, 0, 2]),
+        );
+        rs.set_export_policy(
+            B,
+            ExportPolicy::export_all().deny_prefix_to(p("14.0.0.0/8"), A),
+        );
 
         // C's shorter paths for p1, p2 make it the default next hop for them.
-        rs.announce(C, [p("11.0.0.0/8"), p("12.0.0.0/8")], attrs(&[300], [10, 0, 0, 3]));
+        rs.announce(
+            C,
+            [p("11.0.0.0/8"), p("12.0.0.0/8")],
+            attrs(&[300], [10, 0, 0, 3]),
+        );
         rs.announce(C, [p("14.0.0.0/8")], attrs(&[300, 65001], [10, 0, 0, 3]));
         rs
     }
@@ -466,7 +496,11 @@ mod tests {
         rs.add_peer(A, Asn(100), RouterId(1));
         rs.add_peer(B, Asn(200), RouterId(2));
         // B's route traverses AS 100 — A must never receive it.
-        rs.announce(B, [p("10.0.0.0/8")], attrs(&[200, 100, 65001], [10, 0, 0, 2]));
+        rs.announce(
+            B,
+            [p("10.0.0.0/8")],
+            attrs(&[200, 100, 65001], [10, 0, 0, 2]),
+        );
         assert!(rs.best_route(&p("10.0.0.0/8"), A).is_none());
         assert!(rs.prefixes_via(B, A).is_empty());
     }
@@ -488,9 +522,15 @@ mod tests {
         let adv = rs
             .advertisement(&p("11.0.0.0/8"), A, Some(Ipv4Addr::new(172, 16, 0, 1)))
             .unwrap();
-        assert_eq!(adv.attrs.as_ref().unwrap().next_hop, Ipv4Addr::new(172, 16, 0, 1));
+        assert_eq!(
+            adv.attrs.as_ref().unwrap().next_hop,
+            Ipv4Addr::new(172, 16, 0, 1)
+        );
         let plain = rs.advertisement(&p("11.0.0.0/8"), A, None).unwrap();
-        assert_eq!(plain.attrs.as_ref().unwrap().next_hop, Ipv4Addr::new(10, 0, 0, 3));
+        assert_eq!(
+            plain.attrs.as_ref().unwrap().next_hop,
+            Ipv4Addr::new(10, 0, 0, 3)
+        );
     }
 
     #[test]

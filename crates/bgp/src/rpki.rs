@@ -100,50 +100,90 @@ mod tests {
 
     fn validator() -> RpkiValidator {
         let mut v = RpkiValidator::new();
-        v.add_roa(Roa { prefix: p("74.125.0.0/16"), max_length: 24, asn: Asn(15169) });
-        v.add_roa(Roa { prefix: p("10.0.0.0/8"), max_length: 8, asn: Asn(65001) });
+        v.add_roa(Roa {
+            prefix: p("74.125.0.0/16"),
+            max_length: 24,
+            asn: Asn(15169),
+        });
+        v.add_roa(Roa {
+            prefix: p("10.0.0.0/8"),
+            max_length: 8,
+            asn: Asn(65001),
+        });
         v
     }
 
     #[test]
     fn valid_origin_and_length() {
         let v = validator();
-        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(15169)), RpkiStatus::Valid);
-        assert_eq!(v.validate(&p("74.125.0.0/16"), Asn(15169)), RpkiStatus::Valid);
+        assert_eq!(
+            v.validate(&p("74.125.1.0/24"), Asn(15169)),
+            RpkiStatus::Valid
+        );
+        assert_eq!(
+            v.validate(&p("74.125.0.0/16"), Asn(15169)),
+            RpkiStatus::Valid
+        );
     }
 
     #[test]
     fn wrong_origin_is_invalid() {
         let v = validator();
-        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(666)), RpkiStatus::Invalid);
+        assert_eq!(
+            v.validate(&p("74.125.1.0/24"), Asn(666)),
+            RpkiStatus::Invalid
+        );
     }
 
     #[test]
     fn too_specific_is_invalid() {
         let v = validator();
-        assert_eq!(v.validate(&p("74.125.1.0/25"), Asn(15169)), RpkiStatus::Invalid);
-        assert_eq!(v.validate(&p("10.1.0.0/16"), Asn(65001)), RpkiStatus::Invalid);
+        assert_eq!(
+            v.validate(&p("74.125.1.0/25"), Asn(15169)),
+            RpkiStatus::Invalid
+        );
+        assert_eq!(
+            v.validate(&p("10.1.0.0/16"), Asn(65001)),
+            RpkiStatus::Invalid
+        );
     }
 
     #[test]
     fn uncovered_is_not_found() {
         let v = validator();
-        assert_eq!(v.validate(&p("192.0.2.0/24"), Asn(15169)), RpkiStatus::NotFound);
+        assert_eq!(
+            v.validate(&p("192.0.2.0/24"), Asn(15169)),
+            RpkiStatus::NotFound
+        );
     }
 
     #[test]
     fn multiple_roas_any_match_wins() {
         let mut v = validator();
-        v.add_roa(Roa { prefix: p("74.125.0.0/16"), max_length: 24, asn: Asn(64500) });
-        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(64500)), RpkiStatus::Valid);
-        assert_eq!(v.validate(&p("74.125.1.0/24"), Asn(15169)), RpkiStatus::Valid);
+        v.add_roa(Roa {
+            prefix: p("74.125.0.0/16"),
+            max_length: 24,
+            asn: Asn(64500),
+        });
+        assert_eq!(
+            v.validate(&p("74.125.1.0/24"), Asn(64500)),
+            RpkiStatus::Valid
+        );
+        assert_eq!(
+            v.validate(&p("74.125.1.0/24"), Asn(15169)),
+            RpkiStatus::Valid
+        );
         assert_eq!(v.len(), 3);
     }
 
     #[test]
     fn short_max_length_clamped() {
         let mut v = RpkiValidator::new();
-        v.add_roa(Roa { prefix: p("192.0.2.0/24"), max_length: 8, asn: Asn(1) });
+        v.add_roa(Roa {
+            prefix: p("192.0.2.0/24"),
+            max_length: 8,
+            asn: Asn(1),
+        });
         assert_eq!(v.validate(&p("192.0.2.0/24"), Asn(1)), RpkiStatus::Valid);
     }
 }

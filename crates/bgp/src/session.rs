@@ -99,7 +99,11 @@ pub struct Session {
 impl Session {
     /// A new session in `Idle`.
     pub fn new(config: SessionConfig) -> Self {
-        Session { config, state: SessionState::Idle, peer_open: None }
+        Session {
+            config,
+            state: SessionState::Idle,
+            peer_open: None,
+        }
     }
 
     /// Current FSM state.
@@ -114,7 +118,8 @@ impl Session {
 
     /// The negotiated hold time (minimum of both proposals), once open.
     pub fn negotiated_hold_time(&self) -> Option<u16> {
-        self.peer_open.map(|o| o.hold_time.min(self.config.hold_time))
+        self.peer_open
+            .map(|o| o.hold_time.min(self.config.hold_time))
     }
 
     fn our_open(&self) -> Message {
@@ -152,7 +157,11 @@ impl Session {
             (_, Ev::TransportDown) => self.close(CloseReason::TransportDown),
             (_, Ev::HoldTimerExpired) => {
                 let mut actions = vec![SessionAction::Send(Message::Notification(
-                    NotificationMsg { code: 4, subcode: 0, data: Vec::new() },
+                    NotificationMsg {
+                        code: 4,
+                        subcode: 0,
+                        data: Vec::new(),
+                    },
                 ))];
                 actions.extend(self.close(CloseReason::HoldTimeExpired));
                 actions
@@ -204,7 +213,9 @@ impl Session {
             (Established, Ev::Message(Message::Notification(n))) => {
                 self.close(CloseReason::PeerNotification(n))
             }
-            (Established, Ev::Message(Message::Open(_))) => self.protocol_error(5, 0, "OPEN while up"),
+            (Established, Ev::Message(Message::Open(_))) => {
+                self.protocol_error(5, 0, "OPEN while up")
+            }
             (Established, Ev::KeepaliveTimerExpired) => {
                 vec![SessionAction::Send(Message::Keepalive)]
             }
@@ -227,8 +238,16 @@ pub fn pipe() -> (Endpoint, Endpoint) {
     let (atx, brx) = unbounded();
     let (btx, arx) = unbounded();
     (
-        Endpoint { tx: atx, rx: arx, inbox: BytesMut::new() },
-        Endpoint { tx: btx, rx: brx, inbox: BytesMut::new() },
+        Endpoint {
+            tx: atx,
+            rx: arx,
+            inbox: BytesMut::new(),
+        },
+        Endpoint {
+            tx: btx,
+            rx: brx,
+            inbox: BytesMut::new(),
+        },
     )
 }
 
@@ -329,7 +348,11 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn config(asn: u32) -> SessionConfig {
-        SessionConfig { asn: Asn(asn), router_id: RouterId(asn), hold_time: 90 }
+        SessionConfig {
+            asn: Asn(asn),
+            router_id: RouterId(asn),
+            hold_time: 90,
+        }
     }
 
     fn update() -> Update {
@@ -350,7 +373,12 @@ mod tests {
         assert!(matches!(actions[0], SessionAction::Send(Message::Open(_))));
         assert_eq!(s.state(), SessionState::OpenSent);
 
-        let peer_open = OpenMsg { version: 4, asn: Asn(65002), hold_time: 30, router_id: RouterId(2) };
+        let peer_open = OpenMsg {
+            version: 4,
+            asn: Asn(65002),
+            hold_time: 30,
+            router_id: RouterId(2),
+        };
         let actions = s.handle(SessionEvent::Message(Message::Open(peer_open)));
         assert_eq!(actions, vec![SessionAction::Send(Message::Keepalive)]);
         assert_eq!(s.state(), SessionState::OpenConfirm);
@@ -368,7 +396,10 @@ mod tests {
         s.handle(SessionEvent::TransportUp);
         // UPDATE before OPEN: protocol error, notification sent, back to Idle.
         let actions = s.handle(SessionEvent::Message(Message::Update(update())));
-        assert!(matches!(actions[0], SessionAction::Send(Message::Notification(_))));
+        assert!(matches!(
+            actions[0],
+            SessionAction::Send(Message::Notification(_))
+        ));
         assert_eq!(s.state(), SessionState::Idle);
     }
 
@@ -390,9 +421,16 @@ mod tests {
         let mut s = Session::new(config(65001));
         s.handle(SessionEvent::ManualStart);
         s.handle(SessionEvent::TransportUp);
-        let n = NotificationMsg { code: 6, subcode: 4, data: vec![] };
+        let n = NotificationMsg {
+            code: 6,
+            subcode: 4,
+            data: vec![],
+        };
         let actions = s.handle(SessionEvent::Message(Message::Notification(n.clone())));
-        assert_eq!(actions, vec![SessionAction::Closed(CloseReason::PeerNotification(n))]);
+        assert_eq!(
+            actions,
+            vec![SessionAction::Closed(CloseReason::PeerNotification(n))]
+        );
     }
 
     #[test]
@@ -416,8 +454,7 @@ mod tests {
         let mut a = Session::new(config(65001));
         let mut b = Session::new(config(65002));
         let (mut ea, mut eb) = pipe();
-        let (got_a, got_b) =
-            run_pair(&mut a, &mut b, &mut ea, &mut eb, vec![update()], Vec::new());
+        let (got_a, got_b) = run_pair(&mut a, &mut b, &mut ea, &mut eb, vec![update()], Vec::new());
         assert_eq!(a.state(), SessionState::Established);
         assert_eq!(b.state(), SessionState::Established);
         assert_eq!(got_b, vec![update()]); // B received A's update
@@ -429,7 +466,10 @@ mod tests {
         let mut s = Session::new(config(65001));
         s.handle(SessionEvent::ManualStart);
         let actions = s.handle(SessionEvent::ManualStop);
-        assert_eq!(actions, vec![SessionAction::Closed(CloseReason::ManualStop)]);
+        assert_eq!(
+            actions,
+            vec![SessionAction::Closed(CloseReason::ManualStop)]
+        );
         assert_eq!(s.state(), SessionState::Idle);
     }
 }

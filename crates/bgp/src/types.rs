@@ -160,9 +160,7 @@ impl AsPath {
     /// A path that is a single sequence of ASes.
     pub fn sequence(asns: impl IntoIterator<Item = u32>) -> Self {
         AsPath {
-            segments: vec![AsPathSegment::Sequence(
-                asns.into_iter().map(Asn).collect(),
-            )],
+            segments: vec![AsPathSegment::Sequence(asns.into_iter().map(Asn).collect())],
         }
     }
 
@@ -264,7 +262,10 @@ mod tests {
     #[test]
     fn asn_and_router_id_display() {
         assert_eq!(Asn(65000).to_string(), "AS65000");
-        assert_eq!(RouterId::from_addr(Ipv4Addr::new(10, 0, 0, 1)).to_string(), "10.0.0.1");
+        assert_eq!(
+            RouterId::from_addr(Ipv4Addr::new(10, 0, 0, 1)).to_string(),
+            "10.0.0.1"
+        );
     }
 
     #[test]

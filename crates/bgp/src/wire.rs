@@ -168,31 +168,42 @@ fn encode_update(update: &Update, body: &mut BytesMut) {
         encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::ORIGIN, |b| {
             b.put_u8(a.origin as u8)
         });
-        encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::AS_PATH, |b| {
-            for seg in a.as_path.segments() {
-                let (code, asns) = match seg {
-                    AsPathSegment::Set(asns) => (1u8, asns),
-                    AsPathSegment::Sequence(asns) => (2u8, asns),
-                };
-                b.put_u8(code);
-                b.put_u8(asns.len() as u8);
-                for asn in asns {
-                    b.put_u32(asn.0);
+        encode_attr(
+            &mut attrs,
+            attr_flags::TRANSITIVE,
+            attr_type::AS_PATH,
+            |b| {
+                for seg in a.as_path.segments() {
+                    let (code, asns) = match seg {
+                        AsPathSegment::Set(asns) => (1u8, asns),
+                        AsPathSegment::Sequence(asns) => (2u8, asns),
+                    };
+                    b.put_u8(code);
+                    b.put_u8(asns.len() as u8);
+                    for asn in asns {
+                        b.put_u32(asn.0);
+                    }
                 }
-            }
-        });
-        encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::NEXT_HOP, |b| {
-            b.put_u32(u32::from(a.next_hop))
-        });
+            },
+        );
+        encode_attr(
+            &mut attrs,
+            attr_flags::TRANSITIVE,
+            attr_type::NEXT_HOP,
+            |b| b.put_u32(u32::from(a.next_hop)),
+        );
         if let Some(med) = a.med {
             encode_attr(&mut attrs, attr_flags::OPTIONAL, attr_type::MED, |b| {
                 b.put_u32(med)
             });
         }
         if let Some(lp) = a.local_pref {
-            encode_attr(&mut attrs, attr_flags::TRANSITIVE, attr_type::LOCAL_PREF, |b| {
-                b.put_u32(lp)
-            });
+            encode_attr(
+                &mut attrs,
+                attr_flags::TRANSITIVE,
+                attr_type::LOCAL_PREF,
+                |b| b.put_u32(lp),
+            );
         }
         if !a.communities.is_empty() {
             encode_attr(
@@ -304,7 +315,12 @@ fn decode_open(body: &mut &[u8]) -> Result<OpenMsg, WireError> {
         return Err(WireError::Truncated);
     }
     body.advance(opt_len); // optional parameters ignored
-    Ok(OpenMsg { version, asn, hold_time, router_id })
+    Ok(OpenMsg {
+        version,
+        asn,
+        hold_time,
+        router_id,
+    })
 }
 
 fn decode_update(body: &mut &[u8]) -> Result<Update, WireError> {
@@ -443,7 +459,11 @@ fn decode_update(body: &mut &[u8]) -> Result<Update, WireError> {
         })
     };
 
-    Ok(Update { withdraw, announce, attrs })
+    Ok(Update {
+        withdraw,
+        announce,
+        attrs,
+    })
 }
 
 fn decode_prefix(bytes: &mut &[u8]) -> Result<Prefix, WireError> {
@@ -469,10 +489,13 @@ mod tests {
     use super::*;
 
     fn attrs() -> PathAttributes {
-        PathAttributes::new(AsPath::sequence([65001, 3356, 43515]), Ipv4Addr::new(10, 0, 0, 9))
-            .with_local_pref(150)
-            .with_med(10)
-            .with_community(Community::new(65000, 80))
+        PathAttributes::new(
+            AsPath::sequence([65001, 3356, 43515]),
+            Ipv4Addr::new(10, 0, 0, 9),
+        )
+        .with_local_pref(150)
+        .with_med(10)
+        .with_community(Community::new(65000, 80))
     }
 
     fn round_trip(msg: Message) -> Message {
@@ -518,7 +541,10 @@ mod tests {
     fn update_round_trip_full() {
         let u = Update {
             withdraw: vec!["192.0.2.0/24".parse().unwrap()],
-            announce: vec!["10.0.0.0/8".parse().unwrap(), "203.0.113.0/25".parse().unwrap()],
+            announce: vec![
+                "10.0.0.0/8".parse().unwrap(),
+                "203.0.113.0/25".parse().unwrap(),
+            ],
             attrs: Some(attrs()),
         };
         assert_eq!(round_trip(Message::Update(u.clone())), Message::Update(u));
@@ -543,7 +569,11 @@ mod tests {
 
     #[test]
     fn notification_round_trip() {
-        let n = NotificationMsg { code: 6, subcode: 2, data: vec![1, 2, 3] };
+        let n = NotificationMsg {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        };
         assert_eq!(
             round_trip(Message::Notification(n.clone())),
             Message::Notification(n)
@@ -571,7 +601,11 @@ mod tests {
             attrs(),
         )));
         for cut in 0..wire.len() {
-            assert_eq!(decode(&wire[..cut]).unwrap_err(), WireError::Truncated, "cut {cut}");
+            assert_eq!(
+                decode(&wire[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut {cut}"
+            );
         }
     }
 

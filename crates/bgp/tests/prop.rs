@@ -58,8 +58,16 @@ fn arb_update() -> impl Strategy<Value = Update> {
         arb_attrs(),
     )
         .prop_map(|(withdraw, announce, attrs)| {
-            let attrs = if announce.is_empty() { None } else { Some(attrs) };
-            Update { withdraw, announce, attrs }
+            let attrs = if announce.is_empty() {
+                None
+            } else {
+                Some(attrs)
+            };
+            Update {
+                withdraw,
+                announce,
+                attrs,
+            }
         })
 }
 
@@ -75,12 +83,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
             })
         }),
         arb_update().prop_map(Message::Update),
-        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..20))
-            .prop_map(|(code, subcode, data)| Message::Notification(NotificationMsg {
-                code,
-                subcode,
-                data
-            })),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..20)
+        )
+            .prop_map(
+                |(code, subcode, data)| Message::Notification(NotificationMsg {
+                    code,
+                    subcode,
+                    data
+                })
+            ),
     ]
 }
 

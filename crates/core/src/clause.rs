@@ -60,17 +60,35 @@ pub struct Clause {
 impl Clause {
     /// `match >> fwd(to)` — the workhorse outbound clause.
     pub fn fwd(match_: Predicate, to: ParticipantId) -> Self {
-        Clause { match_, dst_prefixes: None, rewrites: Vec::new(), dest: Dest::Participant(to), unfiltered: false }
+        Clause {
+            match_,
+            dst_prefixes: None,
+            rewrites: Vec::new(),
+            dest: Dest::Participant(to),
+            unfiltered: false,
+        }
     }
 
     /// `match >> fwd(own port)` — the workhorse inbound clause.
     pub fn to_port(match_: Predicate, port: u32) -> Self {
-        Clause { match_, dst_prefixes: None, rewrites: Vec::new(), dest: Dest::OwnPort(port), unfiltered: false }
+        Clause {
+            match_,
+            dst_prefixes: None,
+            rewrites: Vec::new(),
+            dest: Dest::OwnPort(port),
+            unfiltered: false,
+        }
     }
 
     /// `match >> drop`.
     pub fn drop(match_: Predicate) -> Self {
-        Clause { match_, dst_prefixes: None, rewrites: Vec::new(), dest: Dest::Drop, unfiltered: false }
+        Clause {
+            match_,
+            dst_prefixes: None,
+            rewrites: Vec::new(),
+            dest: Dest::Drop,
+            unfiltered: false,
+        }
     }
 
     /// Builder: scope the clause to destination prefixes.

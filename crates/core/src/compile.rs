@@ -27,11 +27,12 @@ use std::fmt;
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
 
+use sdx_analyze::AnalysisMode;
 use sdx_bgp::RouteServer;
 use sdx_ip::{MacAddr, Prefix, PrefixSet};
 use sdx_policy::{
-    compile_predicate, sequential_compose, Action, Classifier, Field, Match, Pattern, Predicate,
-    Rule,
+    compile_predicate, sequential_compose_traced, Action, Classifier, Field, Match, Pattern,
+    Predicate, Rule,
 };
 use serde::{Deserialize, Serialize};
 
@@ -56,11 +57,22 @@ pub struct CompileOptions {
     /// composition cross-product entirely — the direction iSDX later took —
     /// at the cost of requiring multi-table hardware.
     pub multi_table: bool,
+    /// Run the static policy-verification pass (`sdx-analyze`) on the
+    /// result. `Warn` records diagnostics on the [`Compilation`]; `Deny`
+    /// additionally refuses to return (and therefore install) a compilation
+    /// with error-severity findings. `Off` (the default) skips analysis so
+    /// the compile-time benchmarks measure the compiler alone.
+    pub analysis: AnalysisMode,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { use_vnh: true, memoize: true, multi_table: false }
+        CompileOptions {
+            use_vnh: true,
+            memoize: true,
+            multi_table: false,
+            analysis: AnalysisMode::Off,
+        }
     }
 }
 
@@ -81,6 +93,16 @@ pub struct CompileStats {
     pub memo_hits: usize,
     /// Receiver-stage blocks compiled fresh.
     pub memo_misses: usize,
+    /// Rules of the raw stage-composition product the optimizer removed
+    /// (duplicates, single-rule shadows, trailing drops). Zero in
+    /// multi-table mode, where no composition product is built.
+    pub rules_elided: usize,
+    /// Warning-severity findings of the static analyzer (0 when analysis
+    /// is off).
+    pub analysis_warnings: usize,
+    /// Error-severity findings of the static analyzer (0 when analysis is
+    /// off; a denied compilation returns an error instead of stats).
+    pub analysis_errors: usize,
     /// Wall-clock time of the whole compilation, in microseconds.
     pub duration_us: u64,
 }
@@ -98,6 +120,10 @@ pub enum CompileError {
     BadOutboundDest(ParticipantId),
     /// The VNH pool ran out of addresses.
     VnhExhausted,
+    /// The static analyzer found error-severity defects and the options
+    /// demand denial ([`AnalysisMode::Deny`]). Carries the rendered
+    /// findings; no flow rules are produced.
+    AnalysisRejected(Vec<String>),
 }
 
 impl fmt::Display for CompileError {
@@ -116,6 +142,21 @@ impl fmt::Display for CompileError {
                 write!(f, "{p}: outbound clauses must target a participant or drop")
             }
             CompileError::VnhExhausted => write!(f, "virtual next-hop pool exhausted"),
+            CompileError::AnalysisRejected(errors) => {
+                write!(
+                    f,
+                    "static analysis rejected the compilation ({} error",
+                    errors.len()
+                )?;
+                if errors.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -175,6 +216,8 @@ pub struct Compilation {
     /// The receiver stage before composition; the incremental fast path
     /// composes per-prefix sender fragments against it (§4.3.2).
     pub stage2: Classifier,
+    /// The static analyzer's findings (`None` when analysis is off).
+    pub analysis: Option<sdx_analyze::Analysis>,
     /// Measurements.
     pub stats: CompileStats,
 }
@@ -242,16 +285,41 @@ pub fn compile(
     let fabric = if input.options.multi_table {
         Classifier::drop_all()
     } else {
-        sequential_compose(&stage1, &stage2)
+        let (fabric, elided) = sequential_compose_traced(&stage1, &stage2);
+        stats.rules_elided = elided.len();
+        fabric
     };
     stats.rules = if input.options.multi_table {
         stage1.len() + stage2.len()
     } else {
         fabric.len()
     };
-    stats.duration_us = duration_us(start.elapsed());
 
-    Ok(Compilation { fabric, groups, group_index, vnh, policy_sets, stage1, stage2, stats })
+    let mut compilation = Compilation {
+        fabric,
+        groups,
+        group_index,
+        vnh,
+        policy_sets,
+        stage1,
+        stage2,
+        analysis: None,
+        stats,
+    };
+
+    // ---- Static verification gate ----------------------------------------
+    if input.options.analysis != AnalysisMode::Off {
+        let analysis = sdx_analyze::analyze(&crate::analysis::build_input(input, &compilation));
+        compilation.stats.analysis_warnings = analysis.warnings();
+        compilation.stats.analysis_errors = analysis.errors();
+        if let Err(errors) = sdx_analyze::gate(input.options.analysis, &analysis) {
+            return Err(CompileError::AnalysisRejected(errors));
+        }
+        compilation.analysis = Some(analysis);
+    }
+
+    compilation.stats.duration_us = duration_us(start.elapsed());
+    Ok(compilation)
 }
 
 /// The §4.3.2 fast path's sender-stage fragment for a single prefix that
@@ -293,9 +361,12 @@ pub fn stage1_rules_for_prefix(
             if !in_scope || !rs.exports_to(to.peer(), prefix, id.peer()) {
                 continue;
             }
-            let pred = clause.match_.clone().and(ports_pred.clone()).and(vmac_pred.clone());
-            let action =
-                vec![rewrites_action(&clause.rewrites).with(Field::Port, to.vport())];
+            let pred = clause
+                .match_
+                .clone()
+                .and(ports_pred.clone())
+                .and(vmac_pred.clone());
+            let action = vec![rewrites_action(&clause.rewrites).with(Field::Port, to.vport())];
             rules.extend(clause_rules(&pred, action));
         }
     }
@@ -369,9 +440,7 @@ pub type ClauseSetIndex = BTreeMap<(ParticipantId, usize), Option<usize>>;
 /// the author). Also adds, per remote participant with inbound clauses, the
 /// set of prefixes it announces, so that traffic towards it is tagged and
 /// default-forwarded to its virtual switch.
-fn collect_policy_sets(
-    input: &CompileInput<'_>,
-) -> (Vec<PrefixSet>, ClauseSetIndex) {
+fn collect_policy_sets(input: &CompileInput<'_>) -> (Vec<PrefixSet>, ClauseSetIndex) {
     let mut sets: Vec<PrefixSet> = Vec::new();
     let mut clause_sets = BTreeMap::new();
     for (id, policy) in input.policies {
@@ -416,7 +485,10 @@ fn default_view(rs: &RouteServer, prefix: &Prefix) -> DefaultView {
     for viewer in rs.export_exceptions(prefix) {
         exceptions.insert(viewer, rs.best_route(prefix, viewer).map(|c| c.peer));
     }
-    DefaultView { global: global.map(|c| c.peer), exceptions }
+    DefaultView {
+        global: global.map(|c| c.peer),
+        exceptions,
+    }
 }
 
 /// Compile one clause into its rule list: the pass rules of its (positive)
@@ -426,7 +498,10 @@ fn clause_rules(pred: &Predicate, action: Vec<Action>) -> Vec<Rule> {
         .rules()
         .iter()
         .filter(|r| !r.is_drop())
-        .map(|r| Rule { match_: r.match_.clone(), actions: action.clone() })
+        .map(|r| Rule {
+            match_: r.match_.clone(),
+            actions: action.clone(),
+        })
         .collect()
 }
 
@@ -457,10 +532,8 @@ fn build_stage1(
         if policy.outbound.is_empty() {
             continue;
         }
-        let ports_pred = Predicate::in_set(
-            Field::Port,
-            participant.port_numbers().map(|p| p as u64),
-        );
+        let ports_pred =
+            Predicate::in_set(Field::Port, participant.port_numbers().map(|p| p as u64));
         for (ci, clause) in policy.outbound.iter().enumerate() {
             let mut pred = clause.match_.clone().and(ports_pred.clone());
             // Transformation 2: BGP consistency.
@@ -659,8 +732,16 @@ fn deliver(base: Action, port: u32, mac: MacAddr) -> Action {
 /// Collapse forwarding to another participant into direct delivery at its
 /// primary port (the composed pipeline is two stages deep, so a third hop is
 /// resolved at compile time).
-fn deliver_to_participant(input: &CompileInput<'_>, to: ParticipantId, base: Action) -> Vec<Action> {
-    match input.participants.get(&to).and_then(|p| p.primary_port().copied()) {
+fn deliver_to_participant(
+    input: &CompileInput<'_>,
+    to: ParticipantId,
+    base: Action,
+) -> Vec<Action> {
+    match input
+        .participants
+        .get(&to)
+        .and_then(|p| p.primary_port().copied())
+    {
         Some(cfg) => vec![deliver(base, cfg.port, cfg.mac)],
         None => Vec::new(),
     }

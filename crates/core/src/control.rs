@@ -37,7 +37,10 @@ struct PeerSession {
 impl ControlPlane {
     /// Wrap a configured runtime.
     pub fn new(runtime: SdxRuntime) -> Self {
-        ControlPlane { runtime, sessions: BTreeMap::new() }
+        ControlPlane {
+            runtime,
+            sessions: BTreeMap::new(),
+        }
     }
 
     /// The wrapped runtime.
@@ -68,14 +71,23 @@ impl ControlPlane {
                 server_end.send(&msg);
             }
         }
-        self.sessions
-            .insert(id, PeerSession { session, endpoint: server_end, established: false });
+        self.sessions.insert(
+            id,
+            PeerSession {
+                session,
+                endpoint: server_end,
+                established: false,
+            },
+        );
         router_end
     }
 
     /// Is a participant's session established?
     pub fn is_established(&self, id: ParticipantId) -> bool {
-        self.sessions.get(&id).map(|p| p.established).unwrap_or(false)
+        self.sessions
+            .get(&id)
+            .map(|p| p.established)
+            .unwrap_or(false)
     }
 
     /// Drain every session: advance FSMs, feed delivered UPDATEs into the
@@ -316,7 +328,10 @@ mod tests {
         // The refreshed advertisement to router 1 carries a VNH next hop.
         let nh = r1.received.last().unwrap().attrs.as_ref().unwrap().next_hop;
         assert!(
-            "172.16.0.0/12".parse::<sdx_ip::Prefix>().unwrap().contains_addr(nh),
+            "172.16.0.0/12"
+                .parse::<sdx_ip::Prefix>()
+                .unwrap()
+                .contains_addr(nh),
             "next hop {nh} is not a VNH"
         );
     }

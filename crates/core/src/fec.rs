@@ -88,7 +88,10 @@ pub fn compute_groups(
         let key = (
             signature,
             view.global,
-            view.exceptions.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            view.exceptions
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect::<Vec<_>>(),
         );
         let entry = parts.entry(key).or_insert_with(|| (PrefixSet::new(), view));
         entry.0.insert(prefix);
@@ -96,12 +99,14 @@ pub fn compute_groups(
 
     parts
         .into_iter()
-        .map(|((policy_sets, default_peer, _), (prefixes, view))| PrefixGroup {
-            prefixes,
-            policy_sets,
-            default_peer,
-            exceptions: view.exceptions,
-        })
+        .map(
+            |((policy_sets, default_peer, _), (prefixes, view))| PrefixGroup {
+                prefixes,
+                policy_sets,
+                default_peer,
+                exceptions: view.exceptions,
+            },
+        )
         .collect()
 }
 
@@ -218,7 +223,10 @@ mod tests {
             if p.to_string().starts_with("10") {
                 exceptions.insert(PeerId(7), Some(PeerId(3)));
             }
-            DefaultView { global: Some(PeerId(1)), exceptions }
+            DefaultView {
+                global: Some(PeerId(1)),
+                exceptions,
+            }
         });
         assert_eq!(groups.len(), 2);
         let with_exc = groups.iter().find(|g| !g.exceptions.is_empty()).unwrap();

@@ -32,6 +32,7 @@
 //! assert!(stats.rules > 0);
 //! ```
 
+pub mod analysis;
 mod clause;
 pub mod compile;
 pub mod control;
@@ -43,13 +44,14 @@ mod sim;
 mod vnh;
 
 pub use clause::{Clause, Dest, ParticipantPolicy};
-pub use control::{ControlPlane, ROUTE_SERVER_ASN};
 pub use compile::{
     Compilation, CompileError, CompileInput, CompileOptions, CompileStats, MemoCache,
 };
+pub use control::{ControlPlane, ROUTE_SERVER_ASN};
 pub use fec::{minimum_disjoint_subsets, DefaultView, PrefixGroup};
 pub use multiswitch::{distribute, FabricLayout, LayoutError, MultiSwitchFabric, SwitchId};
 pub use participant::{is_vport, Participant, ParticipantId, PortConfig, VPORT_BASE};
 pub use runtime::{IncrementalStats, Overlay, SdxRuntime};
+pub use sdx_analyze::{Analysis, AnalysisMode, Diagnostic, Severity};
 pub use sim::{Delivery, FabricSim};
 pub use vnh::VnhAllocator;

@@ -218,12 +218,14 @@ pub fn distribute(
 
     let n = fabric.len() as u32;
     let mut rules_per_switch: BTreeMap<SwitchId, usize> = BTreeMap::new();
-    let mut install = |switches: &mut BTreeMap<SwitchId, SoftSwitch>,
-                       sw: SwitchId,
-                       rule: FlowRule| {
-        switches.get_mut(&sw).expect("switch exists").install_rule(rule);
-        *rules_per_switch.entry(sw).or_default() += 1;
-    };
+    let mut install =
+        |switches: &mut BTreeMap<SwitchId, SoftSwitch>, sw: SwitchId, rule: FlowRule| {
+            switches
+                .get_mut(&sw)
+                .expect("switch exists")
+                .install_rule(rule);
+            *rules_per_switch.entry(sw).or_default() += 1;
+        };
 
     for (i, rule) in fabric.rules().iter().enumerate() {
         let priority = n - i as u32;
@@ -231,7 +233,10 @@ pub fn distribute(
         let (homes, unconstrained): (Vec<SwitchId>, bool) = match rule.match_.get(Field::Port) {
             Some(Pattern::Exact(p)) => {
                 let port = *p as u32;
-                (vec![layout.home(port).ok_or(LayoutError::UnhomedPort(port))?], false)
+                (
+                    vec![layout.home(port).ok_or(LayoutError::UnhomedPort(port))?],
+                    false,
+                )
             }
             _ => (layout.switch_ids().collect(), true),
         };
@@ -240,8 +245,7 @@ pub fn distribute(
         // frames re-match downstream and no continuation rules are needed.
         let self_continuing = |action: &Action| {
             rule.match_.iter().all(|(f, pat)| {
-                *f == Field::Port
-                    || action.get(*f).map(|v| pat.matches(v)).unwrap_or(true)
+                *f == Field::Port || action.get(*f).map(|v| pat.matches(v)).unwrap_or(true)
             })
         };
         for &sw in &homes {
@@ -253,7 +257,9 @@ pub fn distribute(
                     continue;
                 };
                 let egress = egress as u32;
-                let owner = layout.home(egress).ok_or(LayoutError::UnhomedPort(egress))?;
+                let owner = layout
+                    .home(egress)
+                    .ok_or(LayoutError::UnhomedPort(egress))?;
                 if owner == sw {
                     actions.push(action.clone());
                     continue;
@@ -289,7 +295,9 @@ pub fn distribute(
                         // Exact action/match constraints never contradict
                         // (the action's assignment satisfied the pattern or
                         // the field was untouched), so this always narrows.
-                        m = m.and(*f, *pat).expect("consistent continuation constraints");
+                        m = m
+                            .and(*f, *pat)
+                            .expect("consistent continuation constraints");
                     }
                     let continued = if next == owner {
                         action.clone() // final hop: deliver at the edge port
@@ -350,7 +358,11 @@ impl MultiSwitchFabric {
             if hops == 0 {
                 continue; // hop budget exhausted (defensive; unreachable for shortest-path trunks)
             }
-            let emitted = self.switches.get_mut(&sw).expect("switch exists").process(&pkt);
+            let emitted = self
+                .switches
+                .get_mut(&sw)
+                .expect("switch exists")
+                .process(&pkt);
             for (port, emitted_pkt) in emitted {
                 match self.trunk_ingress.get(&port) {
                     // The frame crossed a trunk: continue on the far switch,
@@ -434,7 +446,9 @@ mod tests {
         // Port 1 (sw1) forwards to port 4 (sw3), two hops away.
         let classifier = (match_(Field::Port, 1u32) >> fwd(4)).compile();
         let mut fabric = distribute(&classifier, &layout_line()).unwrap();
-        let pkt = Packet::new().with(Field::Port, 1u32).with(Field::DstPort, 80u16);
+        let pkt = Packet::new()
+            .with(Field::Port, 1u32)
+            .with(Field::DstPort, 80u16);
         let out = fabric.process(&pkt);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].0, 4);
@@ -444,8 +458,7 @@ mod tests {
     fn unconstrained_rule_replicates_and_converges() {
         // A MAC-style rule with no port constraint: any ingress delivers to
         // port 4 on sw3.
-        let classifier =
-            (match_(Field::DstMac, 0xbeefu64) >> fwd(4)).compile();
+        let classifier = (match_(Field::DstMac, 0xbeefu64) >> fwd(4)).compile();
         let mut fabric = distribute(&classifier, &layout_line()).unwrap();
         for ingress in [1u32, 2, 3] {
             let pkt = Packet::new()

@@ -76,7 +76,12 @@ pub struct Participant {
 impl Participant {
     /// A participant with the given ports.
     pub fn new(id: ParticipantId, asn: Asn, ports: Vec<PortConfig>) -> Self {
-        Participant { id, asn, router_id: RouterId(id.0), ports }
+        Participant {
+            id,
+            asn,
+            router_id: RouterId(id.0),
+            ports,
+        }
     }
 
     /// A remote participant (no physical presence).

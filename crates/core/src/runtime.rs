@@ -122,8 +122,11 @@ impl SdxRuntime {
     /// Register a participant: a route-server peer, fabric ports, and ARP
     /// bindings for its router interfaces.
     pub fn add_participant(&mut self, participant: Participant) {
-        self.route_server
-            .add_peer(participant.id.peer(), participant.asn, participant.router_id);
+        self.route_server.add_peer(
+            participant.id.peer(),
+            participant.asn,
+            participant.router_id,
+        );
         for port in &participant.ports {
             self.switch.add_port(port.port);
             self.arp.bind(port.ip, port.mac);
@@ -218,7 +221,8 @@ impl SdxRuntime {
                 .append_classifier(&compilation.stage2, BASE_COOKIE, 0);
         } else {
             self.switch.reset_pipeline(1);
-            self.switch.install_classifier(&compilation.fabric, BASE_COOKIE);
+            self.switch
+                .install_classifier(&compilation.fabric, BASE_COOKIE);
         }
         // VNH → VMAC bindings for the ARP responder. Router-interface
         // bindings are kept; stale VNH bindings are harmless (the pool
@@ -368,7 +372,13 @@ impl SdxRuntime {
         }
         self.arp.bind(vnh, vmac);
         self.incremental.overlay_rules += n;
-        self.overlays.push(Overlay { prefix, vnh, vmac, cookie, rules: n });
+        self.overlays.push(Overlay {
+            prefix,
+            vnh,
+            vmac,
+            cookie,
+            rules: n,
+        });
     }
 
     /// The next hop the route server advertises to `viewer` for `prefix`:
@@ -462,6 +472,32 @@ impl SdxRuntime {
                 )
             })
             .collect()
+    }
+
+    /// Re-run the static analyzer against the *installed* state: same
+    /// checks as the compile-time gate, plus ARP-binding verification for
+    /// every allocated VNH (the responder exists only at runtime, so the
+    /// pure compiler cannot check this). `None` before the first
+    /// successful [`compile`](Self::compile).
+    pub fn audit_installed(&self) -> Option<sdx_analyze::Analysis> {
+        let compilation = self.compilation.as_ref()?;
+        let input = CompileInput {
+            participants: &self.participants,
+            policies: &self.policies,
+            policy_versions: &self.policy_versions,
+            route_server: &self.route_server,
+            options: self.options,
+        };
+        let mut analysis_input = crate::analysis::build_input(&input, compilation);
+        analysis_input.arp_bound = Some(
+            compilation
+                .vnh
+                .iter()
+                .map(|(ip, _)| *ip)
+                .filter(|ip| self.arp.resolve(ip).is_some())
+                .collect(),
+        );
+        Some(sdx_analyze::analyze(&analysis_input))
     }
 
     /// Which participant owns a fabric port.

@@ -49,7 +49,10 @@ impl FabricSim {
             for port in &participant.ports {
                 routers.insert(
                     port.port,
-                    (participant.id, BorderRouter::new(port.port, port.mac, port.ip)),
+                    (
+                        participant.id,
+                        BorderRouter::new(port.port, port.mac, port.ip),
+                    ),
                 );
             }
         }
@@ -106,7 +109,10 @@ impl FabricSim {
 
     /// A participant's border router (the one at its primary port).
     pub fn router(&self, id: ParticipantId) -> Option<&BorderRouter> {
-        self.routers.values().find(|(owner, _)| *owner == id).map(|(_, r)| r)
+        self.routers
+            .values()
+            .find(|(owner, _)| *owner == id)
+            .map(|(_, r)| r)
     }
 
     /// Propagate the SDX's current advertisements into every border router
@@ -207,4 +213,3 @@ impl FabricSim {
             .collect()
     }
 }
-

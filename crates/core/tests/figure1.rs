@@ -45,17 +45,32 @@ fn attrs(path: &[u32], nh: Ipv4Addr) -> PathAttributes {
 fn figure1(options: CompileOptions) -> SdxRuntime {
     let mut sdx = SdxRuntime::new(options);
     sdx.add_participant(Participant::new(A, Asn(100), vec![port(A1, 11)]));
-    sdx.add_participant(Participant::new(B, Asn(200), vec![port(B1, 21), port(B2, 22)]));
+    sdx.add_participant(Participant::new(
+        B,
+        Asn(200),
+        vec![port(B1, 21), port(B2, 22)],
+    ));
     sdx.add_participant(Participant::new(C, Asn(300), vec![port(C1, 31)]));
 
     let b_nh = Ipv4Addr::new(172, 0, 0, 21);
     let c_nh = Ipv4Addr::new(172, 0, 0, 31);
 
-    sdx.announce(B, [p("11.0.0.0/8"), p("12.0.0.0/8"), p("14.0.0.0/8")], attrs(&[200, 65001], b_nh));
+    sdx.announce(
+        B,
+        [p("11.0.0.0/8"), p("12.0.0.0/8"), p("14.0.0.0/8")],
+        attrs(&[200, 65001], b_nh),
+    );
     sdx.announce(B, [p("13.0.0.0/8")], attrs(&[200], b_nh));
-    sdx.set_export_policy(B, ExportPolicy::export_all().deny_prefix_to(p("14.0.0.0/8"), A.peer()));
+    sdx.set_export_policy(
+        B,
+        ExportPolicy::export_all().deny_prefix_to(p("14.0.0.0/8"), A.peer()),
+    );
 
-    sdx.announce(C, [p("11.0.0.0/8"), p("12.0.0.0/8"), p("14.0.0.0/8")], attrs(&[300], c_nh));
+    sdx.announce(
+        C,
+        [p("11.0.0.0/8"), p("12.0.0.0/8"), p("14.0.0.0/8")],
+        attrs(&[300], c_nh),
+    );
     sdx.announce(C, [p("13.0.0.0/8")], attrs(&[300, 500, 65001], c_nh));
 
     // A's outbound policy (Figure 1a): web via B, HTTPS via C.
@@ -211,10 +226,16 @@ fn other_participants_traffic_is_isolated_from_a_policy() {
 #[test]
 fn naive_mode_forwards_identically_but_with_more_rules() {
     let vnh = sim(CompileOptions::default());
-    let mut naive = sim(CompileOptions { use_vnh: false, ..Default::default() });
+    let mut naive = sim(CompileOptions {
+        use_vnh: false,
+        ..Default::default()
+    });
     let vnh_rules = vnh.runtime().compilation().unwrap().stats.rules;
     let naive_rules = naive.runtime().compilation().unwrap().stats.rules;
-    assert!(naive_rules >= vnh_rules, "naive {naive_rules} < vnh {vnh_rules}");
+    assert!(
+        naive_rules >= vnh_rules,
+        "naive {naive_rules} < vnh {vnh_rules}"
+    );
 
     let cases = [
         ("55.0.0.1", "11.0.0.1", 80, B),
@@ -290,24 +311,26 @@ fn remote_participant_wide_area_load_balancer() {
     sdx.set_policy(
         d,
         ParticipantPolicy::new()
-            .inbound(
-                Clause {
-                    match_: sdx_policy::match_prefix(Field::SrcIp, p("0.0.0.0/1")),
-                    dst_prefixes: Some([p("74.125.1.0/24")].into_iter().collect()),
-                    rewrites: vec![(Field::DstIp, u32::from("11.0.0.77".parse::<Ipv4Addr>().unwrap()) as u64)],
-                    dest: sdx_core::Dest::BgpDefault,
-                    unfiltered: false,
-                },
-            )
-            .inbound(
-                Clause {
-                    match_: sdx_policy::match_prefix(Field::SrcIp, p("128.0.0.0/1")),
-                    dst_prefixes: Some([p("74.125.1.0/24")].into_iter().collect()),
-                    rewrites: vec![(Field::DstIp, u32::from("13.0.0.88".parse::<Ipv4Addr>().unwrap()) as u64)],
-                    dest: sdx_core::Dest::BgpDefault,
-                    unfiltered: false,
-                },
-            ),
+            .inbound(Clause {
+                match_: sdx_policy::match_prefix(Field::SrcIp, p("0.0.0.0/1")),
+                dst_prefixes: Some([p("74.125.1.0/24")].into_iter().collect()),
+                rewrites: vec![(
+                    Field::DstIp,
+                    u32::from("11.0.0.77".parse::<Ipv4Addr>().unwrap()) as u64,
+                )],
+                dest: sdx_core::Dest::BgpDefault,
+                unfiltered: false,
+            })
+            .inbound(Clause {
+                match_: sdx_policy::match_prefix(Field::SrcIp, p("128.0.0.0/1")),
+                dst_prefixes: Some([p("74.125.1.0/24")].into_iter().collect()),
+                rewrites: vec![(
+                    Field::DstIp,
+                    u32::from("13.0.0.88".parse::<Ipv4Addr>().unwrap()) as u64,
+                )],
+                dest: sdx_core::Dest::BgpDefault,
+                unfiltered: false,
+            }),
     );
     sdx.compile().unwrap();
     let mut sim = FabricSim::new(sdx);
@@ -428,7 +451,10 @@ fn compile_errors_are_reported() {
     let mut sdx = figure1(CompileOptions::default());
     let d = ParticipantId(4);
     sdx.add_participant(Participant::remote(d, Asn(400)));
-    sdx.set_policy(d, ParticipantPolicy::new().outbound(Clause::fwd(match_(Field::DstPort, 80u16), B)));
+    sdx.set_policy(
+        d,
+        ParticipantPolicy::new().outbound(Clause::fwd(match_(Field::DstPort, 80u16), B)),
+    );
     assert!(matches!(
         sdx.compile(),
         Err(sdx_core::CompileError::OutboundFromRemote(_))
@@ -436,7 +462,10 @@ fn compile_errors_are_reported() {
 
     // Unknown own port.
     let mut sdx = figure1(CompileOptions::default());
-    sdx.set_policy(B, ParticipantPolicy::new().inbound(Clause::to_port(match_(Field::DstPort, 80u16), 77)));
+    sdx.set_policy(
+        B,
+        ParticipantPolicy::new().inbound(Clause::to_port(match_(Field::DstPort, 80u16), 77)),
+    );
     assert!(matches!(
         sdx.compile(),
         Err(sdx_core::CompileError::UnknownOwnPort(_, 77))
@@ -621,7 +650,10 @@ fn multi_table_pipeline_forwards_identically() {
     // Two-table pipeline mode (sender stage → goto → receiver stage) must
     // forward exactly like the composed single table, with fewer rules.
     let composed = sim(CompileOptions::default());
-    let mut pipeline = sim(CompileOptions { multi_table: true, ..Default::default() });
+    let mut pipeline = sim(CompileOptions {
+        multi_table: true,
+        ..Default::default()
+    });
     assert_eq!(pipeline.runtime().switch().table_count(), 2);
 
     let composed_rules = composed.runtime().compilation().unwrap().stats.rules;
@@ -647,12 +679,18 @@ fn multi_table_pipeline_forwards_identically() {
     // At Figure 1 scale the two modes are comparable; the pipeline's
     // advantage appears at workload scale (see the ablation bench) — here we
     // only require both to be reasonable.
-    assert!(pipeline_rules <= composed_rules * 2, "{pipeline_rules} vs {composed_rules}");
+    assert!(
+        pipeline_rules <= composed_rules * 2,
+        "{pipeline_rules} vs {composed_rules}"
+    );
 }
 
 #[test]
 fn multi_table_fast_path_overlays_work() {
-    let mut sim = sim(CompileOptions { multi_table: true, ..Default::default() });
+    let mut sim = sim(CompileOptions {
+        multi_table: true,
+        ..Default::default()
+    });
     assert_eq!(sim.send_from(A, pkt("55.0.0.1", "13.0.0.1", 22))[0].to, B);
     sim.runtime_mut().withdraw(B, [p("13.0.0.0/8")]);
     assert!(sim.runtime().incremental_stats().overlay_rules > 0);
@@ -671,12 +709,10 @@ fn vnh_pool_exhaustion_is_reported() {
 
     let mut sdx = figure1(CompileOptions::default());
     sdx.compile().unwrap(); // populate state
-    let participants: BTreeMap<_, _> =
-        sdx.participants().map(|p| (p.id, p.clone())).collect();
+    let participants: BTreeMap<_, _> = sdx.participants().map(|p| (p.id, p.clone())).collect();
     let policies: BTreeMap<_, _> = BTreeMap::from([(
         A,
-        ParticipantPolicy::new()
-            .outbound(Clause::fwd(match_(Field::DstPort, 80u16), B)),
+        ParticipantPolicy::new().outbound(Clause::fwd(match_(Field::DstPort, 80u16), B)),
     )]);
     let versions = BTreeMap::new();
     let input = CompileInput {
@@ -707,9 +743,17 @@ fn stress_full_scale_exchange() {
     let mut announced = Vec::new();
     for i in 1..=300u32 {
         let id = ParticipantId(i);
-        sdx.add_participant(Participant::new(id, Asn(65_000 + i), vec![port(i * 10, (i % 200) as u8)]));
+        sdx.add_participant(Participant::new(
+            id,
+            Asn(65_000 + i),
+            vec![port(i * 10, (i % 200) as u8)],
+        ));
         let prefix = Prefix::from_bits(0x0a00_0000 + (i << 12), 20);
-        sdx.announce(id, [prefix], attrs(&[65_000 + i], Ipv4Addr::from(0x0afe_0000 + i)));
+        sdx.announce(
+            id,
+            [prefix],
+            attrs(&[65_000 + i], Ipv4Addr::from(0x0afe_0000 + i)),
+        );
         announced.push((id, prefix));
     }
     for i in 1..=30u32 {
@@ -717,8 +761,10 @@ fn stress_full_scale_exchange() {
         let target = ParticipantId(((i + 7) % 300) + 1);
         sdx.set_policy(
             author,
-            ParticipantPolicy::new()
-                .outbound(Clause::fwd(match_(Field::DstPort, (i % 1024) as u16), target)),
+            ParticipantPolicy::new().outbound(Clause::fwd(
+                match_(Field::DstPort, (i % 1024) as u16),
+                target,
+            )),
         );
     }
     let stats = sdx.compile().unwrap();
@@ -737,7 +783,9 @@ fn stress_full_scale_exchange() {
 fn compiled_table_exports_as_openflow() {
     let mut sdx = figure1(CompileOptions::default());
     sdx.compile().unwrap();
-    let mods = sdx.export_flow_mods().expect("composed table is OpenFlow 1.0 expressible");
+    let mods = sdx
+        .export_flow_mods()
+        .expect("composed table is OpenFlow 1.0 expressible");
     assert_eq!(mods.len(), 1, "single-table pipeline");
     assert_eq!(mods[0].len(), sdx.switch().table().len());
     // Every message round-trips to a rule semantically matching the

@@ -14,7 +14,9 @@ use sdx_policy::{Field, Packet, Predicate};
 use std::net::Ipv4Addr;
 
 fn arb_prefix_pool() -> Vec<Prefix> {
-    (0..24u32).map(|i| Prefix::from_bits(0x0a00_0000 + (i << 8), 24)).collect()
+    (0..24u32)
+        .map(|i| Prefix::from_bits(0x0a00_0000 + (i << 8), 24))
+        .collect()
 }
 
 fn arb_collection() -> impl Strategy<Value = Vec<PrefixSet>> {
@@ -85,7 +87,11 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
     let pool2 = pool.clone();
     (
         prop::collection::vec(
-            (1u32..=3, prop::collection::btree_set(prop::sample::select(pool), 1..5), 0u32..3),
+            (
+                1u32..=3,
+                prop::collection::btree_set(prop::sample::select(pool), 1..5),
+                0u32..3,
+            ),
             1..5,
         ),
         1u32..=3,
@@ -130,8 +136,7 @@ fn build(s: &Scenario) -> SdxRuntime {
     if let Some((announcer, prefix, viewer)) = &s.deny {
         sdx.set_export_policy(
             ParticipantId(*announcer),
-            ExportPolicy::export_all()
-                .deny_prefix_to(*prefix, ParticipantId(*viewer).peer()),
+            ExportPolicy::export_all().deny_prefix_to(*prefix, ParticipantId(*viewer).peer()),
         );
     }
     if s.web_clause_author != s.web_clause_target {

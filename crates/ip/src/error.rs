@@ -29,7 +29,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(IpError::InvalidPrefix("x".into()).to_string().contains("prefix"));
+        assert!(IpError::InvalidPrefix("x".into())
+            .to_string()
+            .contains("prefix"));
         assert!(IpError::InvalidPrefixLen(40).to_string().contains("/40"));
         assert!(IpError::InvalidMac("zz".into()).to_string().contains("MAC"));
     }

@@ -35,7 +35,10 @@ impl Prefix {
     /// Panics if `len > 32`; intended for internal/trusted callers.
     pub fn from_bits(bits: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length out of range: {len}");
-        Prefix { bits: bits & mask(len), len }
+        Prefix {
+            bits: bits & mask(len),
+            len,
+        }
     }
 
     /// The all-encompassing default route `0.0.0.0/0`.
@@ -43,7 +46,10 @@ impl Prefix {
 
     /// A host route (`/32`) for a single address.
     pub fn host(addr: Ipv4Addr) -> Self {
-        Prefix { bits: u32::from(addr), len: 32 }
+        Prefix {
+            bits: u32::from(addr),
+            len: 32,
+        }
     }
 
     /// The network address (masked).
@@ -107,8 +113,14 @@ impl Prefix {
             return None;
         }
         let len = self.len + 1;
-        let lo = Prefix { bits: self.bits, len };
-        let hi = Prefix { bits: self.bits | (1u32 << (32 - len)), len };
+        let lo = Prefix {
+            bits: self.bits,
+            len,
+        };
+        let hi = Prefix {
+            bits: self.bits | (1u32 << (32 - len)),
+            len,
+        };
         Some((lo, hi))
     }
 

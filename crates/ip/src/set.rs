@@ -58,13 +58,19 @@ impl PrefixSet {
 
     /// Exact-member set union.
     pub fn union(&self, other: &PrefixSet) -> PrefixSet {
-        PrefixSet { prefixes: self.prefixes.union(&other.prefixes).copied().collect() }
+        PrefixSet {
+            prefixes: self.prefixes.union(&other.prefixes).copied().collect(),
+        }
     }
 
     /// Exact-member set intersection.
     pub fn intersection(&self, other: &PrefixSet) -> PrefixSet {
         PrefixSet {
-            prefixes: self.prefixes.intersection(&other.prefixes).copied().collect(),
+            prefixes: self
+                .prefixes
+                .intersection(&other.prefixes)
+                .copied()
+                .collect(),
         }
     }
 
@@ -88,7 +94,9 @@ impl PrefixSet {
 
 impl FromIterator<Prefix> for PrefixSet {
     fn from_iter<T: IntoIterator<Item = Prefix>>(iter: T) -> Self {
-        PrefixSet { prefixes: iter.into_iter().collect() }
+        PrefixSet {
+            prefixes: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -143,7 +151,10 @@ mod tests {
     fn set_algebra() {
         let a = set(&["10.0.0.0/8", "20.0.0.0/8"]);
         let b = set(&["20.0.0.0/8", "30.0.0.0/8"]);
-        assert_eq!(a.union(&b), set(&["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"]));
+        assert_eq!(
+            a.union(&b),
+            set(&["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"])
+        );
         assert_eq!(a.intersection(&b), set(&["20.0.0.0/8"]));
         assert_eq!(a.difference(&b), set(&["10.0.0.0/8"]));
         assert!(set(&["20.0.0.0/8"]).is_subset(&b));

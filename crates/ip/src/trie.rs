@@ -24,7 +24,10 @@ struct Node<V> {
 
 impl<V> Default for Node<V> {
     fn default() -> Self {
-        Node { value: None, children: [None, None] }
+        Node {
+            value: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -42,7 +45,10 @@ fn bit(bits: u32, i: u8) -> usize {
 impl<V> PrefixTrie<V> {
     /// An empty trie.
     pub fn new() -> Self {
-        PrefixTrie { root: Node::default(), len: 0 }
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
     }
 
     /// Number of prefixes stored.
@@ -236,7 +242,11 @@ mod tests {
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.1.0.0/16"), 16);
         t.insert(p("10.1.2.3/32"), 32);
-        let chain: Vec<i32> = t.matches(a("10.1.2.3")).into_iter().map(|(_, v)| *v).collect();
+        let chain: Vec<i32> = t
+            .matches(a("10.1.2.3"))
+            .into_iter()
+            .map(|(_, v)| *v)
+            .collect();
         assert_eq!(chain, vec![0, 8, 16, 32]);
     }
 

@@ -95,12 +95,18 @@ pub struct Rule {
 impl Rule {
     /// A rule that drops everything it matches.
     pub fn drop(match_: Match) -> Self {
-        Rule { match_, actions: Vec::new() }
+        Rule {
+            match_,
+            actions: Vec::new(),
+        }
     }
 
     /// A rule that passes matching packets through unchanged.
     pub fn pass(match_: Match) -> Self {
-        Rule { match_, actions: vec![Action::identity()] }
+        Rule {
+            match_,
+            actions: vec![Action::identity()],
+        }
     }
 
     /// Is this a drop rule?
@@ -187,41 +193,125 @@ impl Classifier {
     }
 
     /// Remove unreachable rules (shadowed by a single earlier rule) and
-    /// collapse a trailing run of drop rules into the final catch-all.
+    /// collapse a trailing run of drop rules into the final catch-all,
+    /// reporting every eliminated rule with its index and the reason.
     ///
     /// The full pairwise subsumption scan is quadratic, so above
     /// [`Self::FULL_OPTIMIZE_LIMIT`] rules only exact-duplicate matches are
     /// removed (linear), which catches the overwhelmingly common shadow case
     /// in compiled SDX tables.
-    pub fn optimize(mut self) -> Self {
+    pub fn optimize(mut self) -> Optimized {
         let full = self.rules.len() <= Self::FULL_OPTIMIZE_LIMIT;
-        let mut seen: std::collections::HashSet<Match> = std::collections::HashSet::new();
-        let mut kept: Vec<Rule> = Vec::with_capacity(self.rules.len());
-        for rule in self.rules.drain(..) {
-            if seen.contains(&rule.match_) {
-                continue; // exact duplicate of an earlier match: unreachable.
+        let mut seen: std::collections::HashMap<Match, usize> = std::collections::HashMap::new();
+        let mut kept: Vec<(usize, Rule)> = Vec::with_capacity(self.rules.len());
+        let mut eliminated: Vec<Elision> = Vec::new();
+        for (index, rule) in self.rules.drain(..).enumerate() {
+            if let Some(&first) = seen.get(&rule.match_) {
+                // Exact duplicate of an earlier match: unreachable.
+                eliminated.push(Elision {
+                    index,
+                    rule,
+                    reason: ElisionReason::Duplicate { first },
+                });
+                continue;
             }
-            if full && kept.iter().any(|earlier| earlier.match_.subsumes(&rule.match_)) {
-                continue; // unreachable: an earlier rule captures every packet it would.
+            if full {
+                if let Some(&(by, _)) = kept
+                    .iter()
+                    .find(|(_, earlier)| earlier.match_.subsumes(&rule.match_))
+                {
+                    // Unreachable: an earlier rule captures every packet it would.
+                    eliminated.push(Elision {
+                        index,
+                        rule,
+                        reason: ElisionReason::SubsumedBy { by },
+                    });
+                    continue;
+                }
             }
-            seen.insert(rule.match_.clone());
-            kept.push(rule);
+            seen.insert(rule.match_.clone(), index);
+            kept.push((index, rule));
         }
         // Drop rules immediately before a catch-all drop are redundant.
-        if kept.last().map(|r| r.match_.is_any() && r.is_drop()).unwrap_or(false) {
+        if kept
+            .last()
+            .map(|(_, r)| r.match_.is_any() && r.is_drop())
+            .unwrap_or(false)
+        {
             let catch_all = kept.pop().expect("just checked");
-            while kept.last().map(Rule::is_drop).unwrap_or(false) {
-                kept.pop();
+            while kept.last().map(|(_, r)| r.is_drop()).unwrap_or(false) {
+                let (index, rule) = kept.pop().expect("just checked");
+                eliminated.push(Elision {
+                    index,
+                    rule,
+                    reason: ElisionReason::TrailingDrop,
+                });
             }
             kept.push(catch_all);
         }
-        Classifier::new(kept)
+        eliminated.sort_by_key(|e| e.index);
+        Optimized {
+            classifier: Classifier::new(kept.into_iter().map(|(_, r)| r).collect()),
+            eliminated,
+        }
     }
 
     /// Concatenate rule lists (callers must guarantee the semantics; used by
     /// the compiler where region-disjointness makes it sound).
     pub(crate) fn concat(parts: Vec<Vec<Rule>>) -> Classifier {
         Classifier::new(parts.into_iter().flatten().collect())
+    }
+}
+
+/// Why [`Classifier::optimize`] removed a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElisionReason {
+    /// Same match as the rule at original index `first`; first match wins.
+    Duplicate {
+        /// Original index of the identical earlier match.
+        first: usize,
+    },
+    /// Every packet this rule matches is captured by the single earlier rule
+    /// at original index `by`.
+    SubsumedBy {
+        /// Original index of the covering rule.
+        by: usize,
+    },
+    /// A drop rule sitting directly above the catch-all drop: removing it
+    /// leaves the same packets dropped by the catch-all.
+    TrailingDrop,
+}
+
+/// One rule removed by [`Classifier::optimize`], with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Elision {
+    /// The rule's index in the pre-optimization rule list.
+    pub index: usize,
+    /// The removed rule itself.
+    pub rule: Rule,
+    /// Why it was safe to remove.
+    pub reason: ElisionReason,
+}
+
+/// Result of [`Classifier::optimize`]: the pruned classifier plus an audit
+/// trail of everything that was removed (nothing is dropped silently).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Optimized {
+    /// The pruned, still-complete classifier.
+    pub classifier: Classifier,
+    /// Eliminated rules in ascending original-index order.
+    pub eliminated: Vec<Elision>,
+}
+
+impl Optimized {
+    /// Number of rules removed.
+    pub fn count(&self) -> usize {
+        self.eliminated.len()
+    }
+
+    /// Original indices of the removed rules, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        self.eliminated.iter().map(|e| e.index).collect()
     }
 }
 
@@ -264,8 +354,14 @@ mod tests {
     #[test]
     fn classifier_first_match_wins() {
         let c = Classifier::new(vec![
-            Rule { match_: Match::on(Field::DstPort, Pattern::Exact(80)), actions: vec![Action::set(Field::Port, 1u32)] },
-            Rule { match_: Match::any(), actions: vec![Action::set(Field::Port, 2u32)] },
+            Rule {
+                match_: Match::on(Field::DstPort, Pattern::Exact(80)),
+                actions: vec![Action::set(Field::Port, 1u32)],
+            },
+            Rule {
+                match_: Match::any(),
+                actions: vec![Action::set(Field::Port, 2u32)],
+            },
         ]);
         let pkt80 = Packet::new().with(Field::DstPort, 80u16);
         let pkt22 = Packet::new().with(Field::DstPort, 22u16);
@@ -275,7 +371,10 @@ mod tests {
 
     #[test]
     fn new_appends_catch_all() {
-        let c = Classifier::new(vec![Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80)))]);
+        let c = Classifier::new(vec![Rule::pass(Match::on(
+            Field::DstPort,
+            Pattern::Exact(80),
+        ))]);
         assert_eq!(c.len(), 2);
         assert!(c.rules().last().unwrap().is_drop());
         assert!(c.rules().last().unwrap().match_.is_any());
@@ -295,7 +394,16 @@ mod tests {
             Rule::drop(Match::on(Field::DstPort, Pattern::Exact(80))), // unreachable
         ]);
         let o = c.optimize();
-        assert_eq!(o.len(), 1);
+        assert_eq!(o.classifier.len(), 1);
+        // Both the shadowed rule and the auto-appended catch-all (a duplicate
+        // of the leading pass-any) are reported.
+        assert_eq!(o.count(), 2);
+        assert_eq!(o.indices(), vec![1, 2]);
+        assert_eq!(o.eliminated[0].reason, ElisionReason::SubsumedBy { by: 0 });
+        assert_eq!(
+            o.eliminated[1].reason,
+            ElisionReason::Duplicate { first: 0 }
+        );
     }
 
     #[test]
@@ -307,7 +415,31 @@ mod tests {
         ]);
         let o = c.optimize();
         // Only the pass rule and the catch-all drop remain.
-        assert_eq!(o.len(), 2);
+        assert_eq!(o.classifier.len(), 2);
+        assert_eq!(o.indices(), vec![1, 2]);
+        assert!(o
+            .eliminated
+            .iter()
+            .all(|e| e.reason == ElisionReason::TrailingDrop));
+    }
+
+    #[test]
+    fn optimize_reports_duplicates() {
+        let c = Classifier::new(vec![
+            Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80))),
+            Rule::drop(Match::on(Field::DstPort, Pattern::Exact(80))), // duplicate match
+            Rule {
+                match_: Match::any(),
+                actions: vec![Action::set(Field::Port, 5u32)],
+            },
+        ]);
+        let o = c.optimize();
+        assert_eq!(o.count(), 1);
+        assert_eq!(o.eliminated[0].index, 1);
+        assert!(matches!(
+            o.eliminated[0].reason,
+            ElisionReason::Duplicate { first: 0 }
+        ));
     }
 
     #[test]
@@ -315,9 +447,12 @@ mod tests {
         let c = Classifier::new(vec![
             Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80))),
             Rule::drop(Match::on(Field::DstPort, Pattern::Exact(80))), // shadowed
-            Rule { match_: Match::any(), actions: vec![Action::set(Field::Port, 5u32)] },
+            Rule {
+                match_: Match::any(),
+                actions: vec![Action::set(Field::Port, 5u32)],
+            },
         ]);
-        let o = c.clone().optimize();
+        let o = c.clone().optimize().classifier;
         for port in [80u16, 443, 22] {
             let pkt = Packet::new().with(Field::DstPort, port);
             assert_eq!(c.evaluate(&pkt), o.evaluate(&pkt), "port {port}");
@@ -328,7 +463,10 @@ mod tests {
     fn multicast_rule_emits_all_copies() {
         let c = Classifier::new(vec![Rule {
             match_: Match::any(),
-            actions: vec![Action::set(Field::Port, 1u32), Action::set(Field::Port, 2u32)],
+            actions: vec![
+                Action::set(Field::Port, 1u32),
+                Action::set(Field::Port, 2u32),
+            ],
         }]);
         let out = c.evaluate(&Packet::new());
         assert_eq!(out.len(), 2);
@@ -336,7 +474,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let c = Classifier::new(vec![Rule::pass(Match::on(Field::DstPort, Pattern::Exact(80)))]);
+        let c = Classifier::new(vec![Rule::pass(Match::on(
+            Field::DstPort,
+            Pattern::Exact(80),
+        ))]);
         let s = c.to_string();
         assert!(s.contains("dstport=80 -> pass"), "{s}");
         assert!(s.contains("* -> drop"), "{s}");

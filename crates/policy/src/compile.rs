@@ -8,7 +8,7 @@
 //! The compiler's contract, enforced by property tests, is
 //! `policy.compile().evaluate(pkt) == policy.eval(pkt)` for every packet.
 
-use crate::{Action, Classifier, Match, Pattern, Policy, Predicate, Rule};
+use crate::{Action, Classifier, Elision, Match, Pattern, Policy, Predicate, Rule};
 
 impl Policy {
     /// Compile the policy into an equivalent classifier.
@@ -75,16 +75,12 @@ pub fn compile_predicate(pred: &Predicate) -> Classifier {
                 .map(|p| Rule::pass(Match::on(*field, Pattern::Prefix(*p))))
                 .collect(),
         ),
-        Predicate::And(a, b) => product_bool(
-            &compile_predicate(a),
-            &compile_predicate(b),
-            |x, y| x && y,
-        ),
-        Predicate::Or(a, b) => product_bool(
-            &compile_predicate(a),
-            &compile_predicate(b),
-            |x, y| x || y,
-        ),
+        Predicate::And(a, b) => {
+            product_bool(&compile_predicate(a), &compile_predicate(b), |x, y| x && y)
+        }
+        Predicate::Or(a, b) => {
+            product_bool(&compile_predicate(a), &compile_predicate(b), |x, y| x || y)
+        }
         Predicate::Not(p) => negate_classifier(&compile_predicate(p)),
     }
 }
@@ -104,6 +100,7 @@ fn negate_classifier(c: &Classifier) -> Classifier {
             .collect(),
     )
     .optimize()
+    .classifier
 }
 
 /// Cross product of two boolean classifiers, combining pass/drop with `op`.
@@ -121,7 +118,7 @@ fn product_bool(c1: &Classifier, c2: &Classifier, op: impl Fn(bool, bool) -> boo
             }
         }
     }
-    Classifier::new(rules).optimize()
+    Classifier::new(rules).optimize().classifier
 }
 
 /// Parallel composition of compiled classifiers: the output packet set of the
@@ -141,7 +138,7 @@ pub fn parallel_compose(c1: &Classifier, c2: &Classifier) -> Classifier {
             }
         }
     }
-    Classifier::new(rules).optimize()
+    Classifier::new(rules).optimize().classifier
 }
 
 /// Sequential composition of compiled classifiers: feed every output of `c1`
@@ -161,6 +158,13 @@ pub fn parallel_compose(c1: &Classifier, c2: &Classifier) -> Classifier {
 /// to the unindexed version ([`sequential_compose_naive`]), which is kept
 /// for the ablation benchmarks.
 pub fn sequential_compose(c1: &Classifier, c2: &Classifier) -> Classifier {
+    sequential_compose_traced(c1, c2).0
+}
+
+/// [`sequential_compose`] plus the optimizer's audit trail: which rules of
+/// the raw composition product were eliminated, and why. Callers threading
+/// compile statistics (or diagnostics) use this form.
+pub fn sequential_compose_traced(c1: &Classifier, c2: &Classifier) -> (Classifier, Vec<Elision>) {
     let index = PortIndex::build(c2);
     sequential_compose_inner(c1, c2, Some(&index))
 }
@@ -169,14 +173,14 @@ pub fn sequential_compose(c1: &Classifier, c2: &Classifier) -> Classifier {
 /// `c2` rule. Same result as [`sequential_compose`], kept to measure the
 /// cost of composing participants that never exchange traffic.
 pub fn sequential_compose_naive(c1: &Classifier, c2: &Classifier) -> Classifier {
-    sequential_compose_inner(c1, c2, None)
+    sequential_compose_inner(c1, c2, None).0
 }
 
 fn sequential_compose_inner(
     c1: &Classifier,
     c2: &Classifier,
     index: Option<&PortIndex>,
-) -> Classifier {
+) -> (Classifier, Vec<Elision>) {
     let mut parts: Vec<Vec<Rule>> = Vec::with_capacity(c1.len());
     for r1 in c1.rules() {
         if r1.is_drop() {
@@ -200,15 +204,17 @@ fn sequential_compose_inner(
                 .rules()
                 .iter()
                 .filter_map(|r| {
-                    r.match_
-                        .intersect(&r1.match_)
-                        .map(|m| Rule { match_: m, actions: r.actions.clone() })
+                    r.match_.intersect(&r1.match_).map(|m| Rule {
+                        match_: m,
+                        actions: r.actions.clone(),
+                    })
                 })
                 .collect();
             parts.push(restricted);
         }
     }
-    Classifier::concat(parts).optimize()
+    let optimized = Classifier::concat(parts).optimize();
+    (optimized.classifier, optimized.eliminated)
 }
 
 /// Index of a classifier's rules by their exact `Port` constraint.
@@ -228,7 +234,10 @@ impl PortIndex {
                 _ => unconstrained.push(i),
             }
         }
-        PortIndex { by_port, unconstrained }
+        PortIndex {
+            by_port,
+            unconstrained,
+        }
     }
 
     /// Indices of rules that could match a packet whose `Port` the action
@@ -405,8 +414,10 @@ mod tests {
 
     #[test]
     fn compile_in_prefixes_linear_rules() {
-        let prefixes: sdx_ip::PrefixSet =
-            ["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"].iter().map(|s| s.parse().unwrap()).collect();
+        let prefixes: sdx_ip::PrefixSet = ["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         let pred = Predicate::in_prefixes(Field::DstIp, prefixes);
         let c = compile_predicate(&pred);
         assert_eq!(c.len(), 4);
@@ -427,8 +438,8 @@ mod tests {
     #[test]
     fn compile_multicast_with_drop_branch() {
         // One copy survives a later filter, the other does not.
-        let p = (Policy::fwd(1) + Policy::fwd(2))
-            >> Policy::Filter(Predicate::test(Field::Port, 1u32));
+        let p =
+            (Policy::fwd(1) + Policy::fwd(2)) >> Policy::Filter(Predicate::test(Field::Port, 1u32));
         check(&p, &sample_packets());
     }
 
@@ -437,8 +448,7 @@ mod tests {
         // Miniature of the paper's SDX = (PA + PB) >> (PA + PB) composition:
         // A's outbound forwards web traffic to B's virtual port (101); B's
         // inbound splits on source IP halves to its physical ports (2, 3).
-        let pa = Predicate::test(Field::Port, 1u32)
-            & Predicate::test(Field::DstPort, 80u16);
+        let pa = Predicate::test(Field::Port, 1u32) & Predicate::test(Field::DstPort, 80u16);
         let pa = pa >> Policy::fwd(101);
         let pb_lo = Predicate::test(Field::Port, 101u32)
             & Predicate::test_prefix(Field::SrcIp, "0.0.0.0/1".parse().unwrap());

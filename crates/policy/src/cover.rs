@@ -1,0 +1,336 @@
+//! Multi-rule cover (shadow/reachability) analysis.
+//!
+//! [`Classifier::optimize`] removes a rule only when a *single* earlier rule
+//! subsumes it. A rule can also be dead because the **union** of earlier
+//! rules covers its match — e.g. `dstip in 0.0.0.0/1 -> fwd` plus
+//! `dstip in 128.0.0.0/1 -> drop` together shadow any later `dstip` rule —
+//! which pairwise subsumption cannot see. This module decides reachability
+//! exactly by subtracting earlier matches from a rule's region and checking
+//! emptiness per field.
+//!
+//! A [`Region`] is a positive [`Match`] (a cube: one pattern per constrained
+//! field) plus tracked negative constraints. Subtracting a match `m` with
+//! constraints `A1 ∧ … ∧ Ak` uses the difference expansion
+//! `R \ m = ⋃ⱼ R ∧ A1 ∧ … ∧ Aⱼ₋₁ ∧ ¬Aⱼ`, so every produced region again has
+//! a cube positive part and per-field negative sets. Because all constraints
+//! are per-field conjunctions, emptiness factors: a region is empty iff some
+//! field's positive interval is fully covered by its excluded intervals
+//! (patterns are intervals: an exact value is a point, a CIDR prefix an
+//! aligned range). Field-absence semantics match [`Match::matches`]: a
+//! constraint on a missing header is false, so a *negative* constraint on a
+//! field the positive part does not pin is always satisfiable — by omitting
+//! the field.
+
+use std::collections::BTreeMap;
+
+use crate::{Classifier, Field, Match, Packet, Pattern};
+
+/// Above this many rules the cover analysis declines to run (returns no
+/// findings) instead of burning quadratic time on huge fabric tables.
+pub const COVER_RULE_LIMIT: usize = 2_000;
+
+/// Per-rule cap on tracked regions; past it the rule is conservatively
+/// treated as reachable (no false shadow reports on blowup).
+pub const COVER_REGION_LIMIT: usize = 512;
+
+/// Inclusive maximum raw value a field can hold.
+fn domain_max(field: Field) -> u64 {
+    match field {
+        Field::Port => u32::MAX as u64,
+        Field::SrcMac | Field::DstMac => (1u64 << 48) - 1,
+        Field::EthType => u16::MAX as u64,
+        Field::SrcIp | Field::DstIp => u32::MAX as u64,
+        Field::IpProto => u8::MAX as u64,
+        Field::SrcPort | Field::DstPort => u16::MAX as u64,
+    }
+}
+
+/// The inclusive value interval a pattern denotes (prefixes are aligned
+/// ranges, exact values are points).
+fn pattern_interval(p: &Pattern) -> (u64, u64) {
+    match p {
+        Pattern::Exact(v) => (*v, *v),
+        Pattern::Prefix(pfx) => (
+            u32::from(pfx.first_addr()) as u64,
+            u32::from(pfx.last_addr()) as u64,
+        ),
+    }
+}
+
+/// Smallest value in `pos`'s interval not excluded by any of `excluded`,
+/// or `None` if the exclusions cover the whole interval.
+fn field_witness(field: Field, pos: &Pattern, excluded: &[Pattern]) -> Option<u64> {
+    let (lo, hi) = pattern_interval(pos);
+    let hi = hi.min(domain_max(field));
+    let mut holes: Vec<(u64, u64)> = excluded
+        .iter()
+        .map(pattern_interval)
+        .filter(|&(a, b)| b >= lo && a <= hi)
+        .collect();
+    holes.sort_unstable();
+    let mut cursor = lo;
+    for (a, b) in holes {
+        if a > cursor {
+            break; // gap before this hole
+        }
+        cursor = cursor.max(b.checked_add(1)?);
+        if cursor > hi {
+            return None;
+        }
+    }
+    (cursor <= hi).then_some(cursor)
+}
+
+/// A set of packets: a positive cube and per-field negative pattern sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// The positive constraints (all must hold; absent fields are wild).
+    pub pos: Match,
+    neg: BTreeMap<Field, Vec<Pattern>>,
+}
+
+impl Region {
+    /// The region of exactly the packets matching `m`.
+    pub fn from_match(m: Match) -> Self {
+        Region {
+            pos: m,
+            neg: BTreeMap::new(),
+        }
+    }
+
+    /// A packet inside the region, or `None` iff the region is empty.
+    ///
+    /// Constrained fields get the smallest admissible value; fields with
+    /// only negative constraints are omitted (a missing header falsifies
+    /// the subtracted match, exactly as in [`Match::matches`]).
+    pub fn witness(&self) -> Option<Packet> {
+        let mut pkt = Packet::new();
+        for (f, p) in self.pos.iter() {
+            let excluded = self.neg.get(f).map(Vec::as_slice).unwrap_or(&[]);
+            let v = field_witness(*f, p, excluded)?;
+            pkt.set(*f, v);
+        }
+        Some(pkt)
+    }
+
+    /// Is the region empty?
+    pub fn is_empty(&self) -> bool {
+        self.witness().is_none()
+    }
+
+    /// `self` minus the packets matching `m`, as a disjunction of regions
+    /// (possibly empty). Exact.
+    pub fn subtract(&self, m: &Match) -> Vec<Region> {
+        if self.pos.intersect(m).is_none() {
+            return vec![self.clone()];
+        }
+        if m.is_any() {
+            return Vec::new(); // the wildcard swallows everything.
+        }
+        let mut terms = Vec::new();
+        let mut narrowed = self.pos.clone();
+        for (f, p) in m.iter() {
+            // Term j: earlier constraints of `m` hold positively, this one
+            // is violated (header absent or value outside the pattern).
+            let mut term = Region {
+                pos: narrowed.clone(),
+                neg: self.neg.clone(),
+            };
+            term.neg.entry(*f).or_default().push(*p);
+            if !term.is_empty() {
+                terms.push(term);
+            }
+            match narrowed.clone().and(*f, *p) {
+                Some(n) => narrowed = n,
+                None => break, // remaining terms would carry an empty cube.
+            }
+        }
+        terms
+    }
+}
+
+/// A rule no packet can reach: the union of the listed earlier rules covers
+/// its entire match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowedRule {
+    /// Index of the dead rule in the classifier.
+    pub index: usize,
+    /// Indices of earlier rules whose matches overlap the dead rule's match
+    /// (the covering set).
+    pub shadowed_by: Vec<usize>,
+}
+
+/// A packet matching `m` but none of `earlier`, or `None` when `earlier`
+/// covers all of `m`. Conservative on blowup: past [`COVER_REGION_LIMIT`]
+/// tracked regions the search gives up and returns `None`.
+pub fn witness_outside(m: &Match, earlier: &[Match]) -> Option<Packet> {
+    let mut regions = vec![Region::from_match(m.clone())];
+    for e in earlier {
+        let mut next = Vec::new();
+        for r in &regions {
+            next.extend(r.subtract(e));
+        }
+        regions = next;
+        if regions.is_empty() || regions.len() > COVER_REGION_LIMIT {
+            return None;
+        }
+    }
+    regions.first().and_then(Region::witness)
+}
+
+/// Every rule of the classifier shadowed by the *union* of earlier rules,
+/// with its covering set. The final completeness catch-all is not reported
+/// (it is padding by construction); classifiers past [`COVER_RULE_LIMIT`]
+/// rules return no findings rather than run quadratic analysis.
+pub fn shadowed_rules(c: &Classifier) -> Vec<ShadowedRule> {
+    let rules = c.rules();
+    if rules.len() > COVER_RULE_LIMIT {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 1..rules.len() {
+        if i == rules.len() - 1 && rules[i].match_.is_any() {
+            continue; // completeness padding, not policy.
+        }
+        let mut regions = vec![Region::from_match(rules[i].match_.clone())];
+        let mut shadowed_by = Vec::new();
+        let mut blown = false;
+        for (j, earlier) in rules.iter().enumerate().take(i) {
+            let mut next = Vec::new();
+            let mut touched = false;
+            for r in &regions {
+                if r.pos.intersect(&earlier.match_).is_none() {
+                    next.push(r.clone());
+                } else {
+                    touched = true;
+                    next.extend(r.subtract(&earlier.match_));
+                }
+            }
+            if touched {
+                shadowed_by.push(j);
+            }
+            regions = next;
+            if regions.is_empty() {
+                break;
+            }
+            if regions.len() > COVER_REGION_LIMIT {
+                blown = true;
+                break;
+            }
+        }
+        if !blown && regions.is_empty() {
+            out.push(ShadowedRule {
+                index: i,
+                shadowed_by,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, Rule};
+
+    fn pfx(s: &str) -> Pattern {
+        Pattern::Prefix(s.parse().unwrap())
+    }
+
+    fn on(f: Field, p: Pattern) -> Match {
+        Match::on(f, p)
+    }
+
+    #[test]
+    fn witness_of_plain_match() {
+        let m = on(Field::DstPort, Pattern::Exact(80));
+        let w = Region::from_match(m.clone()).witness().unwrap();
+        assert!(m.matches(&w));
+    }
+
+    #[test]
+    fn witness_avoids_exclusions() {
+        let m = on(Field::DstIp, pfx("10.0.0.0/8"));
+        let w = witness_outside(&m, &[on(Field::DstIp, pfx("10.0.0.0/9"))]).unwrap();
+        assert!(m.matches(&w));
+        assert!(!on(Field::DstIp, pfx("10.0.0.0/9")).matches(&w));
+    }
+
+    #[test]
+    fn halves_cover_the_whole() {
+        let m = on(Field::DstIp, pfx("10.0.0.0/8"));
+        let halves = [
+            on(Field::DstIp, pfx("10.0.0.0/9")),
+            on(Field::DstIp, pfx("10.128.0.0/9")),
+        ];
+        assert!(witness_outside(&m, &halves).is_none());
+    }
+
+    #[test]
+    fn absence_defeats_foreign_field_subtraction() {
+        // Subtracting a dstport constraint from an ip-only region leaves the
+        // packets without a dstport header, so the region stays nonempty.
+        let m = on(Field::DstIp, pfx("10.0.0.0/8"));
+        let w = witness_outside(&m, &[on(Field::DstPort, Pattern::Exact(80))]).unwrap();
+        assert!(m.matches(&w));
+        assert_eq!(w.get(Field::DstPort), None);
+    }
+
+    #[test]
+    fn multi_rule_cover_is_detected() {
+        // Neither half subsumes the /8 rule alone; together they shadow it.
+        let c = Classifier::new(vec![
+            Rule::pass(on(Field::DstIp, pfx("10.0.0.0/9"))),
+            Rule::drop(on(Field::DstIp, pfx("10.128.0.0/9"))),
+            Rule {
+                match_: on(Field::DstIp, pfx("10.0.0.0/8")),
+                actions: vec![Action::set(Field::Port, 7u32)],
+            },
+        ]);
+        let dead = shadowed_rules(&c);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].index, 2);
+        assert_eq!(dead[0].shadowed_by, vec![0, 1]);
+    }
+
+    #[test]
+    fn exact_value_union_cover() {
+        let c = Classifier::new(vec![
+            Rule::pass(
+                on(Field::IpProto, Pattern::Exact(6))
+                    .and(Field::DstPort, Pattern::Exact(80))
+                    .unwrap(),
+            ),
+            Rule::pass(on(Field::IpProto, Pattern::Exact(6))),
+            // TCP port-80 traffic is covered by rule 0 ∪ rule 1 (rule 1
+            // alone already subsumes it, but the analysis must agree).
+            Rule::drop(
+                on(Field::IpProto, Pattern::Exact(6))
+                    .and(Field::DstPort, Pattern::Exact(80))
+                    .unwrap(),
+            ),
+        ]);
+        let dead = shadowed_rules(&c);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].index, 2);
+    }
+
+    #[test]
+    fn live_rules_are_not_reported() {
+        let c = Classifier::new(vec![
+            Rule::pass(on(Field::DstPort, Pattern::Exact(80))),
+            Rule::pass(on(Field::DstPort, Pattern::Exact(443))),
+        ]);
+        assert!(shadowed_rules(&c).is_empty());
+    }
+
+    #[test]
+    fn port_range_cover_via_exacts() {
+        // ipproto has a 256-value domain; excluding both TCP and UDP from a
+        // region positively pinned to {6} empties it.
+        let m = on(Field::IpProto, Pattern::Exact(6));
+        assert!(witness_outside(&m, std::slice::from_ref(&m)).is_none());
+        let w = witness_outside(&m, &[on(Field::IpProto, Pattern::Exact(17))]).unwrap();
+        assert_eq!(w.get(Field::IpProto), Some(6));
+    }
+}

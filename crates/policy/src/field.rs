@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn render_by_kind() {
-        assert_eq!(Field::DstIp.render(u32::from(Ipv4Addr::new(10, 0, 0, 1)) as u64), "10.0.0.1");
+        assert_eq!(
+            Field::DstIp.render(u32::from(Ipv4Addr::new(10, 0, 0, 1)) as u64),
+            "10.0.0.1"
+        );
         assert_eq!(Field::DstMac.render(0x0200_0000_0001), "02:00:00:00:00:01");
         assert_eq!(Field::DstPort.render(80), "80");
     }

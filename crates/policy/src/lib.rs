@@ -27,6 +27,7 @@
 
 mod classifier;
 mod compile;
+mod cover;
 mod field;
 mod matcher;
 mod packet;
@@ -35,8 +36,12 @@ mod pattern;
 mod policy;
 mod predicate;
 
-pub use classifier::{Action, Classifier, Rule};
-pub use compile::{compile_predicate, parallel_compose, sequential_compose, sequential_compose_naive};
+pub use classifier::{Action, Classifier, Elision, ElisionReason, Optimized, Rule};
+pub use compile::{
+    compile_predicate, parallel_compose, sequential_compose, sequential_compose_naive,
+    sequential_compose_traced,
+};
+pub use cover::{shadowed_rules, witness_outside, Region, ShadowedRule};
 pub use field::{Field, Value};
 pub use matcher::Match;
 pub use packet::Packet;

@@ -112,7 +112,9 @@ impl FromIterator<(Field, Pattern)> for Match {
         for (f, p) in iter {
             // Contradictory iterators collapse the constraint to the last
             // intersection; callers building from known-consistent data only.
-            m = m.and(f, p).expect("contradictory constraints in Match::from_iter");
+            m = m
+                .and(f, p)
+                .expect("contradictory constraints in Match::from_iter");
         }
         m
     }

@@ -119,7 +119,13 @@ mod tests {
 
     #[test]
     fn builder_and_accessors() {
-        let p = Packet::udp(1, "10.0.0.1".parse().unwrap(), "20.0.0.2".parse().unwrap(), 999, 80);
+        let p = Packet::udp(
+            1,
+            "10.0.0.1".parse().unwrap(),
+            "20.0.0.2".parse().unwrap(),
+            999,
+            80,
+        );
         assert_eq!(p.port(), Some(1));
         assert_eq!(p.src_ip().unwrap().to_string(), "10.0.0.1");
         assert_eq!(p.dst_ip().unwrap().to_string(), "20.0.0.2");

@@ -93,7 +93,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, message: message.into() }
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -345,11 +348,15 @@ impl<'a> Parser<'a> {
 
     fn parse_pattern(&mut self, field: Field, raw: &str) -> Result<Predicate, ParseError> {
         if field.is_ip() && raw.contains('/') {
-            let prefix: Prefix =
-                raw.parse().map_err(|e| self.error(format!("bad prefix {raw:?}: {e}")))?;
+            let prefix: Prefix = raw
+                .parse()
+                .map_err(|e| self.error(format!("bad prefix {raw:?}: {e}")))?;
             Ok(Predicate::Test(field, Pattern::from(prefix)))
         } else {
-            Ok(Predicate::Test(field, Pattern::Exact(self.scalar(field, raw)?)))
+            Ok(Predicate::Test(
+                field,
+                Pattern::Exact(self.scalar(field, raw)?),
+            ))
         }
     }
 
@@ -357,7 +364,10 @@ impl<'a> Parser<'a> {
         if field.is_ip() && members.iter().any(|m| m.contains('/')) {
             let mut set = PrefixSet::new();
             for m in members {
-                set.insert(m.parse().map_err(|e| self.error(format!("bad prefix {m:?}: {e}")))?);
+                set.insert(
+                    m.parse()
+                        .map_err(|e| self.error(format!("bad prefix {m:?}: {e}")))?,
+                );
             }
             Ok(Predicate::in_prefixes(field, set))
         } else {
@@ -369,15 +379,18 @@ impl<'a> Parser<'a> {
 
     fn scalar(&mut self, field: Field, raw: &str) -> Result<u64, ParseError> {
         if field.is_ip() {
-            let ip: Ipv4Addr =
-                raw.parse().map_err(|_| self.error(format!("bad IP {raw:?}")))?;
+            let ip: Ipv4Addr = raw
+                .parse()
+                .map_err(|_| self.error(format!("bad IP {raw:?}")))?;
             Ok(u32::from(ip) as u64)
         } else if field.is_mac() {
-            let mac: MacAddr =
-                raw.parse().map_err(|_| self.error(format!("bad MAC {raw:?}")))?;
+            let mac: MacAddr = raw
+                .parse()
+                .map_err(|_| self.error(format!("bad MAC {raw:?}")))?;
             Ok(mac.to_u64())
         } else {
-            raw.parse().map_err(|_| self.error(format!("bad value {raw:?}")))
+            raw.parse()
+                .map_err(|_| self.error(format!("bad value {raw:?}")))
         }
     }
 
@@ -404,10 +417,9 @@ mod tests {
 
     #[test]
     fn paper_application_specific_peering_parses() {
-        let p: Policy =
-            "(match(dstport=80) >> fwd(101)) + (match(dstport=443) >> fwd(102))"
-                .parse()
-                .unwrap();
+        let p: Policy = "(match(dstport=80) >> fwd(101)) + (match(dstport=443) >> fwd(102))"
+            .parse()
+            .unwrap();
         assert_eq!(p.eval(&pkt(80)).iter().next().unwrap().port(), Some(101));
         assert_eq!(p.eval(&pkt(443)).iter().next().unwrap().port(), Some(102));
         assert!(p.eval(&pkt(22)).is_empty());
@@ -427,7 +439,10 @@ mod tests {
             .parse()
             .unwrap();
         let out = p.eval(&pkt(80));
-        assert_eq!(out.iter().next().unwrap().dst_ip().unwrap().to_string(), "74.125.224.161");
+        assert_eq!(
+            out.iter().next().unwrap().dst_ip().unwrap().to_string(),
+            "74.125.224.161"
+        );
     }
 
     #[test]
@@ -443,9 +458,13 @@ mod tests {
 
     #[test]
     fn boolean_operators_and_negation() {
-        let p: Predicate = "match(dstport=80) && !match(srcip=10.0.0.0/8)".parse().unwrap();
+        let p: Predicate = "match(dstport=80) && !match(srcip=10.0.0.0/8)"
+            .parse()
+            .unwrap();
         assert!(!p.eval(&pkt(80)));
-        let p: Predicate = "(match(dstport=80) || match(dstport=443)) && true".parse().unwrap();
+        let p: Predicate = "(match(dstport=80) || match(dstport=443)) && true"
+            .parse()
+            .unwrap();
         assert!(p.eval(&pkt(443)));
     }
 
@@ -467,7 +486,9 @@ mod tests {
 
     #[test]
     fn errors_have_positions() {
-        let err = "match(dstport=80) >> nonsense(1)".parse::<Policy>().unwrap_err();
+        let err = "match(dstport=80) >> nonsense(1)"
+            .parse::<Policy>()
+            .unwrap_err();
         assert!(err.at >= 21, "{err}");
         assert!("match(bogus=1)".parse::<Policy>().is_err());
         assert!("fwd(abc)".parse::<Policy>().is_err());

@@ -29,9 +29,9 @@ impl Pattern {
     pub fn intersect(&self, other: &Pattern) -> Option<Pattern> {
         match (self, other) {
             (Pattern::Exact(a), Pattern::Exact(b)) => (a == b).then_some(*self),
-            (Pattern::Exact(v), Pattern::Prefix(p)) | (Pattern::Prefix(p), Pattern::Exact(v)) => {
-                p.contains_addr((*v as u32).into()).then_some(Pattern::Exact(*v))
-            }
+            (Pattern::Exact(v), Pattern::Prefix(p)) | (Pattern::Prefix(p), Pattern::Exact(v)) => p
+                .contains_addr((*v as u32).into())
+                .then_some(Pattern::Exact(*v)),
             (Pattern::Prefix(a), Pattern::Prefix(b)) => a.intersect(b).map(Pattern::Prefix),
         }
     }
@@ -109,14 +109,23 @@ mod tests {
 
     #[test]
     fn intersection_table() {
-        assert_eq!(Pattern::Exact(1).intersect(&Pattern::Exact(1)), Some(Pattern::Exact(1)));
+        assert_eq!(
+            Pattern::Exact(1).intersect(&Pattern::Exact(1)),
+            Some(Pattern::Exact(1))
+        );
         assert_eq!(Pattern::Exact(1).intersect(&Pattern::Exact(2)), None);
         assert_eq!(
             Pattern::Exact(ip("10.0.0.1")).intersect(&pfx("10.0.0.0/8")),
             Some(Pattern::Exact(ip("10.0.0.1")))
         );
-        assert_eq!(Pattern::Exact(ip("11.0.0.1")).intersect(&pfx("10.0.0.0/8")), None);
-        assert_eq!(pfx("10.0.0.0/8").intersect(&pfx("10.1.0.0/16")), Some(pfx("10.1.0.0/16")));
+        assert_eq!(
+            Pattern::Exact(ip("11.0.0.1")).intersect(&pfx("10.0.0.0/8")),
+            None
+        );
+        assert_eq!(
+            pfx("10.0.0.0/8").intersect(&pfx("10.1.0.0/16")),
+            Some(pfx("10.1.0.0/16"))
+        );
         assert_eq!(pfx("10.0.0.0/8").intersect(&pfx("11.0.0.0/8")), None);
     }
 
@@ -132,7 +141,10 @@ mod tests {
 
     #[test]
     fn canonicalization_of_host_prefixes() {
-        assert_eq!(pfx("10.0.0.1/32").canonical(), Pattern::Exact(ip("10.0.0.1")));
+        assert_eq!(
+            pfx("10.0.0.1/32").canonical(),
+            Pattern::Exact(ip("10.0.0.1"))
+        );
         assert_eq!(pfx("10.0.0.0/8").canonical(), pfx("10.0.0.0/8"));
     }
 }

@@ -92,7 +92,9 @@ impl Policy {
                 other => v.push(other),
             }
         }
-        if v.iter().any(|p| matches!(p, Policy::Filter(Predicate::False))) {
+        if v.iter()
+            .any(|p| matches!(p, Policy::Filter(Predicate::False)))
+        {
             return Policy::drop();
         }
         match v.len() {
@@ -234,7 +236,13 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn pkt(dst_port: u16) -> Packet {
-        Packet::udp(1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 999, dst_port)
+        Packet::udp(
+            1,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            999,
+            dst_port,
+        )
     }
 
     #[test]
@@ -249,7 +257,10 @@ mod tests {
         let p = Policy::modify(Field::DstIp, Ipv4Addr::new(99, 0, 0, 1));
         let out = p.eval(&pkt(80));
         assert_eq!(out.len(), 1);
-        assert_eq!(out.iter().next().unwrap().dst_ip().unwrap().to_string(), "99.0.0.1");
+        assert_eq!(
+            out.iter().next().unwrap().dst_ip().unwrap().to_string(),
+            "99.0.0.1"
+        );
     }
 
     #[test]
@@ -266,7 +277,10 @@ mod tests {
         let policy = (Predicate::test(Field::DstPort, 80u16) >> Policy::fwd(b))
             + (Predicate::test(Field::DstPort, 443u16) >> Policy::fwd(c));
         assert_eq!(policy.eval(&pkt(80)).iter().next().unwrap().port(), Some(b));
-        assert_eq!(policy.eval(&pkt(443)).iter().next().unwrap().port(), Some(c));
+        assert_eq!(
+            policy.eval(&pkt(443)).iter().next().unwrap().port(),
+            Some(c)
+        );
         // "If neither of the two policies matches, the packet is dropped."
         assert!(policy.eval(&pkt(22)).is_empty());
     }

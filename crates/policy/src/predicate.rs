@@ -95,9 +95,7 @@ impl Predicate {
 
     /// Disjunction of many predicates. An empty iterator is `False`.
     pub fn any_of(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
-        preds
-            .into_iter()
-            .fold(Predicate::False, |acc, p| acc.or(p))
+        preds.into_iter().fold(Predicate::False, |acc, p| acc.or(p))
     }
 
     /// Conjunction of many predicates. An empty iterator is `True`.
@@ -226,7 +224,13 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn pkt80() -> Packet {
-        Packet::udp(1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 1234, 80)
+        Packet::udp(
+            1,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            1234,
+            80,
+        )
     }
 
     #[test]
@@ -257,7 +261,10 @@ mod tests {
         assert!(in_set.eval(&pkt80()));
         let prefixes: PrefixSet = ["20.0.0.0/8".parse().unwrap()].into_iter().collect();
         assert!(Predicate::in_prefixes(Field::DstIp, prefixes).eval(&pkt80()));
-        assert_eq!(Predicate::in_prefixes(Field::DstIp, PrefixSet::new()), Predicate::False);
+        assert_eq!(
+            Predicate::in_prefixes(Field::DstIp, PrefixSet::new()),
+            Predicate::False
+        );
         assert_eq!(Predicate::in_set(Field::DstPort, []), Predicate::False);
     }
 

@@ -10,8 +10,19 @@ use std::net::Ipv4Addr;
 
 const PORTS: [u32; 4] = [1, 2, 101, 102];
 const DST_PORTS: [u16; 3] = [80, 443, 22];
-const IPS: [[u8; 4]; 4] = [[10, 0, 0, 1], [10, 200, 0, 1], [128, 0, 0, 1], [200, 1, 2, 3]];
-const PREFIXES: [&str; 5] = ["0.0.0.0/0", "0.0.0.0/1", "128.0.0.0/1", "10.0.0.0/8", "10.0.0.0/16"];
+const IPS: [[u8; 4]; 4] = [
+    [10, 0, 0, 1],
+    [10, 200, 0, 1],
+    [128, 0, 0, 1],
+    [200, 1, 2, 3],
+];
+const PREFIXES: [&str; 5] = [
+    "0.0.0.0/0",
+    "0.0.0.0/1",
+    "128.0.0.0/1",
+    "10.0.0.0/8",
+    "10.0.0.0/16",
+];
 
 fn arb_field_test() -> impl Strategy<Value = Predicate> {
     prop_oneof![
@@ -53,10 +64,7 @@ fn arb_mod() -> impl Strategy<Value = Policy> {
 }
 
 fn arb_policy() -> impl Strategy<Value = Policy> {
-    let leaf = prop_oneof![
-        arb_predicate().prop_map(Policy::Filter),
-        arb_mod(),
-    ];
+    let leaf = prop_oneof![arb_predicate().prop_map(Policy::Filter), arb_mod(),];
     leaf.prop_recursive(3, 20, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(Policy::parallel),
@@ -123,8 +131,14 @@ proptest! {
         packets in prop::collection::vec(arb_packet(), 1..8),
     ) {
         let c = policy.compile();
-        let o = c.clone().optimize();
+        let optimized = c.clone().optimize();
+        let o = optimized.classifier;
         prop_assert!(o.len() <= c.len());
+        // The audit trail accounts exactly for the removed rules.
+        prop_assert_eq!(o.len() + optimized.eliminated.len(), c.len());
+        for e in &optimized.eliminated {
+            prop_assert!(e.index < c.len());
+        }
         for pkt in &packets {
             prop_assert_eq!(c.evaluate(pkt), o.evaluate(pkt));
         }
@@ -152,6 +166,46 @@ proptest! {
         let want: std::collections::BTreeSet<_> =
             a.eval(&pkt).iter().flat_map(|k| b.eval(k)).collect();
         prop_assert_eq!(c.evaluate(&pkt), want);
+    }
+}
+
+proptest! {
+    /// The cover analysis agrees with the interpreter: a rule reported
+    /// shadowed is never the first match of any sampled packet, and for a
+    /// live rule the produced witness really does reach it.
+    #[test]
+    fn cover_analysis_agrees_with_interpreter(
+        policy in arb_policy(),
+        packets in prop::collection::vec(arb_packet(), 1..8),
+    ) {
+        let c = policy.compile();
+        let rules = c.rules();
+        let first_match = |pkt: &Packet| rules.iter().position(|r| r.match_.matches(pkt));
+        let dead: std::collections::BTreeSet<usize> =
+            sdx_policy::shadowed_rules(&c).into_iter().map(|s| s.index).collect();
+        for i in 0..rules.len() {
+            let earlier: Vec<_> = rules[..i].iter().map(|r| r.match_.clone()).collect();
+            match sdx_policy::witness_outside(&rules[i].match_, &earlier) {
+                // The witness is a counterexample to "rule i is dead": the
+                // interpreter must route it to rule i, and the analysis must
+                // not have reported i shadowed.
+                Some(w) => {
+                    prop_assert_eq!(first_match(&w), Some(i));
+                    prop_assert!(!dead.contains(&i));
+                }
+                // Covered (or the search gave up): no sampled packet may
+                // reach a rule the analysis reported dead.
+                None => {
+                    for pkt in &packets {
+                        prop_assert!(!(dead.contains(&i) && first_match(pkt) == Some(i)));
+                    }
+                }
+            }
+        }
+        // Every reported shadowing set only references earlier rules.
+        for s in sdx_policy::shadowed_rules(&c) {
+            prop_assert!(s.shadowed_by.iter().all(|&j| j < s.index));
+        }
     }
 }
 

@@ -98,8 +98,8 @@ fn port16(v: u64) -> Result<u16, FlowModError> {
 
 /// Serialize one rule as an `OFPT_FLOW_MOD` (ADD).
 pub fn encode_flow_mod(rule: &FlowRule, xid: u32) -> Result<Bytes, FlowModError> {
-    let priority =
-        u16::try_from(rule.priority).map_err(|_| FlowModError::PriorityOutOfRange(rule.priority))?;
+    let priority = u16::try_from(rule.priority)
+        .map_err(|_| FlowModError::PriorityOutOfRange(rule.priority))?;
 
     // ---- ofp_match --------------------------------------------------------
     let mut wildcards = wildcard::ALWAYS
@@ -473,16 +473,16 @@ mod tests {
 
     #[test]
     fn virtual_ports_are_rejected() {
-        let r = FlowRule::new(
-            1,
-            Match::on(Field::Port, Pattern::Exact(1_000_001)),
-            vec![],
-        );
+        let r = FlowRule::new(1, Match::on(Field::Port, Pattern::Exact(1_000_001)), vec![]);
         assert!(matches!(
             encode_flow_mod(&r, 1),
             Err(FlowModError::PortOutOfRange(_))
         ));
-        let r = FlowRule::new(1, Match::any(), vec![Action::set(Field::Port, 1_000_001u32)]);
+        let r = FlowRule::new(
+            1,
+            Match::any(),
+            vec![Action::set(Field::Port, 1_000_001u32)],
+        );
         assert!(matches!(
             encode_flow_mod(&r, 1),
             Err(FlowModError::PortOutOfRange(_))
@@ -494,7 +494,10 @@ mod tests {
         let a1 = Action::set(Field::Port, 2u32);
         let a2 = Action::set(Field::Port, 3u32).with(Field::DstIp, Ipv4Addr::new(1, 1, 1, 1));
         let r = FlowRule::new(1, Match::any(), vec![a1, a2]);
-        assert_eq!(encode_flow_mod(&r, 1).unwrap_err(), FlowModError::UnsupportedMulticast);
+        assert_eq!(
+            encode_flow_mod(&r, 1).unwrap_err(),
+            FlowModError::UnsupportedMulticast
+        );
     }
 
     #[test]

@@ -184,7 +184,10 @@ mod tests {
         let mut w = PcapWriter::new();
         w.write_frame(1, 1, &sample_frame());
         let bytes = w.finish();
-        assert_eq!(read_pcap(&bytes[..bytes.len() - 3]).unwrap_err(), PcapError::Truncated);
+        assert_eq!(
+            read_pcap(&bytes[..bytes.len() - 3]).unwrap_err(),
+            PcapError::Truncated
+        );
         let mut garbled = bytes.to_vec();
         garbled[0] = 0;
         assert_eq!(read_pcap(&garbled).unwrap_err(), PcapError::BadHeader);

@@ -44,7 +44,13 @@ pub enum Forward {
 impl BorderRouter {
     /// A router attached to fabric port `port`.
     pub fn new(port: u32, mac: MacAddr, ip: Ipv4Addr) -> Self {
-        BorderRouter { mac, ip, port, fib: PrefixTrie::new(), arp_cache: BTreeMap::new() }
+        BorderRouter {
+            mac,
+            ip,
+            port,
+            fib: PrefixTrie::new(),
+            arp_cache: BTreeMap::new(),
+        }
     }
 
     /// The router's fabric port.
@@ -179,9 +185,18 @@ mod tests {
     fn longest_prefix_match_selects_specific_route() {
         let mut r = router();
         r.install_route("10.0.0.0/8".parse().unwrap(), "172.16.0.1".parse().unwrap());
-        r.install_route("10.1.0.0/16".parse().unwrap(), "172.16.0.2".parse().unwrap());
-        assert_eq!(r.next_hop_for("10.1.2.3".parse().unwrap()), Some("172.16.0.2".parse().unwrap()));
-        assert_eq!(r.next_hop_for("10.2.0.1".parse().unwrap()), Some("172.16.0.1".parse().unwrap()));
+        r.install_route(
+            "10.1.0.0/16".parse().unwrap(),
+            "172.16.0.2".parse().unwrap(),
+        );
+        assert_eq!(
+            r.next_hop_for("10.1.2.3".parse().unwrap()),
+            Some("172.16.0.2".parse().unwrap())
+        );
+        assert_eq!(
+            r.next_hop_for("10.2.0.1".parse().unwrap()),
+            Some("172.16.0.1".parse().unwrap())
+        );
     }
 
     #[test]

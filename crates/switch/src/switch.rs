@@ -176,14 +176,20 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn web_packet(port: u32) -> Packet {
-        Packet::tcp(port, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 5555, 80)
+        Packet::tcp(
+            port,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            5555,
+            80,
+        )
     }
 
     #[test]
     fn forwards_per_installed_policy() {
         let mut sw = SoftSwitch::new([1, 2, 3]);
-        let policy = (match_(Field::DstPort, 80u16) >> fwd(2))
-            + (match_(Field::DstPort, 443u16) >> fwd(3));
+        let policy =
+            (match_(Field::DstPort, 80u16) >> fwd(2)) + (match_(Field::DstPort, 443u16) >> fwd(3));
         sw.install_classifier(&policy.compile(), 1);
 
         let out = sw.process(&web_packet(1));
@@ -191,7 +197,13 @@ mod tests {
         assert_eq!(out[0].0, 2);
         assert_eq!(sw.stats().forwarded, 1);
 
-        let ssh = Packet::tcp(1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 5555, 22);
+        let ssh = Packet::tcp(
+            1,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            5555,
+            22,
+        );
         assert!(sw.process(&ssh).is_empty());
         assert_eq!(sw.stats().dropped, 1);
     }

@@ -30,7 +30,14 @@ pub struct FlowRule {
 impl FlowRule {
     /// A rule with zeroed counters and cookie.
     pub fn new(priority: u32, match_: Match, actions: Vec<Action>) -> Self {
-        FlowRule { priority, cookie: 0, match_, actions, goto_table: None, packet_count: 0 }
+        FlowRule {
+            priority,
+            cookie: 0,
+            match_,
+            actions,
+            goto_table: None,
+            packet_count: 0,
+        }
     }
 
     /// Builder: tag with a cookie.
@@ -100,9 +107,7 @@ impl FlowTable {
 
     /// Install a rule (stable within its priority band).
     pub fn install(&mut self, rule: FlowRule) {
-        let pos = self
-            .rules
-            .partition_point(|r| r.priority >= rule.priority);
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
         self.rules.insert(pos, rule);
     }
 
@@ -198,7 +203,11 @@ mod tests {
     fn priority_ordering() {
         let mut t = FlowTable::new();
         t.install(FlowRule::new(1, Match::any(), vec![]));
-        t.install(FlowRule::new(10, m(1), vec![Action::set(Field::Port, 9u32)]));
+        t.install(FlowRule::new(
+            10,
+            m(1),
+            vec![Action::set(Field::Port, 9u32)],
+        ));
         t.install(FlowRule::new(5, m(1), vec![]));
         assert_eq!(t.rules()[0].priority, 10);
         assert_eq!(t.rules()[2].priority, 1);
@@ -242,7 +251,8 @@ mod tests {
     #[test]
     fn classifier_install_preserves_order() {
         use sdx_policy::{fwd, match_};
-        let policy = (match_(Field::DstPort, 80u16) >> fwd(1)) + (match_(Field::DstPort, 443u16) >> fwd(2));
+        let policy =
+            (match_(Field::DstPort, 80u16) >> fwd(1)) + (match_(Field::DstPort, 443u16) >> fwd(2));
         let classifier = policy.compile();
         let mut t = FlowTable::new();
         t.install_classifier(&classifier, 1);
@@ -260,7 +270,11 @@ mod tests {
         t.install_classifier(&(match_(Field::DstPort, 80u16) >> fwd(1)).compile(), 1);
         let before = t.len() as u32;
         // Fast-path overlay sends port-80 to 2 instead.
-        t.append_classifier(&(match_(Field::DstPort, 80u16) >> fwd(2)).compile(), 2, before);
+        t.append_classifier(
+            &(match_(Field::DstPort, 80u16) >> fwd(2)).compile(),
+            2,
+            before,
+        );
         let pkt = Packet::new().with(Field::DstPort, 80u16);
         assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(2));
         // Removing the overlay restores the original behavior.

@@ -28,7 +28,10 @@ pub struct ResetDetector {
 
 impl Default for ResetDetector {
     fn default() -> Self {
-        ResetDetector { window_s: 60, table_fraction: 0.8 }
+        ResetDetector {
+            window_s: 60,
+            table_fraction: 0.8,
+        }
     }
 }
 
@@ -135,7 +138,10 @@ mod tests {
     fn short_trace(t: &IxpTopology) -> Vec<TraceEvent> {
         generate_trace(
             t,
-            TraceConfig { duration_s: 3_600, ..Default::default() },
+            TraceConfig {
+                duration_s: 3_600,
+                ..Default::default()
+            },
             9,
         )
         .events
@@ -196,7 +202,13 @@ mod tests {
         let victim = t.participants[0].id;
         let events = inject_session_reset(&t, victim, 100);
         // With an impossible threshold nothing is discarded.
-        let lax = ResetDetector { table_fraction: 1.1, ..Default::default() };
-        assert_eq!(analyze_feed(&events, &table_sizes(&t), lax).discarded_updates, 0);
+        let lax = ResetDetector {
+            table_fraction: 1.1,
+            ..Default::default()
+        };
+        assert_eq!(
+            analyze_feed(&events, &table_sizes(&t), lax).discarded_updates,
+            0
+        );
     }
 }

@@ -12,13 +12,13 @@ mod topology;
 mod traffic;
 mod updates;
 
-pub use analysis::{
-    analyze_feed, inject_session_reset, table_sizes, FeedAnalysis, ResetDetector,
+pub use analysis::{analyze_feed, inject_session_reset, table_sizes, FeedAnalysis, ResetDetector};
+pub use policies::{
+    classify, generate_policies, generate_policies_with_groups, AsCategory, PolicyMix,
 };
-pub use policies::{classify, generate_policies, generate_policies_with_groups, AsCategory, PolicyMix};
 pub use topology::{Announcement, IxpProfile, IxpTopology};
 pub use traffic::{render_series, run_timeline, FlowSpec, TimelineEvent, TrafficBin};
 pub use updates::{
-    burst_stats, generate_trace, generate_trace_with, table1_row, trace_stats, BurstStats, Table1Row, TraceConfig, TraceEvent,
-    UpdateTrace,
+    burst_stats, generate_trace, generate_trace_with, table1_row, trace_stats, BurstStats,
+    Table1Row, TraceConfig, TraceEvent, UpdateTrace,
 };

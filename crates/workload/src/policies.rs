@@ -84,7 +84,9 @@ fn random_field_match(rng: &mut StdRng, src_prefixes: Option<&PrefixSet>) -> Pre
 
 fn sample_prefixes(rng: &mut StdRng, set: &PrefixSet, k: usize) -> PrefixSet {
     let all: Vec<_> = set.iter().copied().collect();
-    all.choose_multiple(rng, k.min(all.len())).copied().collect()
+    all.choose_multiple(rng, k.min(all.len()))
+        .copied()
+        .collect()
 }
 
 /// Generate the §6.1 policy mix for a topology.
@@ -128,7 +130,10 @@ pub fn generate_policies(topology: &IxpTopology, seed: u64) -> PolicyMix {
             policy = policy.outbound(Clause::fwd(Predicate::test(Field::DstPort, port), target));
         }
         let own_port = port_of(topology, cp);
-        policy = policy.inbound(Clause::to_port(random_field_match(&mut rng, None), own_port));
+        policy = policy.inbound(Clause::to_port(
+            random_field_match(&mut rng, None),
+            own_port,
+        ));
         policies.insert(cp, policy);
     }
 
@@ -164,19 +169,25 @@ pub fn generate_policies(topology: &IxpTopology, seed: u64) -> PolicyMix {
                 continue;
             }
             let scoped = sample_prefixes(&mut rng, &dst, 8);
-            policy = policy.outbound(
-                Clause::fwd(random_field_match(&mut rng, None), eb).for_prefixes(scoped),
-            );
+            policy = policy
+                .outbound(Clause::fwd(random_field_match(&mut rng, None), eb).for_prefixes(scoped));
         }
         let own_port = port_of(topology, tr);
         for _ in 0..(active_contents.len().max(1)) {
-            policy = policy.inbound(Clause::to_port(random_field_match(&mut rng, None), own_port));
+            policy = policy.inbound(Clause::to_port(
+                random_field_match(&mut rng, None),
+                own_port,
+            ));
         }
         policies.insert(tr, policy);
     }
 
     let clauses = policies.values().map(|p| p.len()).sum();
-    PolicyMix { policies, categories, clauses }
+    PolicyMix {
+        policies,
+        categories,
+        clauses,
+    }
 }
 
 /// Generate a policy mix sized to produce approximately `target_groups`
@@ -214,8 +225,11 @@ pub fn generate_policies_with_groups(
             )
         })
         .collect();
-    let top_eyeballs: Vec<ParticipantId> =
-        eyeballs.iter().copied().take((eyeballs.len() / 4).max(3)).collect();
+    let top_eyeballs: Vec<ParticipantId> = eyeballs
+        .iter()
+        .copied()
+        .take((eyeballs.len() / 4).max(3))
+        .collect();
 
     // Partition the top eyeballs' announcements into `target_groups` chunks.
     let mut chunks: Vec<(ParticipantId, PrefixSet)> = Vec::new();
@@ -257,7 +271,11 @@ pub fn generate_policies_with_groups(
     }
 
     let clauses = policies.values().map(|p| p.len()).sum();
-    PolicyMix { policies, categories, clauses }
+    PolicyMix {
+        policies,
+        categories,
+        clauses,
+    }
 }
 
 fn port_of(topology: &IxpTopology, id: ParticipantId) -> u32 {

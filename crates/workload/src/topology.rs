@@ -49,12 +49,18 @@ impl IxpProfile {
 
     /// A profile shaped like DE-CIX.
     pub fn de_cix(participants: usize, prefixes: usize) -> Self {
-        IxpProfile { name: "DE-CIX".into(), ..Self::ams_ix(participants, prefixes) }
+        IxpProfile {
+            name: "DE-CIX".into(),
+            ..Self::ams_ix(participants, prefixes)
+        }
     }
 
     /// A profile shaped like LINX.
     pub fn linx(participants: usize, prefixes: usize) -> Self {
-        IxpProfile { name: "LINX".into(), ..Self::ams_ix(participants, prefixes) }
+        IxpProfile {
+            name: "LINX".into(),
+            ..Self::ams_ix(participants, prefixes)
+        }
     }
 }
 
@@ -117,7 +123,11 @@ impl IxpTopology {
         for (idx, count) in counts.iter().copied().enumerate() {
             let id = ParticipantId(idx as u32 + 1);
             let asn = Asn(65_000 + idx as u32 + 1);
-            let nports = if rng.gen_bool(profile.multi_port_fraction) { 2 } else { 1 };
+            let nports = if rng.gen_bool(profile.multi_port_fraction) {
+                2
+            } else {
+                1
+            };
             let ports: Vec<PortConfig> = (0..nports)
                 .map(|k| {
                     let port = (idx as u32 + 1) * 10 + k;
@@ -189,7 +199,11 @@ impl IxpTopology {
             });
         }
 
-        IxpTopology { profile, participants, announcements }
+        IxpTopology {
+            profile,
+            participants,
+            announcements,
+        }
     }
 
     /// Register every participant and announcement on an SDX runtime.
@@ -277,7 +291,11 @@ mod tests {
     fn skew_matches_published_shape() {
         let t = IxpTopology::generate(IxpProfile::ams_ix(300, 30_000), 1);
         // ~1% of ASes announce more than 50%.
-        assert!(t.top_share(0.01) > 0.5, "top 1% share = {}", t.top_share(0.01));
+        assert!(
+            t.top_share(0.01) > 0.5,
+            "top 1% share = {}",
+            t.top_share(0.01)
+        );
         // The bottom 90% announce only a few percent.
         let bottom_90 = 1.0 - t.top_share(0.10);
         assert!(bottom_90 < 0.05, "bottom 90% share = {bottom_90}");

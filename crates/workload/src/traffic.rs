@@ -52,7 +52,10 @@ pub struct TimelineEvent {
 impl TimelineEvent {
     /// Build an event.
     pub fn at(at_s: u64, action: impl FnMut(&mut FabricSim) + 'static) -> Self {
-        TimelineEvent { at_s, action: Box::new(action) }
+        TimelineEvent {
+            at_s,
+            action: Box::new(action),
+        }
     }
 }
 
@@ -200,7 +203,10 @@ mod tests {
             &[(
                 "p1",
                 Box::new(|b: &TrafficBin| {
-                    b.mbps_by_participant.get(&ParticipantId(1)).copied().unwrap_or(0.0)
+                    b.mbps_by_participant
+                        .get(&ParticipantId(1))
+                        .copied()
+                        .unwrap_or(0.0)
                 }),
             )],
         );

@@ -130,12 +130,17 @@ pub fn generate_trace_with(
     let mut owners: Vec<(Prefix, ParticipantId, PathAttributes)> = topology
         .announcements
         .iter()
-        .flat_map(|a| a.prefixes.iter().map(move |p| (*p, a.from, a.attrs.clone())))
+        .flat_map(|a| {
+            a.prefixes
+                .iter()
+                .map(move |p| (*p, a.from, a.attrs.clone()))
+        })
         .filter(|(p, _, _)| seen.insert(*p))
         .collect();
     owners.shuffle(&mut rng);
-    let unstable_count =
-        ((owners.len() as f64) * config.unstable_fraction).round().max(1.0) as usize;
+    let unstable_count = ((owners.len() as f64) * config.unstable_fraction)
+        .round()
+        .max(1.0) as usize;
     let unstable = &owners[..unstable_count.min(owners.len())];
 
     let mut touched = std::collections::BTreeSet::new();
@@ -166,10 +171,16 @@ pub fn generate_trace_with(
             } else {
                 // Re-announce with a perturbed path (a best-path change).
                 let mut attrs = attrs.clone();
-                attrs.as_path = attrs.as_path.prepend(sdx_bgp::Asn(rng.gen_range(1_000..60_000)));
+                attrs.as_path = attrs
+                    .as_path
+                    .prepend(sdx_bgp::Asn(rng.gen_range(1_000..60_000)));
                 Update::announce([*prefix], attrs)
             };
-            sink(TraceEvent { at_s: now, from: *owner, update });
+            sink(TraceEvent {
+                at_s: now,
+                from: *owner,
+                update,
+            });
         }
     }
 
@@ -323,7 +334,14 @@ mod tests {
         let mut sdx = sdx_core::SdxRuntime::default();
         t.install(&mut sdx);
         sdx.compile().unwrap();
-        let trace = generate_trace(&t, TraceConfig { duration_s: 3_600, ..Default::default() }, 4);
+        let trace = generate_trace(
+            &t,
+            TraceConfig {
+                duration_s: 3_600,
+                ..Default::default()
+            },
+            4,
+        );
         for e in trace.events.iter().take(50) {
             sdx.apply_update(e.from, &e.update);
         }

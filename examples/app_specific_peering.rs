@@ -43,12 +43,18 @@ fn main() {
     sdx.announce(
         A,
         [aws],
-        PathAttributes::new(AsPath::sequence([65001, 14618]), Ipv4Addr::new(172, 0, 0, 11)),
+        PathAttributes::new(
+            AsPath::sequence([65001, 14618]),
+            Ipv4Addr::new(172, 0, 0, 11),
+        ),
     );
     sdx.announce(
         B,
         [aws],
-        PathAttributes::new(AsPath::sequence([65002, 2, 14618]), Ipv4Addr::new(172, 0, 0, 21)),
+        PathAttributes::new(
+            AsPath::sequence([65002, 2, 14618]),
+            Ipv4Addr::new(172, 0, 0, 21),
+        ),
     );
     sdx.compile().expect("initial compilation");
 
@@ -90,7 +96,13 @@ fn main() {
     println!("# Figure 5a — traffic rate by egress AS (Mbps)");
     print!(
         "{}",
-        render_series(&bins, &[("via_AS_A", Box::new(via(A))), ("via_AS_B", Box::new(via(B)))])
+        render_series(
+            &bins,
+            &[
+                ("via_AS_A", Box::new(via(A))),
+                ("via_AS_B", Box::new(via(B)))
+            ]
+        )
     );
 
     // Sanity summary.
@@ -98,6 +110,10 @@ fn main() {
     assert_eq!(via(A)(at(0)), 3.0, "all traffic via A before the policy");
     assert_eq!(via(B)(at(600)), 1.0, "port-80 flow via B after the policy");
     assert_eq!(via(A)(at(600)), 2.0);
-    assert_eq!(via(A)(at(1290)), 3.0, "everything back via A after withdrawal");
+    assert_eq!(
+        via(A)(at(1290)),
+        3.0,
+        "everything back via A after withdrawal"
+    );
     println!("# shape check passed: 3.0 → (2.0 via A + 1.0 via B) → 3.0 via A");
 }

@@ -51,10 +51,17 @@ fn main() {
     //    replayed through the fast path.
     let trace = generate_trace(
         &topology,
-        TraceConfig { duration_s: 7_200, ..Default::default() },
+        TraceConfig {
+            duration_s: 7_200,
+            ..Default::default()
+        },
         42,
     );
-    let analysis = analyze_feed(&trace.events, &table_sizes(&topology), ResetDetector::default());
+    let analysis = analyze_feed(
+        &trace.events,
+        &table_sizes(&topology),
+        ResetDetector::default(),
+    );
     println!(
         "trace: {} change events over 2h ({} raw updates modeled), {} prefixes touched, {} discarded as resets",
         trace.updates, trace.raw_updates, analysis.prefixes_updated, analysis.discarded_updates

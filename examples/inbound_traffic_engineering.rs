@@ -30,7 +30,11 @@ fn main() {
     let mut sdx = SdxRuntime::default();
     sdx.add_participant(Participant::new(A, Asn(65001), vec![port(1, 11)]));
     // B attaches with two ports, B1 and B2.
-    sdx.add_participant(Participant::new(B, Asn(65002), vec![port(2, 21), port(3, 22)]));
+    sdx.add_participant(Participant::new(
+        B,
+        Asn(65002),
+        vec![port(2, 21), port(3, 22)],
+    ));
     sdx.add_participant(Participant::new(C, Asn(65003), vec![port(4, 31)]));
 
     sdx.announce(

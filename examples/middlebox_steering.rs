@@ -38,7 +38,10 @@ fn main() {
     // B carries routes originated by the video AS; C carries the rest.
     sdx.announce(
         B,
-        ["208.65.152.0/22".parse().unwrap(), "208.117.224.0/19".parse().unwrap()],
+        [
+            "208.65.152.0/22".parse().unwrap(),
+            "208.117.224.0/19".parse().unwrap(),
+        ],
         PathAttributes::new(
             AsPath::sequence([65002, 3356, YOUTUBE_ASN]),
             Ipv4Addr::new(172, 0, 0, 21),
@@ -47,7 +50,10 @@ fn main() {
     sdx.announce(
         C,
         ["93.184.216.0/24".parse().unwrap()],
-        PathAttributes::new(AsPath::sequence([65003, 15133]), Ipv4Addr::new(172, 0, 0, 31)),
+        PathAttributes::new(
+            AsPath::sequence([65003, 15133]),
+            Ipv4Addr::new(172, 0, 0, 31),
+        ),
     );
 
     // The policy idiom from §3.2:
@@ -77,7 +83,10 @@ fn main() {
             .with(Field::SrcPort, 443u16)
             .with(Field::DstPort, 50_000u16);
         let out = sim.send_from(A, pkt);
-        let to = out.first().map(|d| format!("{}", d.to)).unwrap_or_else(|| "dropped".into());
+        let to = out
+            .first()
+            .map(|d| format!("{}", d.to))
+            .unwrap_or_else(|| "dropped".into());
         println!("src {src:>16} dst {dst:>16} -> {to}");
         out.first().map(|d| d.to)
     };

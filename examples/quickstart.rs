@@ -7,7 +7,9 @@
 use std::net::Ipv4Addr;
 
 use sdx::bgp::{AsPath, Asn, PathAttributes};
-use sdx::core::{Clause, FabricSim, Participant, ParticipantId, ParticipantPolicy, PortConfig, SdxRuntime};
+use sdx::core::{
+    Clause, FabricSim, Participant, ParticipantId, ParticipantPolicy, PortConfig, SdxRuntime,
+};
 use sdx::ip::MacAddr;
 use sdx::policy::{match_, Field, Packet};
 
@@ -35,7 +37,10 @@ fn main() {
     sdx.announce(
         b,
         ["20.0.0.0/8".parse().unwrap()],
-        PathAttributes::new(AsPath::sequence([65002, 64999]), Ipv4Addr::new(172, 0, 0, 21)),
+        PathAttributes::new(
+            AsPath::sequence([65002, 64999]),
+            Ipv4Addr::new(172, 0, 0, 21),
+        ),
     );
     sdx.announce(
         c,
@@ -52,7 +57,10 @@ fn main() {
 
     // 4. Compile: policies + BGP → one flow table.
     let stats = sdx.compile().expect("compiles");
-    println!("compiled {} fabric rules, {} prefix groups, in {} µs", stats.rules, stats.groups, stats.duration_us);
+    println!(
+        "compiled {} fabric rules, {} prefix groups, in {} µs",
+        stats.rules, stats.groups, stats.duration_us
+    );
     println!("\nflow table:\n{}", sdx.switch().table());
 
     // 5. Send traffic through the simulated fabric.
@@ -68,7 +76,10 @@ fn main() {
             .with(Field::SrcPort, 5555u16)
             .with(Field::DstPort, dport);
         let out = sim.send_from(a, pkt);
-        let to = out.first().map(|d| format!("{}", d.to)).unwrap_or_else(|| "dropped".into());
+        let to = out
+            .first()
+            .map(|d| format!("{}", d.to))
+            .unwrap_or_else(|| "dropped".into());
         println!("dstport {dport:>5} -> {to}");
     };
 

@@ -46,12 +46,18 @@ fn main() {
     sdx.announce(
         B,
         ["52.10.0.0/16".parse().unwrap()],
-        PathAttributes::new(AsPath::sequence([65002, 16509]), Ipv4Addr::new(172, 0, 0, 21)),
+        PathAttributes::new(
+            AsPath::sequence([65002, 16509]),
+            Ipv4Addr::new(172, 0, 0, 21),
+        ),
     );
     sdx.announce(
         C,
         ["52.20.0.0/16".parse().unwrap()],
-        PathAttributes::new(AsPath::sequence([65003, 16509]), Ipv4Addr::new(172, 0, 0, 31)),
+        PathAttributes::new(
+            AsPath::sequence([65003, 16509]),
+            Ipv4Addr::new(172, 0, 0, 31),
+        ),
     );
     // The tenant announces the anycast service prefix *through the SDX*.
     sdx.announce(
@@ -61,18 +67,16 @@ fn main() {
     );
 
     // Initially every request goes to instance #1.
-    let initial = ParticipantPolicy::new().inbound(
-        Clause {
-            match_: sdx::policy::Predicate::True,
-            dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
-            rewrites: vec![(
-                Field::DstIp,
-                u32::from(INSTANCE_1.parse::<Ipv4Addr>().unwrap()) as u64,
-            )],
-            dest: Dest::BgpDefault,
-            unfiltered: false,
-        },
-    );
+    let initial = ParticipantPolicy::new().inbound(Clause {
+        match_: sdx::policy::Predicate::True,
+        dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
+        rewrites: vec![(
+            Field::DstIp,
+            u32::from(INSTANCE_1.parse::<Ipv4Addr>().unwrap()) as u64,
+        )],
+        dest: Dest::BgpDefault,
+        unfiltered: false,
+    });
     sdx.set_policy(TENANT, initial);
     sdx.compile().expect("initial compilation");
 
@@ -98,34 +102,30 @@ fn main() {
         println!("# t=246: tenant installs the wide-area load-balance policy");
         let balanced = ParticipantPolicy::new()
             // The shifted client goes to instance #2...
-            .inbound(
-                Clause {
-                    match_: sdx::policy::Predicate::test_prefix(
-                        Field::SrcIp,
-                        "204.57.0.0/16".parse().unwrap(),
-                    ),
-                    dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
-                    rewrites: vec![(
-                        Field::DstIp,
-                        u32::from(INSTANCE_2.parse::<Ipv4Addr>().unwrap()) as u64,
-                    )],
-                    dest: Dest::BgpDefault,
-                    unfiltered: false,
-                },
-            )
+            .inbound(Clause {
+                match_: sdx::policy::Predicate::test_prefix(
+                    Field::SrcIp,
+                    "204.57.0.0/16".parse().unwrap(),
+                ),
+                dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
+                rewrites: vec![(
+                    Field::DstIp,
+                    u32::from(INSTANCE_2.parse::<Ipv4Addr>().unwrap()) as u64,
+                )],
+                dest: Dest::BgpDefault,
+                unfiltered: false,
+            })
             // ...everyone else stays on instance #1.
-            .inbound(
-                Clause {
-                    match_: sdx::policy::Predicate::True,
-                    dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
-                    rewrites: vec![(
-                        Field::DstIp,
-                        u32::from(INSTANCE_1.parse::<Ipv4Addr>().unwrap()) as u64,
-                    )],
-                    dest: Dest::BgpDefault,
-                    unfiltered: false,
-                },
-            );
+            .inbound(Clause {
+                match_: sdx::policy::Predicate::True,
+                dst_prefixes: Some([ANYCAST.parse().unwrap()].into_iter().collect()),
+                rewrites: vec![(
+                    Field::DstIp,
+                    u32::from(INSTANCE_1.parse::<Ipv4Addr>().unwrap()) as u64,
+                )],
+                dest: Dest::BgpDefault,
+                unfiltered: false,
+            });
         sim.runtime_mut().set_policy(TENANT, balanced);
         sim.runtime_mut().compile().expect("recompilation");
     })];

@@ -1,0 +1,113 @@
+//! `sdx-lint` — statically verify the policies of a scenario file before
+//! (or instead of) deploying them.
+//!
+//! Runs the scenario with the `sdx-analyze` pass enabled and reports every
+//! diagnostic the analyzer produced for the final compilation: shadowed
+//! clauses, cross-participant conflicts and blackholes, forwarding loops,
+//! and VNH/ARP inconsistencies.
+//!
+//! ```bash
+//! cargo run --bin sdx-lint -- scenarios/figure1.sdx
+//! cargo run --bin sdx-lint -- --deny broken.sdx   # refuse to install flow mods
+//! cat scenario.sdx | cargo run --bin sdx-lint
+//! ```
+//!
+//! Exit status: 0 when the analysis is clean (warnings allowed), 1 when it
+//! found errors (or `--deny` blocked a compile), 2 when the scenario itself
+//! failed to run.
+
+use std::io::Read;
+
+use sdx::core::{AnalysisMode, CompileOptions, Severity};
+
+fn main() {
+    let mut deny = false;
+    let mut quiet = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("usage: sdx-lint [--deny] [--quiet] [SCENARIO-FILE]");
+                eprintln!("  --deny   compile with AnalysisMode::Deny: a defective");
+                eprintln!("           scenario fails at its `compile` line and no");
+                eprintln!("           flow rules are installed");
+                eprintln!("  --quiet  suppress the scenario transcript");
+                eprintln!("  reads stdin when no file is given");
+                return;
+            }
+            "--deny" => deny = true,
+            "--quiet" | "-q" => quiet = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("sdx-lint: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let input = match path {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("sdx-lint: cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
+            buf
+        }
+    };
+
+    let mode = if deny {
+        AnalysisMode::Deny
+    } else {
+        AnalysisMode::Warn
+    };
+    let options = CompileOptions {
+        analysis: mode,
+        ..Default::default()
+    };
+    match sdx::scenario::run_scenario_with(options, &input) {
+        Ok((transcript, analysis)) => {
+            if !quiet {
+                print!("{transcript}");
+            }
+            let Some(analysis) = analysis else {
+                eprintln!("sdx-lint: scenario never compiled; nothing analyzed");
+                std::process::exit(2);
+            };
+            for diag in &analysis.diagnostics {
+                println!("{diag}");
+            }
+            let errors = analysis.errors();
+            let warnings = analysis.warnings();
+            println!(
+                "sdx-lint: {} error{}, {} warning{}",
+                errors,
+                if errors == 1 { "" } else { "s" },
+                warnings,
+                if warnings == 1 { "" } else { "s" },
+            );
+            if analysis
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error)
+            {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            // In deny mode a defective scenario dies at its `compile` line
+            // with the analyzer's findings in the message — report that as
+            // a lint failure, not a scenario bug.
+            let msg = e.to_string();
+            if deny && msg.contains("static analysis rejected") {
+                eprintln!("sdx-lint: {msg}");
+                std::process::exit(1);
+            }
+            eprintln!("sdx-lint: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -26,8 +26,7 @@ use std::net::Ipv4Addr;
 
 use sdx_bgp::{AsPath, Asn, ExportPolicy, PathAttributes};
 use sdx_core::{
-    Clause, Dest, FabricSim, Participant, ParticipantId, ParticipantPolicy, PortConfig,
-    SdxRuntime,
+    Clause, Dest, FabricSim, Participant, ParticipantId, ParticipantPolicy, PortConfig, SdxRuntime,
 };
 use sdx_ip::{MacAddr, Prefix};
 use sdx_policy::{Field, Packet, Predicate};
@@ -61,8 +60,22 @@ struct Interp {
 
 /// Run a scenario, returning its transcript.
 pub fn run_scenario(input: &str) -> Result<String, ScenarioError> {
+    run_scenario_with(sdx_core::CompileOptions::default(), input).map(|(out, _)| out)
+}
+
+/// Run a scenario under explicit [`CompileOptions`](sdx_core::CompileOptions),
+/// returning the transcript together with the static analysis of the last
+/// compilation (if `options.analysis` was enabled and a `compile` ran).
+///
+/// This is the engine behind `sdx-lint`: drive the scenario with
+/// [`AnalysisMode::Warn`](sdx_core::AnalysisMode) to collect diagnostics, or
+/// `Deny` to make a defective `compile` line fail outright.
+pub fn run_scenario_with(
+    options: sdx_core::CompileOptions,
+    input: &str,
+) -> Result<(String, Option<sdx_core::Analysis>), ScenarioError> {
     let mut interp = Interp {
-        runtime: Some(SdxRuntime::default()),
+        runtime: Some(SdxRuntime::new(options)),
         sim: None,
         names: BTreeMap::new(),
         next_id: 1,
@@ -74,11 +87,17 @@ pub fn run_scenario(input: &str) -> Result<String, ScenarioError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        interp
-            .command(line)
-            .map_err(|message| ScenarioError { line: i + 1, message })?;
+        interp.command(line).map_err(|message| ScenarioError {
+            line: i + 1,
+            message,
+        })?;
     }
-    Ok(interp.out)
+    let analysis = interp
+        .runtime()
+        .ok()
+        .and_then(|r| r.compilation())
+        .and_then(|c| c.analysis.clone());
+    Ok((interp.out, analysis))
 }
 
 impl Interp {
@@ -146,11 +165,7 @@ impl Interp {
                     if let Some(c) = current.take() {
                         ports.push(finish_port(c)?);
                     }
-                    current = Some((
-                        Some(value.parse().map_err(|_| "bad port")?),
-                        None,
-                        None,
-                    ));
+                    current = Some((Some(value.parse().map_err(|_| "bad port")?), None, None));
                 }
                 "mac" => {
                     let c = current.as_mut().ok_or("mac before port")?;
@@ -182,11 +197,16 @@ impl Interp {
         if t.get(2) != Some(&"asn") {
             return Err("remote NAME asn N".into());
         }
-        let asn: u32 = t.get(3).ok_or("missing asn")?.parse().map_err(|_| "bad asn")?;
+        let asn: u32 = t
+            .get(3)
+            .ok_or("missing asn")?
+            .parse()
+            .map_err(|_| "bad asn")?;
         let id = ParticipantId(self.next_id);
         self.next_id += 1;
         self.names.insert(name.to_string(), id);
-        self.runtime_mut()?.add_participant(Participant::remote(id, Asn(asn)));
+        self.runtime_mut()?
+            .add_participant(Participant::remote(id, Asn(asn)));
         Ok(())
     }
 
@@ -208,16 +228,23 @@ impl Interp {
                         .collect::<Result<_, _>>()?;
                 }
                 "nexthop" => {
-                    nexthop =
-                        Some(t.get(i + 1).ok_or("nexthop needs a value")?.parse().map_err(|_| "bad ip")?)
+                    nexthop = Some(
+                        t.get(i + 1)
+                            .ok_or("nexthop needs a value")?
+                            .parse()
+                            .map_err(|_| "bad ip")?,
+                    )
                 }
                 other => return Err(format!("unknown announce key {other:?}")),
             }
             i += 2;
         }
         let nexthop = nexthop.ok_or("announce needs nexthop")?;
-        self.runtime_mut()?
-            .announce(id, prefixes, PathAttributes::new(AsPath::sequence(path), nexthop));
+        self.runtime_mut()?.announce(
+            id,
+            prefixes,
+            PathAttributes::new(AsPath::sequence(path), nexthop),
+        );
         self.resync();
         Ok(())
     }
@@ -275,7 +302,10 @@ impl Interp {
                 }
                 "port" => {
                     dest = Some(Dest::OwnPort(
-                        t.get(i + 1).ok_or("port needs a number")?.parse().map_err(|_| "bad port")?,
+                        t.get(i + 1)
+                            .ok_or("port needs a number")?
+                            .parse()
+                            .map_err(|_| "bad port")?,
                     ));
                     i += 2;
                 }
@@ -288,7 +318,9 @@ impl Interp {
                     i += 1;
                 }
                 "rewrite" => {
-                    for (f, v) in parse_assignments(t.get(i + 1).ok_or("rewrite needs assignments")?)? {
+                    for (f, v) in
+                        parse_assignments(t.get(i + 1).ok_or("rewrite needs assignments")?)?
+                    {
                         rewrites.push((f, v));
                     }
                     i += 2;
@@ -301,7 +333,13 @@ impl Interp {
             }
         }
         let dest = dest.ok_or("policy needs a destination (fwd/port/drop/bgp)")?;
-        let clause = Clause { match_, dst_prefixes: None, rewrites, dest, unfiltered };
+        let clause = Clause {
+            match_,
+            dst_prefixes: None,
+            rewrites,
+            dest,
+            unfiltered,
+        };
         let policy = self.pending_policies.entry(id).or_default();
         match direction {
             "outbound" => policy.outbound.push(clause),
@@ -341,22 +379,42 @@ impl Interp {
     fn cmd_send(&mut self, t: &[&str]) -> Result<(), String> {
         // send NAME src IP dst IP [srcport N] [dstport N] [proto N]
         let from = self.lookup(t.get(1).ok_or("send needs a sender")?)?;
-        let mut pkt = Packet::new().with(Field::EthType, 0x0800u16).with(Field::IpProto, 6u8);
+        let mut pkt = Packet::new()
+            .with(Field::EthType, 0x0800u16)
+            .with(Field::IpProto, 6u8);
         let mut i = 2;
         while i + 1 < t.len() + 1 && i < t.len() {
             let key = t[i];
             let value = *t.get(i + 1).ok_or_else(|| format!("{key} needs a value"))?;
             match key {
-                "src" => pkt.set(Field::SrcIp, value.parse::<Ipv4Addr>().map_err(|_| "bad ip")?),
-                "dst" => pkt.set(Field::DstIp, value.parse::<Ipv4Addr>().map_err(|_| "bad ip")?),
-                "srcport" => pkt.set(Field::SrcPort, value.parse::<u16>().map_err(|_| "bad port")?),
-                "dstport" => pkt.set(Field::DstPort, value.parse::<u16>().map_err(|_| "bad port")?),
-                "proto" => pkt.set(Field::IpProto, value.parse::<u8>().map_err(|_| "bad proto")?),
+                "src" => pkt.set(
+                    Field::SrcIp,
+                    value.parse::<Ipv4Addr>().map_err(|_| "bad ip")?,
+                ),
+                "dst" => pkt.set(
+                    Field::DstIp,
+                    value.parse::<Ipv4Addr>().map_err(|_| "bad ip")?,
+                ),
+                "srcport" => pkt.set(
+                    Field::SrcPort,
+                    value.parse::<u16>().map_err(|_| "bad port")?,
+                ),
+                "dstport" => pkt.set(
+                    Field::DstPort,
+                    value.parse::<u16>().map_err(|_| "bad port")?,
+                ),
+                "proto" => pkt.set(
+                    Field::IpProto,
+                    value.parse::<u8>().map_err(|_| "bad proto")?,
+                ),
                 other => return Err(format!("unknown send key {other:?}")),
             }
             i += 2;
         }
-        let sim = self.sim.as_mut().ok_or("send requires a compiled fabric (run `compile`)")?;
+        let sim = self
+            .sim
+            .as_mut()
+            .ok_or("send requires a compiled fabric (run `compile`)")?;
         let out = sim.send_from(from, pkt);
         if out.is_empty() {
             let _ = writeln!(self.out, "send: dropped");
@@ -391,7 +449,10 @@ impl Interp {
                 .enumerate()
                 .map(|(i, group)| {
                     let (vnh, vmac) = c.vnh[i];
-                    format!("group {i}: vnh {vnh} vmac {vmac} prefixes {}", group.prefixes)
+                    format!(
+                        "group {i}: vnh {vnh} vmac {vmac} prefixes {}",
+                        group.prefixes
+                    )
                 })
                 .collect()
         };
@@ -438,7 +499,9 @@ fn parse_prefix_list(s: &str) -> Result<Vec<Prefix>, String> {
 fn parse_match(s: &str) -> Result<Predicate, String> {
     let mut pred = Predicate::True;
     for part in s.split(',') {
-        let (key, value) = part.split_once('=').ok_or_else(|| format!("bad condition {part:?}"))?;
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad condition {part:?}"))?;
         let field = parse_field(key)?;
         let term = if field.is_ip() && value.contains('/') {
             Predicate::test_prefix(field, value.parse().map_err(|e| format!("{e}"))?)
@@ -453,8 +516,9 @@ fn parse_match(s: &str) -> Result<Predicate, String> {
 fn parse_assignments(s: &str) -> Result<Vec<(Field, u64)>, String> {
     s.split(',')
         .map(|part| {
-            let (key, value) =
-                part.split_once('=').ok_or_else(|| format!("bad assignment {part:?}"))?;
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad assignment {part:?}"))?;
             let field = parse_field(key)?;
             Ok((field, parse_value(field, value)?))
         })

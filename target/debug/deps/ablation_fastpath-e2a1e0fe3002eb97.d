@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fastpath-e2a1e0fe3002eb97.d: crates/bench/benches/ablation_fastpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fastpath-e2a1e0fe3002eb97.rmeta: crates/bench/benches/ablation_fastpath.rs Cargo.toml
+
+crates/bench/benches/ablation_fastpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

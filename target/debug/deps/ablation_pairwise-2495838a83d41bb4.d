@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pairwise-2495838a83d41bb4.d: crates/bench/benches/ablation_pairwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pairwise-2495838a83d41bb4.rmeta: crates/bench/benches/ablation_pairwise.rs Cargo.toml
+
+crates/bench/benches/ablation_pairwise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_gate-df4d6c5677e09a21.d: crates/core/tests/analysis_gate.rs
+
+/root/repo/target/debug/deps/analysis_gate-df4d6c5677e09a21: crates/core/tests/analysis_gate.rs
+
+crates/core/tests/analysis_gate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9c49332bfa52378e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9c49332bfa52378e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

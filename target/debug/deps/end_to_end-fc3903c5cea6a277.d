@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fc3903c5cea6a277.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fc3903c5cea6a277: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-dd43c9bd4dc71a22.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-dd43c9bd4dc71a22: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-e10e7b2af476f34f.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-e10e7b2af476f34f: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig5b-21222a02280d59f5.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-21222a02280d59f5: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig5b-4ef41d2c18c1791c.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-4ef41d2c18c1791c: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

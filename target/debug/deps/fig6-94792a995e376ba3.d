@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-94792a995e376ba3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-94792a995e376ba3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-bc9befae4c7e9b58.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-bc9befae4c7e9b58: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

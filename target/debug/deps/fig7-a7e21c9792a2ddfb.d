@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-a7e21c9792a2ddfb.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-a7e21c9792a2ddfb: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

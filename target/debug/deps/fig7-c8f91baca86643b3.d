@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c8f91baca86643b3.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c8f91baca86643b3: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

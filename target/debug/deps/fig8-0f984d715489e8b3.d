@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0f984d715489e8b3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0f984d715489e8b3: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

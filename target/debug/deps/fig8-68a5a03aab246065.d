@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-68a5a03aab246065.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-68a5a03aab246065: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-70afaa518b7b3330.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-70afaa518b7b3330: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

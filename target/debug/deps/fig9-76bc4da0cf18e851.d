@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-76bc4da0cf18e851.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-76bc4da0cf18e851: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

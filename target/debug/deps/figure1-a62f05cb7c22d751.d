@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-a62f05cb7c22d751.d: crates/core/tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-a62f05cb7c22d751: crates/core/tests/figure1.rs
+
+crates/core/tests/figure1.rs:

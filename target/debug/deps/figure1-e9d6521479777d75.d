@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-e9d6521479777d75.d: crates/core/tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-e9d6521479777d75: crates/core/tests/figure1.rs
+
+crates/core/tests/figure1.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint-d1e5a0ec5e886456.d: tests/lint.rs
+
+/root/repo/target/debug/deps/lint-d1e5a0ec5e886456: tests/lint.rs
+
+tests/lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-40e704d3bd6adf15.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-40e704d3bd6adf15: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

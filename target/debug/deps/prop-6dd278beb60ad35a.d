@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-6dd278beb60ad35a.d: crates/ip/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-6dd278beb60ad35a.rmeta: crates/ip/tests/prop.rs Cargo.toml
+
+crates/ip/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9b3262b3d28daab7.d: crates/switch/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-9b3262b3d28daab7: crates/switch/tests/prop.rs
+
+crates/switch/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-a8960f45f4028b0c.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-a8960f45f4028b0c: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

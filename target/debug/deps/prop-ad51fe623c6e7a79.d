@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ad51fe623c6e7a79.d: crates/policy/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-ad51fe623c6e7a79: crates/policy/tests/prop.rs
+
+crates/policy/tests/prop.rs:

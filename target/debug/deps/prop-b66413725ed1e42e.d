@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b66413725ed1e42e.d: crates/ip/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-b66413725ed1e42e: crates/ip/tests/prop.rs
+
+crates/ip/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c009d78cfb496f7a.d: crates/bgp/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-c009d78cfb496f7a: crates/bgp/tests/prop.rs
+
+crates/bgp/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-dd39c426aea0a0da.d: crates/bgp/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-dd39c426aea0a0da.rmeta: crates/bgp/tests/prop.rs Cargo.toml
+
+crates/bgp/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

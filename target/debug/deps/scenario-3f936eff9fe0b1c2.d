@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scenario-3f936eff9fe0b1c2.d: tests/scenario.rs
+
+/root/repo/target/debug/deps/scenario-3f936eff9fe0b1c2: tests/scenario.rs
+
+tests/scenario.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scenario-cadc03d5eba5b0da.d: tests/scenario.rs
+
+/root/repo/target/debug/deps/scenario-cadc03d5eba5b0da: tests/scenario.rs
+
+tests/scenario.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sdx-6d2a7ced3eda95c6.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libsdx-6d2a7ced3eda95c6.rlib: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libsdx-6d2a7ced3eda95c6.rmeta: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

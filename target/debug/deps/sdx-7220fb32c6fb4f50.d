@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdx-7220fb32c6fb4f50.d: src/lib.rs src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx-7220fb32c6fb4f50.rmeta: src/lib.rs src/scenario.rs Cargo.toml
+
+src/lib.rs:
+src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

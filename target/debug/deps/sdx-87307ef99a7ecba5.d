@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sdx-87307ef99a7ecba5.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/sdx-87307ef99a7ecba5: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

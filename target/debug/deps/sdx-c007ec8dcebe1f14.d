@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sdx-c007ec8dcebe1f14.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/sdx-c007ec8dcebe1f14: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sdx-cfe87de3b8f60cc1.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libsdx-cfe87de3b8f60cc1.rlib: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libsdx-cfe87de3b8f60cc1.rmeta: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

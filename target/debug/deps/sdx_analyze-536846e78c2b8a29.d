@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdx_analyze-536846e78c2b8a29.d: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/debug/deps/sdx_analyze-536846e78c2b8a29: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/conflict.rs:
+crates/analyze/src/loops.rs:
+crates/analyze/src/shadow.rs:
+crates/analyze/src/vnh.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sdx_analyze-852f17f59d04cc85.d: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/debug/deps/libsdx_analyze-852f17f59d04cc85.rlib: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/debug/deps/libsdx_analyze-852f17f59d04cc85.rmeta: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/conflict.rs:
+crates/analyze/src/loops.rs:
+crates/analyze/src/shadow.rs:
+crates/analyze/src/vnh.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdx_bench-19142e9d6e7d326f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdx_bench-19142e9d6e7d326f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdx_bench-19142e9d6e7d326f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdx_bench-7b02f7d3dda9c341.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdx_bench-7b02f7d3dda9c341.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdx_bench-7b02f7d3dda9c341.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

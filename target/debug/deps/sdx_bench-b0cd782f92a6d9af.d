@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_bench-b0cd782f92a6d9af.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sdx_bench-b0cd782f92a6d9af: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

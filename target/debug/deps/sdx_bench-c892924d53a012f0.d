@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_bench-c892924d53a012f0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sdx_bench-c892924d53a012f0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

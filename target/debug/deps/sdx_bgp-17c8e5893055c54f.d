@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sdx_bgp-17c8e5893055c54f.d: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_bgp-17c8e5893055c54f.rmeta: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs Cargo.toml
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/aspath_pattern.rs:
+crates/bgp/src/decision.rs:
+crates/bgp/src/export.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/route.rs:
+crates/bgp/src/route_server.rs:
+crates/bgp/src/rpki.rs:
+crates/bgp/src/session.rs:
+crates/bgp/src/types.rs:
+crates/bgp/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

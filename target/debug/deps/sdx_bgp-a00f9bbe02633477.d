@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sdx_bgp-a00f9bbe02633477.d: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs
+
+/root/repo/target/debug/deps/libsdx_bgp-a00f9bbe02633477.rlib: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs
+
+/root/repo/target/debug/deps/libsdx_bgp-a00f9bbe02633477.rmeta: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/aspath_pattern.rs:
+crates/bgp/src/decision.rs:
+crates/bgp/src/export.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/route.rs:
+crates/bgp/src/route_server.rs:
+crates/bgp/src/rpki.rs:
+crates/bgp/src/session.rs:
+crates/bgp/src/types.rs:
+crates/bgp/src/wire.rs:

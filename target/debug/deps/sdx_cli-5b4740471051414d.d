@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_cli-5b4740471051414d.d: src/bin/sdx-cli.rs
+
+/root/repo/target/debug/deps/sdx_cli-5b4740471051414d: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

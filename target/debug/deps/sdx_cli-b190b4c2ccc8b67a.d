@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_cli-b190b4c2ccc8b67a.d: src/bin/sdx-cli.rs
+
+/root/repo/target/debug/deps/sdx_cli-b190b4c2ccc8b67a: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_cli-ceabb1c84d0282dd.d: src/bin/sdx-cli.rs
+
+/root/repo/target/debug/deps/sdx_cli-ceabb1c84d0282dd: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

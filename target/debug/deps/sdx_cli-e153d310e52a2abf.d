@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_cli-e153d310e52a2abf.d: src/bin/sdx-cli.rs
+
+/root/repo/target/debug/deps/sdx_cli-e153d310e52a2abf: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

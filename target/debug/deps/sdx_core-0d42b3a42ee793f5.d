@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdx_core-0d42b3a42ee793f5.d: crates/core/src/lib.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+/root/repo/target/debug/deps/sdx_core-0d42b3a42ee793f5: crates/core/src/lib.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clause.rs:
+crates/core/src/compile.rs:
+crates/core/src/control.rs:
+crates/core/src/fec.rs:
+crates/core/src/multiswitch.rs:
+crates/core/src/participant.rs:
+crates/core/src/runtime.rs:
+crates/core/src/sim.rs:
+crates/core/src/vnh.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdx_ip-408934bf44051ee3.d: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_ip-408934bf44051ee3.rmeta: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs Cargo.toml
+
+crates/ip/src/lib.rs:
+crates/ip/src/error.rs:
+crates/ip/src/mac.rs:
+crates/ip/src/prefix.rs:
+crates/ip/src/set.rs:
+crates/ip/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

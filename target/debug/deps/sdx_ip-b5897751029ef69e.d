@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdx_ip-b5897751029ef69e.d: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+/root/repo/target/debug/deps/sdx_ip-b5897751029ef69e: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+crates/ip/src/lib.rs:
+crates/ip/src/error.rs:
+crates/ip/src/mac.rs:
+crates/ip/src/prefix.rs:
+crates/ip/src/set.rs:
+crates/ip/src/trie.rs:

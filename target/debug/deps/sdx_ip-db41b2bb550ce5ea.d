@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdx_ip-db41b2bb550ce5ea.d: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+/root/repo/target/debug/deps/libsdx_ip-db41b2bb550ce5ea.rlib: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+/root/repo/target/debug/deps/libsdx_ip-db41b2bb550ce5ea.rmeta: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+crates/ip/src/lib.rs:
+crates/ip/src/error.rs:
+crates/ip/src/mac.rs:
+crates/ip/src/prefix.rs:
+crates/ip/src/set.rs:
+crates/ip/src/trie.rs:

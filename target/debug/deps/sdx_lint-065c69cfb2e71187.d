@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_lint-065c69cfb2e71187.d: src/bin/sdx-lint.rs
+
+/root/repo/target/debug/deps/sdx_lint-065c69cfb2e71187: src/bin/sdx-lint.rs
+
+src/bin/sdx-lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_lint-95b86fd2972656fb.d: src/bin/sdx-lint.rs
+
+/root/repo/target/debug/deps/sdx_lint-95b86fd2972656fb: src/bin/sdx-lint.rs
+
+src/bin/sdx-lint.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdx_workload-519a490d08f20abb.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/debug/deps/sdx_workload-519a490d08f20abb: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/policies.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/traffic.rs:
+crates/workload/src/updates.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdx_workload-8b79bedd72ce6fe3.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/debug/deps/libsdx_workload-8b79bedd72ce6fe3.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/debug/deps/libsdx_workload-8b79bedd72ce6fe3.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/policies.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/traffic.rs:
+crates/workload/src/updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3efd54a6291d460a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3efd54a6291d460a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c934f72cafac7051.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c934f72cafac7051: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_workload-da2a5a1ce280156e.d: crates/bench/benches/table1_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_workload-da2a5a1ce280156e.rmeta: crates/bench/benches/table1_workload.rs Cargo.toml
+
+crates/bench/benches/table1_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

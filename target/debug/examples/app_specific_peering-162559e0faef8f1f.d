@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_specific_peering-162559e0faef8f1f.d: examples/app_specific_peering.rs
+
+/root/repo/target/debug/examples/app_specific_peering-162559e0faef8f1f: examples/app_specific_peering.rs
+
+examples/app_specific_peering.rs:

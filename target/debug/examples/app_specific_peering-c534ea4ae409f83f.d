@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_specific_peering-c534ea4ae409f83f.d: examples/app_specific_peering.rs
+
+/root/repo/target/debug/examples/app_specific_peering-c534ea4ae409f83f: examples/app_specific_peering.rs
+
+examples/app_specific_peering.rs:

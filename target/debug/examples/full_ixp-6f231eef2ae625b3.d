@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_ixp-6f231eef2ae625b3.d: examples/full_ixp.rs
+
+/root/repo/target/debug/examples/full_ixp-6f231eef2ae625b3: examples/full_ixp.rs
+
+examples/full_ixp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_ixp-90971b643f2049ec.d: examples/full_ixp.rs
+
+/root/repo/target/debug/examples/full_ixp-90971b643f2049ec: examples/full_ixp.rs
+
+examples/full_ixp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inbound_traffic_engineering-25088b6948dd8a27.d: examples/inbound_traffic_engineering.rs
+
+/root/repo/target/debug/examples/inbound_traffic_engineering-25088b6948dd8a27: examples/inbound_traffic_engineering.rs
+
+examples/inbound_traffic_engineering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inbound_traffic_engineering-5837f0e4b20478fe.d: examples/inbound_traffic_engineering.rs
+
+/root/repo/target/debug/examples/inbound_traffic_engineering-5837f0e4b20478fe: examples/inbound_traffic_engineering.rs
+
+examples/inbound_traffic_engineering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/middlebox_steering-badc06f7ac780272.d: examples/middlebox_steering.rs
+
+/root/repo/target/debug/examples/middlebox_steering-badc06f7ac780272: examples/middlebox_steering.rs
+
+examples/middlebox_steering.rs:

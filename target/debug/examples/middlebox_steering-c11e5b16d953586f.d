@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/middlebox_steering-c11e5b16d953586f.d: examples/middlebox_steering.rs
+
+/root/repo/target/debug/examples/middlebox_steering-c11e5b16d953586f: examples/middlebox_steering.rs
+
+examples/middlebox_steering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3c0dd8a5922cef7f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3c0dd8a5922cef7f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e252aa6359fa4d0a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e252aa6359fa4d0a: examples/quickstart.rs
+
+examples/quickstart.rs:

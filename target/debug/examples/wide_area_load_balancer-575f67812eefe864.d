@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wide_area_load_balancer-575f67812eefe864.d: examples/wide_area_load_balancer.rs
+
+/root/repo/target/debug/examples/wide_area_load_balancer-575f67812eefe864: examples/wide_area_load_balancer.rs
+
+examples/wide_area_load_balancer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wide_area_load_balancer-c7b22f4c2a100332.d: examples/wide_area_load_balancer.rs
+
+/root/repo/target/debug/examples/wide_area_load_balancer-c7b22f4c2a100332: examples/wide_area_load_balancer.rs
+
+examples/wide_area_load_balancer.rs:

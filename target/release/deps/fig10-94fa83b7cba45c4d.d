@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-94fa83b7cba45c4d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-94fa83b7cba45c4d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

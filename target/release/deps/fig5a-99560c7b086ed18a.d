@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fig5a-99560c7b086ed18a.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-99560c7b086ed18a: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fig5b-2ad9d6d7ea764876.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-2ad9d6d7ea764876: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0d71707b7e9eff2f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0d71707b7e9eff2f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

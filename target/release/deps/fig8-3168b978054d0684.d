@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-3168b978054d0684.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-3168b978054d0684: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

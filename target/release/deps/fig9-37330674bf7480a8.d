@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-37330674bf7480a8.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-37330674bf7480a8: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

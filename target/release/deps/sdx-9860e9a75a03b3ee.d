@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sdx-9860e9a75a03b3ee.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/release/deps/libsdx-9860e9a75a03b3ee.rlib: src/lib.rs src/scenario.rs
+
+/root/repo/target/release/deps/libsdx-9860e9a75a03b3ee.rmeta: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

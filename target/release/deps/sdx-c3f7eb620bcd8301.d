@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sdx-c3f7eb620bcd8301.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/release/deps/libsdx-c3f7eb620bcd8301.rlib: src/lib.rs src/scenario.rs
+
+/root/repo/target/release/deps/libsdx-c3f7eb620bcd8301.rmeta: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

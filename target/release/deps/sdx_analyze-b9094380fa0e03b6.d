@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sdx_analyze-b9094380fa0e03b6.d: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/release/deps/libsdx_analyze-b9094380fa0e03b6.rlib: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/release/deps/libsdx_analyze-b9094380fa0e03b6.rmeta: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/conflict.rs:
+crates/analyze/src/loops.rs:
+crates/analyze/src/shadow.rs:
+crates/analyze/src/vnh.rs:

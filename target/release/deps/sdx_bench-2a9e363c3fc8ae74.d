@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdx_bench-2a9e363c3fc8ae74.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdx_bench-2a9e363c3fc8ae74.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdx_bench-2a9e363c3fc8ae74.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

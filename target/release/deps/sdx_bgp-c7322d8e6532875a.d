@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sdx_bgp-c7322d8e6532875a.d: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs
+
+/root/repo/target/release/deps/libsdx_bgp-c7322d8e6532875a.rlib: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs
+
+/root/repo/target/release/deps/libsdx_bgp-c7322d8e6532875a.rmeta: crates/bgp/src/lib.rs crates/bgp/src/aspath_pattern.rs crates/bgp/src/decision.rs crates/bgp/src/export.rs crates/bgp/src/rib.rs crates/bgp/src/route.rs crates/bgp/src/route_server.rs crates/bgp/src/rpki.rs crates/bgp/src/session.rs crates/bgp/src/types.rs crates/bgp/src/wire.rs
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/aspath_pattern.rs:
+crates/bgp/src/decision.rs:
+crates/bgp/src/export.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/route.rs:
+crates/bgp/src/route_server.rs:
+crates/bgp/src/rpki.rs:
+crates/bgp/src/session.rs:
+crates/bgp/src/types.rs:
+crates/bgp/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdx_cli-20eb32ba9b2fe27c.d: src/bin/sdx-cli.rs
+
+/root/repo/target/release/deps/sdx_cli-20eb32ba9b2fe27c: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

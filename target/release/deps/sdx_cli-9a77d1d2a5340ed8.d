@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdx_cli-9a77d1d2a5340ed8.d: src/bin/sdx-cli.rs
+
+/root/repo/target/release/deps/sdx_cli-9a77d1d2a5340ed8: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

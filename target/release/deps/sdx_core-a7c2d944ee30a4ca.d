@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sdx_core-a7c2d944ee30a4ca.d: crates/core/src/lib.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+/root/repo/target/release/deps/libsdx_core-a7c2d944ee30a4ca.rlib: crates/core/src/lib.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+/root/repo/target/release/deps/libsdx_core-a7c2d944ee30a4ca.rmeta: crates/core/src/lib.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clause.rs:
+crates/core/src/compile.rs:
+crates/core/src/control.rs:
+crates/core/src/fec.rs:
+crates/core/src/multiswitch.rs:
+crates/core/src/participant.rs:
+crates/core/src/runtime.rs:
+crates/core/src/sim.rs:
+crates/core/src/vnh.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sdx_ip-78f4a2f87c7b1d12.d: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+/root/repo/target/release/deps/libsdx_ip-78f4a2f87c7b1d12.rlib: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+/root/repo/target/release/deps/libsdx_ip-78f4a2f87c7b1d12.rmeta: crates/ip/src/lib.rs crates/ip/src/error.rs crates/ip/src/mac.rs crates/ip/src/prefix.rs crates/ip/src/set.rs crates/ip/src/trie.rs
+
+crates/ip/src/lib.rs:
+crates/ip/src/error.rs:
+crates/ip/src/mac.rs:
+crates/ip/src/prefix.rs:
+crates/ip/src/set.rs:
+crates/ip/src/trie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdx_lint-b2045f518b9259ae.d: src/bin/sdx-lint.rs
+
+/root/repo/target/release/deps/sdx_lint-b2045f518b9259ae: src/bin/sdx-lint.rs
+
+src/bin/sdx-lint.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sdx_policy-7be76a9882211446.d: crates/policy/src/lib.rs crates/policy/src/classifier.rs crates/policy/src/compile.rs crates/policy/src/cover.rs crates/policy/src/field.rs crates/policy/src/matcher.rs crates/policy/src/packet.rs crates/policy/src/parser.rs crates/policy/src/pattern.rs crates/policy/src/policy.rs crates/policy/src/predicate.rs
+
+/root/repo/target/release/deps/libsdx_policy-7be76a9882211446.rlib: crates/policy/src/lib.rs crates/policy/src/classifier.rs crates/policy/src/compile.rs crates/policy/src/cover.rs crates/policy/src/field.rs crates/policy/src/matcher.rs crates/policy/src/packet.rs crates/policy/src/parser.rs crates/policy/src/pattern.rs crates/policy/src/policy.rs crates/policy/src/predicate.rs
+
+/root/repo/target/release/deps/libsdx_policy-7be76a9882211446.rmeta: crates/policy/src/lib.rs crates/policy/src/classifier.rs crates/policy/src/compile.rs crates/policy/src/cover.rs crates/policy/src/field.rs crates/policy/src/matcher.rs crates/policy/src/packet.rs crates/policy/src/parser.rs crates/policy/src/pattern.rs crates/policy/src/policy.rs crates/policy/src/predicate.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/classifier.rs:
+crates/policy/src/compile.rs:
+crates/policy/src/cover.rs:
+crates/policy/src/field.rs:
+crates/policy/src/matcher.rs:
+crates/policy/src/packet.rs:
+crates/policy/src/parser.rs:
+crates/policy/src/pattern.rs:
+crates/policy/src/policy.rs:
+crates/policy/src/predicate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sdx_switch-49fc6d7a2a6841af.d: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+/root/repo/target/release/deps/libsdx_switch-49fc6d7a2a6841af.rlib: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+/root/repo/target/release/deps/libsdx_switch-49fc6d7a2a6841af.rmeta: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/arp.rs:
+crates/switch/src/frame.rs:
+crates/switch/src/openflow.rs:
+crates/switch/src/pcap.rs:
+crates/switch/src/router.rs:
+crates/switch/src/switch.rs:
+crates/switch/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-af0ca3433fc7e89d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-af0ca3433fc7e89d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -5,9 +5,7 @@
 use std::net::Ipv4Addr;
 
 use sdx::bgp::wire::{self, Message};
-use sdx::bgp::{
-    AsPath, Asn, PathAttributes, Session, SessionConfig, SessionState, Update,
-};
+use sdx::bgp::{AsPath, Asn, PathAttributes, Session, SessionConfig, SessionState, Update};
 use sdx::core::{CompileOptions, FabricSim, SdxRuntime};
 use sdx::ip::Prefix;
 use sdx::policy::{Field, Packet};
@@ -117,7 +115,11 @@ fn update_trace_keeps_dataplane_in_sync() {
 
     let trace = generate_trace(
         &topology,
-        TraceConfig { duration_s: 7_200, unstable_fraction: 0.5, ..Default::default() },
+        TraceConfig {
+            duration_s: 7_200,
+            unstable_fraction: 0.5,
+            ..Default::default()
+        },
         31,
     );
     let sender = topology.participants[2].id;
@@ -133,7 +135,12 @@ fn update_trace_keeps_dataplane_in_sync() {
         let Some(prefix) = event.update.touched_prefixes().next().copied() else {
             continue;
         };
-        if sim.runtime().route_server().announced_by(sender.peer()).contains(&prefix) {
+        if sim
+            .runtime()
+            .route_server()
+            .announced_by(sender.peer())
+            .contains(&prefix)
+        {
             continue;
         }
         let expect = sim
@@ -272,7 +279,10 @@ fn vnh_optimization_is_semantically_transparent() {
         sim
     };
     let mut vnh = build(CompileOptions::default());
-    let mut naive = build(CompileOptions { use_vnh: false, ..Default::default() });
+    let mut naive = build(CompileOptions {
+        use_vnh: false,
+        ..Default::default()
+    });
 
     let participants: Vec<_> = topology.participants.iter().map(|p| p.id).collect();
     for &from in participants.iter().take(6) {
@@ -295,10 +305,16 @@ fn vnh_optimization_is_semantically_transparent() {
                     .with(Field::DstIp, prefix.first_addr())
                     .with(Field::SrcPort, 4_000u16)
                     .with(Field::DstPort, dport);
-                let a: Vec<_> =
-                    vnh.send_from(from, pkt.clone()).into_iter().map(|d| (d.to, d.port)).collect();
-                let b: Vec<_> =
-                    naive.send_from(from, pkt).into_iter().map(|d| (d.to, d.port)).collect();
+                let a: Vec<_> = vnh
+                    .send_from(from, pkt.clone())
+                    .into_iter()
+                    .map(|d| (d.to, d.port))
+                    .collect();
+                let b: Vec<_> = naive
+                    .send_from(from, pkt)
+                    .into_iter()
+                    .map(|d| (d.to, d.port))
+                    .collect();
                 assert_eq!(a, b, "{from} -> {prefix} :{dport}");
             }
         }

@@ -1,0 +1,66 @@
+//! Tests for the `sdx-lint` engine: scenarios run under an analysis mode via
+//! [`sdx::scenario::run_scenario_with`], including the shipped seeded-defect
+//! fixtures in `scenarios/`.
+
+use sdx::core::{AnalysisMode, CompileOptions, Severity};
+use sdx::scenario::run_scenario_with;
+
+fn options(mode: AnalysisMode) -> CompileOptions {
+    CompileOptions {
+        analysis: mode,
+        ..Default::default()
+    }
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn figure1_is_clean() {
+    let script = fixture("figure1.sdx");
+    let (_, analysis) = run_scenario_with(options(AnalysisMode::Warn), &script).unwrap();
+    let analysis = analysis.expect("figure1 compiles with analysis on");
+    assert_eq!(analysis.errors(), 0, "{:?}", analysis.diagnostics);
+    // And deny mode does not reject the paper's own example.
+    run_scenario_with(options(AnalysisMode::Deny), &script).unwrap();
+}
+
+#[test]
+fn defect_fixtures_are_flagged_and_denied() {
+    for (name, code) in [
+        ("lint-shadow.sdx", "shadowed-clause"),
+        ("lint-conflict.sdx", "conflicting-drop"),
+        ("lint-loop.sdx", "forwarding-loop"),
+    ] {
+        let script = fixture(name);
+        let (_, analysis) = run_scenario_with(options(AnalysisMode::Warn), &script)
+            .unwrap_or_else(|e| panic!("{name} under warn: {e}"));
+        let analysis = analysis.expect("fixture compiles in warn mode");
+        let hit = analysis.with_code(code).next().unwrap_or_else(|| {
+            panic!(
+                "{name}: expected a {code} finding, got {:?}",
+                analysis.diagnostics
+            )
+        });
+        assert_eq!(hit.severity, Severity::Error, "{name}");
+
+        let err = run_scenario_with(options(AnalysisMode::Deny), &script)
+            .expect_err("deny mode must reject the fixture");
+        assert!(
+            err.message.contains("static analysis rejected") && err.message.contains(code),
+            "{name}: {err}"
+        );
+    }
+}
+
+#[test]
+fn analysis_is_none_without_compile() {
+    let (_, analysis) = run_scenario_with(
+        options(AnalysisMode::Warn),
+        "participant A asn 100 port 1 mac 02:00:00:00:00:01 ip 172.0.0.1\n",
+    )
+    .unwrap();
+    assert!(analysis.is_none());
+}

@@ -30,17 +30,22 @@ fn groups_and_advertisements_render() {
     let script = format!("{BASE}\ngroups\nadvertisements A\n");
     let out = run_scenario(&script).unwrap();
     assert!(out.contains("group 0: vnh 172.16."), "{out}");
-    assert!(out.contains("advertise 20.0.0.0/8 nexthop 172.16."), "{out}");
+    assert!(
+        out.contains("advertise 20.0.0.0/8 nexthop 172.16."),
+        "{out}"
+    );
 }
 
 #[test]
 fn withdraw_shifts_forwarding() {
-    let script = format!(
-        "{BASE}\nwithdraw B 20.0.0.0/8\nsend A src 10.0.0.1 dst 20.0.0.1 dstport 80\n"
-    );
+    let script =
+        format!("{BASE}\nwithdraw B 20.0.0.0/8\nsend A src 10.0.0.1 dst 20.0.0.1 dstport 80\n");
     let out = run_scenario(&script).unwrap();
     // B no longer exports 20/8, so even web traffic follows the default (C).
-    assert!(out.lines().last().unwrap().contains("delivered to C"), "{out}");
+    assert!(
+        out.lines().last().unwrap().contains("delivered to C"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -49,7 +54,10 @@ fn deny_export_respected() {
         "{BASE}\ndeny-export B 20.0.0.0/8 to A\ncompile\nsend A src 10.0.0.1 dst 20.0.0.1 dstport 80\n"
     );
     let out = run_scenario(&script).unwrap();
-    assert!(out.lines().last().unwrap().contains("delivered to C"), "{out}");
+    assert!(
+        out.lines().last().unwrap().contains("delivered to C"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -85,9 +93,10 @@ fn errors_carry_line_numbers() {
 
 #[test]
 fn committed_figure1_scenario_runs() {
-    let script = std::fs::read_to_string(
-        concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/figure1.sdx"),
-    )
+    let script = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/figure1.sdx"
+    ))
     .expect("scenario file exists");
     let out = run_scenario(&script).unwrap();
     assert!(out.contains("compiled:"), "{out}");

@@ -1,0 +1,186 @@
+//! Minimal, API-compatible subset of `criterion` for offline builds.
+//!
+//! Under `cargo bench` (cargo passes `--bench` to harness-less bench
+//! binaries) each benchmark runs `sample_size` timed iterations and prints
+//! mean wall time. Under `cargo test` the benchmarks are skipped so the
+//! test suite stays fast; the binaries still link and exit 0.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            bench_mode: self.bench_mode,
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone benchmark (groupless form).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.bench_mode, id, 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    bench_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            self.bench_mode,
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            self.bench_mode,
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Function-plus-parameter benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, id: &str, samples: usize, mut f: F) {
+    if !bench_mode {
+        // `cargo test` exercises bench binaries for link/exit health only.
+        println!("bench {id}: skipped (test mode; run with `cargo bench`)");
+        return;
+    }
+    let mut b = Bencher {
+        samples,
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.total_nanos / b.iters as u128;
+        println!("bench {id}: {} iters, mean {}", b.iters, fmt_nanos(mean));
+    } else {
+        println!("bench {id}: no iterations recorded");
+    }
+}
+
+fn fmt_nanos(n: u128) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.3} s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.3} ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.3} us", n as f64 / 1e3)
+    } else {
+        format!("{n} ns")
+    }
+}
+
+/// Collect benchmark functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($fun:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($fun(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

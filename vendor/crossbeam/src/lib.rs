@@ -1,0 +1,78 @@
+//! Minimal `crossbeam::channel` facade over `std::sync::mpsc`, covering the
+//! unbounded-channel subset the BGP session transport uses.
+
+pub mod channel {
+    //! Unbounded MPSC channels.
+
+    use std::sync::mpsc;
+
+    /// Sending half.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Send failure: the receiver is gone; returns the message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Non-blocking receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Blocking receive failure: all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Dequeue, blocking until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(42).unwrap();
+            assert_eq!(rx.try_recv(), Ok(42));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Minimal facade standing in for `serde` in an offline build.
+//!
+//! The derives are no-ops and the traits are blanket-implemented markers:
+//! enough for `#[derive(Serialize, Deserialize)]` and `T: Serialize` bounds
+//! to compile, with no serialization behavior behind them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized> DeserializeOwned for T {}

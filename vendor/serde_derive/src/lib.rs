@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata;
+//! nothing serializes at runtime, so the derives expand to nothing. The
+//! `serde` helper attribute is declared so `#[serde(...)]` field attributes
+//! (if any appear later) don't break compilation.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
