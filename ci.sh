@@ -16,6 +16,23 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== parallel compile smoke (fig8 quick, threads 1 vs 4)"
+# The parallel pipeline must be bit-identical to sequential: run the
+# shrunken fig8 sweep at both thread counts and diff the fabric
+# fingerprints it prints per scale.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+SDX_BENCH_QUICK=1 SDX_THREADS=1 SDX_BENCH_JSON="$smoke_dir/b1.json" \
+    target/release/fig8 | grep '^# fingerprint' > "$smoke_dir/fp1"
+SDX_BENCH_QUICK=1 SDX_THREADS=4 SDX_BENCH_JSON="$smoke_dir/b4.json" \
+    target/release/fig8 | grep '^# fingerprint' > "$smoke_dir/fp4"
+if ! diff "$smoke_dir/fp1" "$smoke_dir/fp4"; then
+    echo "ci: parallel compile output diverged from sequential" >&2; exit 1
+fi
+grep -q '"threads":4' "$smoke_dir/b4.json" || {
+    echo "ci: bench json missing thread count" >&2; exit 1
+}
+
 echo "== sdx-lint scenarios"
 target/release/sdx-lint --quiet scenarios/figure1.sdx
 for s in scenarios/lint-*.sdx; do

@@ -1,9 +1,16 @@
 //! Regenerates Figure 10: the distribution (CDF) of the time to process a
 //! single BGP update through the fast path, for 100/200/300 participants.
+//!
+//! Honors the same environment knobs as `fig8`: `SDX_THREADS` (compile
+//! workers), `SDX_BENCH_QUICK=1` (shrunken sweep), and `SDX_BENCH_JSON`
+//! (machine-readable record path, default `BENCH_compile.json` — the
+//! records cover the initial compilations this figure performs).
 
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
-use sdx_bench::percentile;
+use sdx_bench::{
+    bench_json_path, compile_record, env_threads, percentile, quick_mode, write_bench_json,
+};
 use sdx_bgp::Update;
 use sdx_core::{CompileOptions, SdxRuntime};
 use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
@@ -19,30 +26,40 @@ fn single_homed(participants: usize, prefixes: usize) -> IxpProfile {
 }
 
 fn main() {
-    println!("# Figure 10 — time to process a single BGP update (fast path)");
+    let threads = env_threads();
+    let (sizes, prefixes, target, samples): (&[usize], usize, usize, usize) = if quick_mode() {
+        (&[30], 2_000, 100, 50)
+    } else {
+        (&[100, 200, 300], 10_000, 500, 400)
+    };
+
+    println!("# Figure 10 — time to process a single BGP update (fast path, threads={threads})");
     println!("participants\tpercentile\ttime_ms");
     let mut rng = StdRng::seed_from_u64(10);
-    for &n in &[100usize, 200, 300] {
-        let topology = IxpTopology::generate(single_homed(n, 10_000), 10);
-        let mix = generate_policies_with_groups(&topology, 500, 10);
-        let mut sdx = SdxRuntime::new(CompileOptions::default());
+    let mut records = Vec::new();
+    for &n in sizes {
+        let topology = IxpTopology::generate(single_homed(n, prefixes), 10);
+        let mix = generate_policies_with_groups(&topology, target, 10);
+        let mut sdx = SdxRuntime::new(CompileOptions::with_threads(threads));
         topology.install(&mut sdx);
         for (id, policy) in &mix.policies {
             sdx.set_policy(*id, policy.clone());
         }
-        sdx.compile().expect("compiles");
+        let stats = sdx.compile().expect("compiles");
+        let fingerprint = sdx.compilation().expect("compiled").fabric.fingerprint();
+        records.push(compile_record("fig10", n, target, fingerprint, &stats));
 
-        let mut prefixes: Vec<_> = sdx
+        let mut update_prefixes: Vec<_> = sdx
             .compilation()
             .unwrap()
             .group_index
             .keys()
             .copied()
             .collect();
-        prefixes.shuffle(&mut rng);
+        update_prefixes.shuffle(&mut rng);
 
         let mut times_us = Vec::new();
-        for prefix in prefixes.into_iter().take(400) {
+        for prefix in update_prefixes.into_iter().take(samples) {
             let owner = topology
                 .announcements
                 .iter()
@@ -63,4 +80,8 @@ fn main() {
             );
         }
     }
+
+    let path = bench_json_path("BENCH_compile.json");
+    write_bench_json(&path, &records).expect("write bench json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,6 +1,19 @@
 //! Regenerates Figure 8: initial compilation time as a function of prefix
 //! groups, for 100/200/300 participants.
+//!
+//! Knobs (environment):
+//! - `SDX_THREADS` — fork-join workers for the compile pipeline (0 = one
+//!   per core; default 1). The output is bit-identical at every setting.
+//! - `SDX_BENCH_QUICK=1` — shrink the sweep so the CI smoke finishes in
+//!   seconds.
+//! - `SDX_BENCH_JSON` — where to write the machine-readable record array
+//!   (default `BENCH_compile.json` in the working directory).
+//!
+//! Besides the human-readable table, each scale prints a
+//! `# fingerprint <participants> <target> <hash>` line; the CI smoke diffs
+//! these lines across thread counts to prove output identity.
 
+use sdx_bench::{bench_json_path, compile_record, env_threads, quick_mode, write_bench_json};
 use sdx_core::{CompileOptions, SdxRuntime};
 use sdx_workload::{generate_policies_with_groups, IxpProfile, IxpTopology};
 
@@ -15,23 +28,38 @@ fn single_homed(participants: usize, prefixes: usize) -> IxpProfile {
 }
 
 fn main() {
-    println!("# Figure 8 — initial compilation time vs prefix groups");
+    let threads = env_threads();
+    let (sizes, targets, prefixes): (&[usize], &[usize], usize) = if quick_mode() {
+        (&[30], &[100, 200], 3_000)
+    } else {
+        (&[100, 200, 300], &[200, 400, 600, 800, 1_000], 25_000)
+    };
+
+    println!("# Figure 8 — initial compilation time vs prefix groups (threads={threads})");
     println!("participants\ttarget_groups\tmeasured_groups\tcompile_ms");
-    for &n in &[100usize, 200, 300] {
-        let topology = IxpTopology::generate(single_homed(n, 25_000), 8);
-        for &target in &[200usize, 400, 600, 800, 1_000] {
+    let mut records = Vec::new();
+    for &n in sizes {
+        let topology = IxpTopology::generate(single_homed(n, prefixes), 8);
+        for &target in targets {
             let mix = generate_policies_with_groups(&topology, target, 8);
-            let mut sdx = SdxRuntime::new(CompileOptions::default());
+            let mut sdx = SdxRuntime::new(CompileOptions::with_threads(threads));
             topology.install(&mut sdx);
             for (id, policy) in &mix.policies {
                 sdx.set_policy(*id, policy.clone());
             }
             let stats = sdx.compile().expect("compiles");
+            let fingerprint = sdx.compilation().expect("compiled").fabric.fingerprint();
             println!(
                 "{n}\t{target}\t{}\t{:.2}",
                 stats.groups,
                 stats.duration_us as f64 / 1_000.0
             );
+            println!("# fingerprint\t{n}\t{target}\t{fingerprint:016x}");
+            records.push(compile_record("fig8", n, target, fingerprint, &stats));
         }
     }
+
+    let path = bench_json_path("BENCH_compile.json");
+    write_bench_json(&path, &records).expect("write bench json");
+    eprintln!("wrote {}", path.display());
 }

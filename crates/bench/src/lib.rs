@@ -2,7 +2,9 @@
 //! small statistics helpers used by the figure binaries and Criterion
 //! benches.
 
-use sdx_core::{CompileOptions, SdxRuntime};
+use std::path::{Path, PathBuf};
+
+use sdx_core::{CompileOptions, CompileStats, SdxRuntime};
 use sdx_workload::{generate_policies, IxpProfile, IxpTopology, PolicyMix};
 
 /// Build a fully configured SDX (topology installed, §6.1 policies set) of
@@ -30,6 +32,88 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One machine-readable compile measurement, rendered as a JSON object (the
+/// workspace has no JSON dependency, and the schema is flat enough to emit
+/// by hand). `fingerprint` is the fabric classifier's rule-list hash, so two
+/// bench runs at different thread counts can be checked for identical
+/// output.
+pub fn compile_record(
+    bench: &str,
+    participants: usize,
+    target_groups: usize,
+    fingerprint: u64,
+    stats: &CompileStats,
+) -> String {
+    let s = &stats.stages;
+    format!(
+        concat!(
+            "{{\"bench\":\"{}\",\"participants\":{},\"target_groups\":{},",
+            "\"groups\":{},\"rules\":{},\"threads\":{},\"fingerprint\":\"{:016x}\",",
+            "\"wall_us\":{{\"total\":{},\"validate\":{},\"policy_sets\":{},\"fec\":{},",
+            "\"stage1\":{},\"stage2\":{},\"compose\":{},\"analysis\":{}}},",
+            "\"pred_cache\":{{\"nodes\":{},\"hits\":{},\"misses\":{}}},",
+            "\"memo\":{{\"hits\":{},\"misses\":{}}}}}",
+        ),
+        bench,
+        participants,
+        target_groups,
+        stats.groups,
+        stats.rules,
+        s.threads,
+        fingerprint,
+        stats.duration_us,
+        s.validate_us,
+        s.policy_sets_us,
+        s.fec_us,
+        s.stage1_us,
+        s.stage2_us,
+        s.compose_us,
+        s.analysis_us,
+        stats.pred_nodes,
+        stats.pred_cache_hits,
+        stats.pred_cache_misses,
+        stats.memo_hits,
+        stats.memo_misses,
+    )
+}
+
+/// Write pre-rendered records as a JSON array to `path` (the
+/// `BENCH_compile.json` artifact the figure binaries emit).
+pub fn write_bench_json(path: &Path, records: &[String]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(r);
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// The worker count the benchmarks use: `SDX_THREADS` (0 = one per core),
+/// defaulting to 1 (sequential).
+pub fn env_threads() -> usize {
+    std::env::var("SDX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Whether `SDX_BENCH_QUICK=1` asked for the shrunken sweep (the CI smoke
+/// uses it to finish in seconds).
+pub fn quick_mode() -> bool {
+    std::env::var("SDX_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Where to write the bench JSON artifact: `SDX_BENCH_JSON` or `default`.
+pub fn bench_json_path(default: &str) -> PathBuf {
+    std::env::var("SDX_BENCH_JSON")
+        .unwrap_or_else(|_| default.to_string())
+        .into()
 }
 
 /// Parse `--scale <f64>` style arguments; returns the default when absent.

@@ -22,17 +22,18 @@
 //! target's rules are visited); and receiver-stage blocks are memoized
 //! across recompilations.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sdx_analyze::AnalysisMode;
 use sdx_bgp::RouteServer;
 use sdx_ip::{MacAddr, Prefix, PrefixSet};
 use sdx_policy::{
-    compile_predicate, sequential_compose_traced, Action, Classifier, Field, Match, Pattern,
-    Predicate, Rule,
+    sequential_compose_traced_par, Action, Classifier, Field, Match, Pattern, Predicate, Rule,
+    SharedPredicatePool,
 };
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +64,12 @@ pub struct CompileOptions {
     /// with error-severity findings. `Off` (the default) skips analysis so
     /// the compile-time benchmarks measure the compiler alone.
     pub analysis: AnalysisMode,
+    /// Worker threads for the fork-join compile pipeline: `1` (the default)
+    /// compiles sequentially, `0` resolves to one worker per available core,
+    /// any other value is taken literally. The compiled output is
+    /// bit-identical for every thread count — parallelism only changes the
+    /// wall clock (see `CompileStats::stages`).
+    pub threads: usize,
 }
 
 impl Default for CompileOptions {
@@ -72,8 +79,44 @@ impl Default for CompileOptions {
             memoize: true,
             multi_table: false,
             analysis: AnalysisMode::Off,
+            threads: 1,
         }
     }
+}
+
+impl CompileOptions {
+    /// The default options with a specific worker count (see
+    /// [`CompileOptions::threads`]).
+    pub fn with_threads(threads: usize) -> Self {
+        CompileOptions {
+            threads,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-stage wall-clock breakdown of one compilation, in microseconds, plus
+/// the resolved worker count. Purely observational: every other
+/// [`CompileStats`] field is identical across thread counts, these are not —
+/// [`CompileStats::counters`] masks them for output-equivalence checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Workers the `threads` option resolved to.
+    pub threads: usize,
+    /// Input validation.
+    pub validate_us: u64,
+    /// Pass 1: effective policy prefix-set collection.
+    pub policy_sets_us: u64,
+    /// Passes 2+3: FEC computation and VNH assignment.
+    pub fec_us: u64,
+    /// Sender-stage construction.
+    pub stage1_us: u64,
+    /// Receiver-stage construction.
+    pub stage2_us: u64,
+    /// Stage composition (zero in multi-table mode).
+    pub compose_us: u64,
+    /// Static analysis (zero when analysis is off).
+    pub analysis_us: u64,
 }
 
 /// What the compiler measures, for the evaluation harness.
@@ -103,8 +146,32 @@ pub struct CompileStats {
     /// Error-severity findings of the static analyzer (0 when analysis is
     /// off; a denied compilation returns an error instead of stats).
     pub analysis_errors: usize,
+    /// Distinct hash-consed predicate nodes interned during this compile.
+    pub pred_nodes: usize,
+    /// Clause-predicate classifier requests served from the intern pool's
+    /// memo table (a hit means a structurally identical predicate was
+    /// already compiled this run).
+    pub pred_cache_hits: usize,
+    /// Clause-predicate classifier requests compiled fresh.
+    pub pred_cache_misses: usize,
     /// Wall-clock time of the whole compilation, in microseconds.
     pub duration_us: u64,
+    /// Per-stage wall-clock breakdown and worker count.
+    pub stages: StageTimes,
+}
+
+impl CompileStats {
+    /// The deterministic counters only: this copy zeroes every wall-clock
+    /// field (and the worker count), so two compilations of the same input
+    /// at different thread counts compare equal. The output-equivalence
+    /// property tests and the CI smoke compare these.
+    pub fn counters(&self) -> CompileStats {
+        CompileStats {
+            duration_us: 0,
+            stages: StageTimes::default(),
+            ..*self
+        }
+    }
 }
 
 /// Compiler failure modes.
@@ -165,9 +232,34 @@ impl std::error::Error for CompileError {}
 
 /// Memo cache for receiver-stage blocks, keyed by participant and a version
 /// the runtime bumps whenever that participant's policy or ports change.
-#[derive(Debug, Default)]
+///
+/// The cache is sharded: entries live behind per-shard mutexes (participants
+/// map to shards by id), so the parallel receiver-stage builders read and
+/// write it concurrently without a global lock. All methods take `&self`.
+///
+/// It is also *bounded*: every [`compile`] ends by evicting entries whose
+/// participant is no longer registered, so a long-lived runtime that churns
+/// through participants cannot grow the cache without limit.
+#[derive(Debug)]
 pub struct MemoCache {
-    stage2: BTreeMap<ParticipantId, (u64, Vec<Rule>)>,
+    shards: Vec<Mutex<MemoShard>>,
+}
+
+/// One shard's contents: participant → (policy version, cached block).
+type MemoShard = HashMap<ParticipantId, (u64, Vec<Rule>)>;
+
+/// Shard count: enough to make contention unlikely at realistic parallelism
+/// without wasting memory on tiny deployments.
+const MEMO_SHARDS: usize = 16;
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        MemoCache {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl MemoCache {
@@ -176,9 +268,50 @@ impl MemoCache {
         Self::default()
     }
 
+    fn shard(&self, id: ParticipantId) -> &Mutex<MemoShard> {
+        &self.shards[id.0 as usize % MEMO_SHARDS]
+    }
+
+    /// The cached block for `id`, if its version is current.
+    fn lookup(&self, id: ParticipantId, version: u64) -> Option<Vec<Rule>> {
+        let shard = self.shard(id).lock().unwrap();
+        match shard.get(&id) {
+            Some((cached_version, rules)) if *cached_version == version => Some(rules.clone()),
+            _ => None,
+        }
+    }
+
+    /// Insert (replace) the block for `id`.
+    fn store(&self, id: ParticipantId, version: u64, rules: Vec<Rule>) {
+        self.shard(id).lock().unwrap().insert(id, (version, rules));
+    }
+
+    /// Evict entries for participants no longer present (the runtime calls
+    /// this via [`compile`] so removed participants release their blocks).
+    pub fn retain_participants(&self, participants: &BTreeMap<ParticipantId, Participant>) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap()
+                .retain(|id, _| participants.contains_key(id));
+        }
+    }
+
+    /// Cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Drop everything (e.g. after wholesale reconfiguration).
-    pub fn clear(&mut self) {
-        self.stage2.clear();
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
     }
 }
 
@@ -240,26 +373,42 @@ impl Compilation {
 }
 
 /// Compile everything. See the module docs for the pipeline.
+///
+/// `options.threads` controls the fork-join worker count; the output and
+/// every [`CompileStats::counters`] field are identical for every thread
+/// count. The memo cache is read and written through shared references so
+/// the parallel receiver-stage builders can touch it concurrently.
 pub fn compile(
     input: &CompileInput<'_>,
     alloc: &mut VnhAllocator,
-    memo: &mut MemoCache,
+    memo: &MemoCache,
 ) -> Result<Compilation, CompileError> {
     let start = Instant::now();
     let mut stats = CompileStats::default();
+    let threads = crossbeam::pool::num_threads(input.options.threads);
+    stats.stages.threads = threads;
 
+    // One hash-consing pool per compile: structurally identical clause
+    // predicates (policy idioms repeated across participants) compile once.
+    let pool = SharedPredicatePool::new();
+
+    let t = Instant::now();
     validate(input)?;
+    stats.stages.validate_us = duration_us(t.elapsed());
 
     // ---- Pass 1: effective prefix sets per outbound clause --------------
+    let t = Instant::now();
     let (policy_sets, clause_sets) = collect_policy_sets(input);
     stats.policy_sets = policy_sets.len();
+    stats.stages.policy_sets_us = duration_us(t.elapsed());
 
     // ---- Passes 2+3: FEC computation and VNH assignment ------------------
     // In naive mode (the §4.2 ablation) no FECs are formed: clauses match
     // raw destination prefixes and default forwarding uses real router MACs.
+    let t = Instant::now();
     let rs = input.route_server;
     let groups = if input.options.use_vnh {
-        fec::compute_groups(&policy_sets, |prefix| default_view(rs, prefix))
+        fec::compute_groups(&policy_sets, |prefix| default_view(rs, prefix), threads)
     } else {
         Vec::new()
     };
@@ -270,22 +419,36 @@ pub fn compile(
         vnh.push(alloc.allocate().ok_or(CompileError::VnhExhausted)?);
     }
     stats.groups = groups.len();
+    stats.stages.fec_us = duration_us(t.elapsed());
 
     // ---- Sender stage -----------------------------------------------------
-    let stage1 = build_stage1(input, &policy_sets, &clause_sets, &groups, &vnh)?;
+    let t = Instant::now();
+    let stage1 = build_stage1(
+        input,
+        &pool,
+        threads,
+        &policy_sets,
+        &clause_sets,
+        &groups,
+        &vnh,
+    )?;
     stats.stage1_rules = stage1.len();
+    stats.stages.stage1_us = duration_us(t.elapsed());
 
     // ---- Receiver stage ---------------------------------------------------
-    let stage2 = build_stage2(input, memo, &mut stats)?;
+    let t = Instant::now();
+    let stage2 = build_stage2(input, &pool, memo, threads, &mut stats)?;
     stats.stage2_rules = stage2.len();
+    stats.stages.stage2_us = duration_us(t.elapsed());
 
     // ---- Composition ------------------------------------------------------
     // In multi-table mode the stages stay separate (installed as a two-table
     // pipeline); the composed single-table classifier is not built.
+    let t = Instant::now();
     let fabric = if input.options.multi_table {
         Classifier::drop_all()
     } else {
-        let (fabric, elided) = sequential_compose_traced(&stage1, &stage2);
+        let (fabric, elided) = sequential_compose_traced_par(&stage1, &stage2, threads);
         stats.rules_elided = elided.len();
         fabric
     };
@@ -294,6 +457,16 @@ pub fn compile(
     } else {
         fabric.len()
     };
+    stats.stages.compose_us = duration_us(t.elapsed());
+
+    let pool_stats = pool.stats();
+    stats.pred_nodes = pool_stats.nodes;
+    stats.pred_cache_hits = pool_stats.compile_hits;
+    stats.pred_cache_misses = pool_stats.compile_misses;
+
+    // Keep the memo cache bounded: entries for participants that left the
+    // fabric are dead weight and can never hit again.
+    memo.retain_participants(input.participants);
 
     let mut compilation = Compilation {
         fabric,
@@ -309,6 +482,7 @@ pub fn compile(
 
     // ---- Static verification gate ----------------------------------------
     if input.options.analysis != AnalysisMode::Off {
+        let t = Instant::now();
         let analysis = sdx_analyze::analyze(&crate::analysis::build_input(input, &compilation));
         compilation.stats.analysis_warnings = analysis.warnings();
         compilation.stats.analysis_errors = analysis.errors();
@@ -316,6 +490,7 @@ pub fn compile(
             return Err(CompileError::AnalysisRejected(errors));
         }
         compilation.analysis = Some(analysis);
+        compilation.stats.stages.analysis_us = duration_us(t.elapsed());
     }
 
     compilation.stats.duration_us = duration_us(start.elapsed());
@@ -335,6 +510,7 @@ pub fn stage1_rules_for_prefix(
 ) -> Vec<Rule> {
     let rs = input.route_server;
     let vmac_pred = Predicate::test(Field::DstMac, vmac);
+    let pool = SharedPredicatePool::new();
     let mut rules = Vec::new();
 
     for (id, policy) in input.policies {
@@ -367,7 +543,7 @@ pub fn stage1_rules_for_prefix(
                 .and(ports_pred.clone())
                 .and(vmac_pred.clone());
             let action = vec![rewrites_action(&clause.rewrites).with(Field::Port, to.vport())];
-            rules.extend(clause_rules(&pred, action));
+            rules.extend(clause_rules(&pool, &pred, action));
         }
     }
 
@@ -492,9 +668,11 @@ fn default_view(rs: &RouteServer, prefix: &Prefix) -> DefaultView {
 }
 
 /// Compile one clause into its rule list: the pass rules of its (positive)
-/// predicate with the clause's action substituted.
-fn clause_rules(pred: &Predicate, action: Vec<Action>) -> Vec<Rule> {
-    compile_predicate(pred)
+/// predicate with the clause's action substituted. The classifier comes from
+/// the hash-consing pool, so structurally identical predicates (shared
+/// policy idioms) are compiled once per [`compile`] run.
+fn clause_rules(pool: &SharedPredicatePool, pred: &Predicate, action: Vec<Action>) -> Vec<Rule> {
+    pool.compile(pred)
         .rules()
         .iter()
         .filter(|r| !r.is_drop())
@@ -515,55 +693,48 @@ fn rewrites_action(rewrites: &[(Field, u64)]) -> Action {
 
 /// Sender stage: custom outbound clause rules (port-isolated,
 /// BGP-consistency-filtered) above the shared default-forwarding rules.
+///
+/// The per-participant clause blocks are independent (isolation makes them
+/// port-disjoint), so they build on the fork-join pool; blocks are then
+/// concatenated in participant order, which keeps the output identical to a
+/// sequential build. The default-forwarding tail is cheap and stays serial.
 fn build_stage1(
     input: &CompileInput<'_>,
+    pool: &SharedPredicatePool,
+    threads: usize,
     policy_sets: &[PrefixSet],
     clause_sets: &BTreeMap<(ParticipantId, usize), Option<usize>>,
     groups: &[PrefixGroup],
     vnh: &[(Ipv4Addr, MacAddr)],
 ) -> Result<Classifier, CompileError> {
-    let mut rules: Vec<Rule> = Vec::new();
-
     // Custom outbound clauses, isolated to the author's physical ports.
-    for (id, policy) in input.policies {
-        let Some(participant) = input.participants.get(id) else {
-            continue;
-        };
-        if policy.outbound.is_empty() {
-            continue;
-        }
-        let ports_pred =
-            Predicate::in_set(Field::Port, participant.port_numbers().map(|p| p as u64));
-        for (ci, clause) in policy.outbound.iter().enumerate() {
-            let mut pred = clause.match_.clone().and(ports_pred.clone());
-            // Transformation 2: BGP consistency.
-            let filtered = matches!(clause.dest, Dest::Participant(_)) && !clause.unfiltered;
-            if filtered {
-                let set_id = clause_sets
-                    .get(&(*id, ci))
-                    .copied()
-                    .flatten()
-                    .expect("filtered participant clause has a policy set");
-                pred = pred.and(reachability_filter(
-                    input.options.use_vnh,
-                    set_id,
-                    policy_sets,
-                    groups,
-                    vnh,
-                ));
-            } else if let Some(scope) = &clause.dst_prefixes {
-                pred = pred.and(Predicate::in_prefixes(Field::DstIp, scope.clone()));
-            }
-            let action = match clause.dest {
-                Dest::Participant(to) => {
-                    vec![rewrites_action(&clause.rewrites).with(Field::Port, to.vport())]
-                }
-                Dest::Drop => Vec::new(),
-                _ => unreachable!("validated"),
-            };
-            rules.extend(clause_rules(&pred, action));
-        }
-    }
+    let authors: Vec<(ParticipantId, &ParticipantPolicy, &Participant)> = input
+        .policies
+        .iter()
+        .filter_map(|(id, policy)| {
+            let participant = input.participants.get(id)?;
+            (!policy.outbound.is_empty()).then_some((*id, policy, participant))
+        })
+        .collect();
+    let block = |(id, policy, participant): (ParticipantId, &ParticipantPolicy, &Participant)| {
+        stage1_block(
+            input,
+            pool,
+            id,
+            policy,
+            participant,
+            policy_sets,
+            clause_sets,
+            groups,
+            vnh,
+        )
+    };
+    let blocks: Vec<Vec<Rule>> = if threads <= 1 || authors.len() < 2 {
+        authors.into_iter().map(block).collect()
+    } else {
+        crossbeam::pool::parallel_map(threads, authors, block)
+    };
+    let mut rules: Vec<Rule> = blocks.into_iter().flatten().collect();
 
     // Transformation 3: default forwarding, shared across senders.
     // Exception overrides first (port-scoped), then the global VMAC rules,
@@ -608,6 +779,54 @@ fn build_stage1(
     Ok(Classifier::new(rules))
 }
 
+/// One participant's sender-stage clause block (transformations 1 and 2
+/// applied to each of its outbound clauses, in clause order).
+#[allow(clippy::too_many_arguments)]
+fn stage1_block(
+    input: &CompileInput<'_>,
+    pool: &SharedPredicatePool,
+    id: ParticipantId,
+    policy: &ParticipantPolicy,
+    participant: &Participant,
+    policy_sets: &[PrefixSet],
+    clause_sets: &BTreeMap<(ParticipantId, usize), Option<usize>>,
+    groups: &[PrefixGroup],
+    vnh: &[(Ipv4Addr, MacAddr)],
+) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    let ports_pred = Predicate::in_set(Field::Port, participant.port_numbers().map(|p| p as u64));
+    for (ci, clause) in policy.outbound.iter().enumerate() {
+        let mut pred = clause.match_.clone().and(ports_pred.clone());
+        // Transformation 2: BGP consistency.
+        let filtered = matches!(clause.dest, Dest::Participant(_)) && !clause.unfiltered;
+        if filtered {
+            let set_id = clause_sets
+                .get(&(id, ci))
+                .copied()
+                .flatten()
+                .expect("filtered participant clause has a policy set");
+            pred = pred.and(reachability_filter(
+                input.options.use_vnh,
+                set_id,
+                policy_sets,
+                groups,
+                vnh,
+            ));
+        } else if let Some(scope) = &clause.dst_prefixes {
+            pred = pred.and(Predicate::in_prefixes(Field::DstIp, scope.clone()));
+        }
+        let action = match clause.dest {
+            Dest::Participant(to) => {
+                vec![rewrites_action(&clause.rewrites).with(Field::Port, to.vport())]
+            }
+            Dest::Drop => Vec::new(),
+            _ => unreachable!("validated"),
+        };
+        rules.extend(clause_rules(pool, &pred, action));
+    }
+    rules
+}
+
 /// The BGP-consistency filter for a clause whose effective prefix set is
 /// `policy_sets[set_id]`: either VMAC-tag membership (VNH mode) or a raw
 /// destination-prefix filter (naive mode).
@@ -632,31 +851,63 @@ fn reachability_filter(
 
 /// Receiver stage: per-participant blocks (inbound clauses above receiver
 /// defaults), memoized across recompilations.
+///
+/// Blocks build on the fork-join pool — each worker consults and fills the
+/// sharded memo cache independently — and are concatenated in participant
+/// order, identical to a sequential build. Memo hit/miss totals are summed
+/// from the ordered results, so they too are thread-count-independent.
 fn build_stage2(
     input: &CompileInput<'_>,
-    memo: &mut MemoCache,
+    pool: &SharedPredicatePool,
+    memo: &MemoCache,
+    threads: usize,
     stats: &mut CompileStats,
 ) -> Result<Classifier, CompileError> {
+    let participants: Vec<(ParticipantId, &Participant)> =
+        input.participants.iter().map(|(id, p)| (*id, p)).collect();
+    let entry = |(id, participant): (ParticipantId, &Participant)| {
+        stage2_entry(input, pool, memo, id, participant)
+    };
+    let blocks: Vec<Result<(Vec<Rule>, bool), CompileError>> =
+        if threads <= 1 || participants.len() < 2 {
+            participants.into_iter().map(entry).collect()
+        } else {
+            crossbeam::pool::parallel_map(threads, participants, entry)
+        };
     let mut rules: Vec<Rule> = Vec::new();
-    for (id, participant) in input.participants {
-        let version = input.policy_versions.get(id).copied().unwrap_or(0);
-        if input.options.memoize {
-            if let Some((cached_version, cached)) = memo.stage2.get(id) {
-                if *cached_version == version {
-                    stats.memo_hits += 1;
-                    rules.extend(cached.iter().cloned());
-                    continue;
-                }
-            }
-        }
-        stats.memo_misses += 1;
-        let block = stage2_block(input, *id, participant)?;
-        if input.options.memoize {
-            memo.stage2.insert(*id, (version, block.clone()));
+    for block in blocks {
+        let (block, hit) = block?;
+        if hit {
+            stats.memo_hits += 1;
+        } else {
+            stats.memo_misses += 1;
         }
         rules.extend(block);
     }
     Ok(Classifier::new(rules))
+}
+
+/// One participant's receiver-stage entry: serve the block from the memo
+/// cache when its version is current, else build and (when memoizing) store
+/// it. The boolean reports a cache hit.
+fn stage2_entry(
+    input: &CompileInput<'_>,
+    pool: &SharedPredicatePool,
+    memo: &MemoCache,
+    id: ParticipantId,
+    participant: &Participant,
+) -> Result<(Vec<Rule>, bool), CompileError> {
+    let version = input.policy_versions.get(&id).copied().unwrap_or(0);
+    if input.options.memoize {
+        if let Some(cached) = memo.lookup(id, version) {
+            return Ok((cached, true));
+        }
+    }
+    let block = stage2_block(input, pool, id, participant)?;
+    if input.options.memoize {
+        memo.store(id, version, block.clone());
+    }
+    Ok((block, false))
 }
 
 /// One participant's receiver block: inbound clauses (isolated to its
@@ -664,6 +915,7 @@ fn build_stage2(
 /// deliver-to-primary-port rule.
 fn stage2_block(
     input: &CompileInput<'_>,
+    pool: &SharedPredicatePool,
     id: ParticipantId,
     participant: &Participant,
 ) -> Result<Vec<Rule>, CompileError> {
@@ -691,7 +943,7 @@ fn stage2_block(
             Dest::Participant(to) => deliver_to_participant(input, to, base),
             Dest::BgpDefault => resolve_bgp_default(input, id, clause, base),
         };
-        rules.extend(clause_rules(&pred, action));
+        rules.extend(clause_rules(pool, &pred, action));
     }
 
     // Receiver defaults: honor an explicit router-MAC destination, else

@@ -44,16 +44,58 @@ pub struct DefaultView {
     pub exceptions: BTreeMap<PeerId, Option<PeerId>>,
 }
 
+/// Pass-1 membership signatures: prefix → ascending indices of the sets that
+/// contain it. With `threads > 1` the sets are scanned in contiguous chunks
+/// on the fork-join pool and the partial maps merged *in chunk order*, so a
+/// prefix's signature lists set indices in exactly the order the sequential
+/// scan would produce — the parallel schedule never reaches the result.
+fn membership_map(sets: &[PrefixSet], threads: usize) -> BTreeMap<Prefix, Vec<usize>> {
+    let workers = crossbeam::pool::num_threads(threads.max(1));
+    if workers <= 1 || sets.len() < 2 * workers {
+        let mut membership: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
+        for (i, set) in sets.iter().enumerate() {
+            for p in set {
+                membership.entry(*p).or_default().push(i);
+            }
+        }
+        return membership;
+    }
+    let chunk_size = sets.len().div_ceil(workers * 4);
+    let chunks: Vec<(usize, &[PrefixSet])> = sets
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(c, chunk)| (c * chunk_size, chunk))
+        .collect();
+    let partials = crossbeam::pool::parallel_map(threads, chunks, |(base, chunk)| {
+        let mut partial: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
+        for (off, set) in chunk.iter().enumerate() {
+            for p in set {
+                partial.entry(*p).or_default().push(base + off);
+            }
+        }
+        partial
+    });
+    // Ascending-chunk merge keeps every signature's index list sorted.
+    let mut membership: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
+    for partial in partials {
+        for (prefix, indices) in partial {
+            membership.entry(prefix).or_default().extend(indices);
+        }
+    }
+    membership
+}
+
 /// The paper's Minimum Disjoint Subsets: the coarsest partition of the union
 /// of `sets` such that any two prefixes appearing in exactly the same sets
 /// land in the same part.
 pub fn minimum_disjoint_subsets(sets: &[PrefixSet]) -> Vec<PrefixSet> {
-    let mut membership: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
-    for (i, set) in sets.iter().enumerate() {
-        for p in set {
-            membership.entry(*p).or_default().push(i);
-        }
-    }
+    minimum_disjoint_subsets_par(sets, 1)
+}
+
+/// [`minimum_disjoint_subsets`] with the membership scan fanned out over
+/// `threads` workers. Output is identical for any thread count.
+pub fn minimum_disjoint_subsets_par(sets: &[PrefixSet], threads: usize) -> Vec<PrefixSet> {
+    let membership = membership_map(sets, threads);
     let mut parts: BTreeMap<Vec<usize>, PrefixSet> = BTreeMap::new();
     for (prefix, signature) in membership {
         parts.entry(signature).or_default().insert(prefix);
@@ -65,17 +107,24 @@ pub fn minimum_disjoint_subsets(sets: &[PrefixSet]) -> Vec<PrefixSet> {
 /// next hop) + pass 3 (signature partition), per §4.2.
 ///
 /// `defaults` supplies the pass-2 view for each prefix (who the route
-/// server's decision process picks by default).
+/// server's decision process picks by default). With `threads > 1` both the
+/// membership scan and the per-prefix default-view lookups run on the
+/// fork-join pool; the final signature partition is a sequential fold over
+/// prefix-ordered entries, so the grouping is deterministic.
 pub fn compute_groups(
     sets: &[PrefixSet],
-    defaults: impl Fn(&Prefix) -> DefaultView,
+    defaults: impl Fn(&Prefix) -> DefaultView + Sync,
+    threads: usize,
 ) -> Vec<PrefixGroup> {
-    let mut membership: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
-    for (i, set) in sets.iter().enumerate() {
-        for p in set {
-            membership.entry(*p).or_default().push(i);
-        }
-    }
+    let membership = membership_map(sets, threads);
+
+    // Pass 2, the dominant cost at scale: one route-server view per prefix,
+    // embarrassingly parallel. Entries stay in prefix order.
+    let entries: Vec<(Prefix, Vec<usize>)> = membership.into_iter().collect();
+    let viewed = crossbeam::pool::parallel_map(threads, entries, |(prefix, signature)| {
+        let view = defaults(&prefix);
+        (prefix, signature, view)
+    });
 
     #[allow(clippy::type_complexity)]
     let mut parts: BTreeMap<
@@ -83,8 +132,7 @@ pub fn compute_groups(
         (PrefixSet, DefaultView),
     > = BTreeMap::new();
 
-    for (prefix, signature) in membership {
-        let view = defaults(&prefix);
+    for (prefix, signature, view) in viewed {
         let key = (
             signature,
             view.global,
@@ -204,39 +252,79 @@ mod tests {
         // One policy set covering both prefixes, but different default
         // next hops: must yield two groups.
         let sets = vec![set(&["10.0.0.0/8", "20.0.0.0/8"])];
-        let groups = compute_groups(&sets, |p| DefaultView {
-            global: if p.to_string().starts_with("10") {
-                Some(PeerId(1))
-            } else {
-                Some(PeerId(2))
+        let groups = compute_groups(
+            &sets,
+            |p| DefaultView {
+                global: if p.to_string().starts_with("10") {
+                    Some(PeerId(1))
+                } else {
+                    Some(PeerId(2))
+                },
+                exceptions: BTreeMap::new(),
             },
-            exceptions: BTreeMap::new(),
-        });
+            1,
+        );
         assert_eq!(groups.len(), 2);
     }
 
     #[test]
     fn exceptions_split_groups() {
         let sets = vec![set(&["10.0.0.0/8", "20.0.0.0/8"])];
-        let groups = compute_groups(&sets, |p| {
-            let mut exceptions = BTreeMap::new();
-            if p.to_string().starts_with("10") {
-                exceptions.insert(PeerId(7), Some(PeerId(3)));
-            }
-            DefaultView {
-                global: Some(PeerId(1)),
-                exceptions,
-            }
-        });
+        let groups = compute_groups(
+            &sets,
+            |p| {
+                let mut exceptions = BTreeMap::new();
+                if p.to_string().starts_with("10") {
+                    exceptions.insert(PeerId(7), Some(PeerId(3)));
+                }
+                DefaultView {
+                    global: Some(PeerId(1)),
+                    exceptions,
+                }
+            },
+            1,
+        );
         assert_eq!(groups.len(), 2);
         let with_exc = groups.iter().find(|g| !g.exceptions.is_empty()).unwrap();
         assert_eq!(with_exc.exceptions.get(&PeerId(7)), Some(&Some(PeerId(3))));
     }
 
     #[test]
+    fn parallel_mds_matches_sequential() {
+        // Enough sets to clear the parallel path's chunking threshold, with
+        // heavy overlap so signatures are multi-element.
+        let mut sets = Vec::new();
+        for i in 0u32..64 {
+            let mut s = PrefixSet::new();
+            for j in 0u32..8 {
+                let octet = (i + j * 3) % 200 + 1;
+                s.insert(format!("{octet}.0.0.0/8").parse().unwrap());
+            }
+            sets.push(s);
+        }
+        let sequential = minimum_disjoint_subsets_par(&sets, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                minimum_disjoint_subsets_par(&sets, threads),
+                sequential,
+                "threads={threads}"
+            );
+        }
+        // compute_groups is deterministic across thread counts too.
+        let view = |p: &Prefix| DefaultView {
+            global: Some(PeerId(u32::from(p.addr()) % 5)),
+            exceptions: BTreeMap::new(),
+        };
+        let base = compute_groups(&sets, view, 1);
+        for threads in [2, 8] {
+            assert_eq!(compute_groups(&sets, view, threads), base);
+        }
+    }
+
+    #[test]
     fn index_covers_every_member() {
         let sets = vec![set(&["10.0.0.0/8", "20.0.0.0/8"]), set(&["20.0.0.0/8"])];
-        let groups = compute_groups(&sets, |_| DefaultView::default());
+        let groups = compute_groups(&sets, |_| DefaultView::default(), 1);
         let idx = index_groups(&groups);
         assert_eq!(idx.len(), 2);
         for (p, gid) in &idx {

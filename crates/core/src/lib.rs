@@ -45,10 +45,10 @@ mod vnh;
 
 pub use clause::{Clause, Dest, ParticipantPolicy};
 pub use compile::{
-    Compilation, CompileError, CompileInput, CompileOptions, CompileStats, MemoCache,
+    Compilation, CompileError, CompileInput, CompileOptions, CompileStats, MemoCache, StageTimes,
 };
 pub use control::{ControlPlane, ROUTE_SERVER_ASN};
-pub use fec::{minimum_disjoint_subsets, DefaultView, PrefixGroup};
+pub use fec::{minimum_disjoint_subsets, minimum_disjoint_subsets_par, DefaultView, PrefixGroup};
 pub use multiswitch::{distribute, FabricLayout, LayoutError, MultiSwitchFabric, SwitchId};
 pub use participant::{is_vport, Participant, ParticipantId, PortConfig, VPORT_BASE};
 pub use runtime::{IncrementalStats, Overlay, SdxRuntime};

@@ -204,7 +204,7 @@ impl SdxRuntime {
                 route_server: &self.route_server,
                 options: self.options,
             };
-            compile(&input, &mut self.alloc, &mut self.memo)?
+            compile(&input, &mut self.alloc, &self.memo)?
         };
 
         if self.options.multi_table {

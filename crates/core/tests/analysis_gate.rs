@@ -268,8 +268,8 @@ fn vnh_inconsistency_detected_and_gated() {
         options: CompileOptions::default(),
     };
     let mut alloc = VnhAllocator::default_pool();
-    let mut memo = MemoCache::new();
-    let mut compilation = compile(&input, &mut alloc, &mut memo).unwrap();
+    let memo = MemoCache::new();
+    let mut compilation = compile(&input, &mut alloc, &memo).unwrap();
     assert!(!compilation.vnh.is_empty(), "scenario allocates VNHs");
 
     // Corrupt: drop one allocated VNH while its VMAC rules stay installed.

@@ -724,9 +724,9 @@ fn vnh_pool_exhaustion_is_reported() {
     };
     // A /31 pool holds one VNH; Figure 1 needs several groups.
     let mut tiny = VnhAllocator::new("10.0.0.0/31".parse().unwrap());
-    let mut memo = MemoCache::new();
+    let memo = MemoCache::new();
     assert!(matches!(
-        compile(&input, &mut tiny, &mut memo),
+        compile(&input, &mut tiny, &memo),
         Err(sdx_core::CompileError::VnhExhausted)
     ));
 }

@@ -15,7 +15,7 @@ use crate::Prefix;
 /// are kept in a `BTreeSet`, deduplicated but *not* aggregated: the paper is
 /// explicit that FEC members need not be contiguous blocks, so the set keeps
 /// each announced prefix as its own atom.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PrefixSet {
     prefixes: BTreeSet<Prefix>,
 }

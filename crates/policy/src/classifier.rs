@@ -261,6 +261,23 @@ impl Classifier {
     pub(crate) fn concat(parts: Vec<Vec<Rule>>) -> Classifier {
         Classifier::new(parts.into_iter().flatten().collect())
     }
+
+    /// An order-sensitive FNV-1a fingerprint of the full rule list (matches,
+    /// actions, and priorities via position). Two classifiers with the same
+    /// fingerprint are byte-identical for all practical purposes — the
+    /// parallel-compilation smoke tests compare these across thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for rule in &self.rules {
+            for byte in rule.to_string().bytes().chain([b'\n']) {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        hash
+    }
 }
 
 /// Why [`Classifier::optimize`] removed a rule.

@@ -86,7 +86,7 @@ pub fn compile_predicate(pred: &Predicate) -> Classifier {
 }
 
 /// Flip pass and drop rules of a boolean (predicate) classifier.
-fn negate_classifier(c: &Classifier) -> Classifier {
+pub(crate) fn negate_classifier(c: &Classifier) -> Classifier {
     Classifier::new(
         c.rules()
             .iter()
@@ -108,7 +108,11 @@ fn negate_classifier(c: &Classifier) -> Classifier {
 /// Rules are ordered lexicographically by source priorities, so the first
 /// matching product rule corresponds to the first matching rule in each
 /// input, making the product's decision `op(c1(pkt), c2(pkt))`.
-fn product_bool(c1: &Classifier, c2: &Classifier, op: impl Fn(bool, bool) -> bool) -> Classifier {
+pub(crate) fn product_bool(
+    c1: &Classifier,
+    c2: &Classifier,
+    op: impl Fn(bool, bool) -> bool,
+) -> Classifier {
     let mut rules = Vec::new();
     for r1 in c1.rules() {
         for r2 in c2.rules() {
@@ -181,40 +185,67 @@ fn sequential_compose_inner(
     c2: &Classifier,
     index: Option<&PortIndex>,
 ) -> (Classifier, Vec<Elision>) {
-    let mut parts: Vec<Vec<Rule>> = Vec::with_capacity(c1.len());
-    for r1 in c1.rules() {
-        if r1.is_drop() {
-            parts.push(vec![Rule::drop(r1.match_.clone())]);
-        } else if r1.actions.len() == 1 {
-            parts.push(push_through(&r1.match_, &r1.actions[0], c2, index));
-        } else {
-            let mut acc: Option<Classifier> = None;
-            for a in &r1.actions {
-                let pushed = Classifier::new(push_through(&r1.match_, a, c2, index));
-                acc = Some(match acc {
-                    None => pushed,
-                    Some(prev) => parallel_compose(&prev, &pushed),
-                });
-            }
-            // Restrict the merged classifier (whose completion introduced a
-            // wildcard catch-all) back to this rule's region so it cannot
-            // capture packets belonging to later rules.
-            let restricted = acc
-                .expect("non-drop rule has at least one action")
-                .rules()
-                .iter()
-                .filter_map(|r| {
-                    r.match_.intersect(&r1.match_).map(|m| Rule {
-                        match_: m,
-                        actions: r.actions.clone(),
-                    })
-                })
-                .collect();
-            parts.push(restricted);
-        }
-    }
+    let parts: Vec<Vec<Rule>> = c1
+        .rules()
+        .iter()
+        .map(|r1| compose_one(r1, c2, index))
+        .collect();
     let optimized = Classifier::concat(parts).optimize();
     (optimized.classifier, optimized.eliminated)
+}
+
+/// [`sequential_compose_traced`] fanned out over a fork-join pool: each `c1`
+/// rule's push-through is independent, so the rules are mapped in parallel
+/// and their parts concatenated in priority order. The result is identical
+/// to the sequential form for any thread count (the schedule never reaches
+/// the output: parts are keyed by rule index and the final optimize pass is
+/// order-preserving).
+pub fn sequential_compose_traced_par(
+    c1: &Classifier,
+    c2: &Classifier,
+    threads: usize,
+) -> (Classifier, Vec<Elision>) {
+    if crossbeam::pool::num_threads(threads.max(1)) <= 1 || c1.len() < 32 {
+        return sequential_compose_traced(c1, c2);
+    }
+    let index = PortIndex::build(c2);
+    let rules: Vec<&Rule> = c1.rules().iter().collect();
+    let parts =
+        crossbeam::pool::parallel_map(threads, rules, |r1| compose_one(r1, c2, Some(&index)));
+    let optimized = Classifier::concat(parts).optimize();
+    (optimized.classifier, optimized.eliminated)
+}
+
+/// The composition contribution of a single `c1` rule: its region pushed
+/// through `c2` (see [`sequential_compose`]).
+fn compose_one(r1: &Rule, c2: &Classifier, index: Option<&PortIndex>) -> Vec<Rule> {
+    if r1.is_drop() {
+        vec![Rule::drop(r1.match_.clone())]
+    } else if r1.actions.len() == 1 {
+        push_through(&r1.match_, &r1.actions[0], c2, index)
+    } else {
+        let mut acc: Option<Classifier> = None;
+        for a in &r1.actions {
+            let pushed = Classifier::new(push_through(&r1.match_, a, c2, index));
+            acc = Some(match acc {
+                None => pushed,
+                Some(prev) => parallel_compose(&prev, &pushed),
+            });
+        }
+        // Restrict the merged classifier (whose completion introduced a
+        // wildcard catch-all) back to this rule's region so it cannot
+        // capture packets belonging to later rules.
+        acc.expect("non-drop rule has at least one action")
+            .rules()
+            .iter()
+            .filter_map(|r| {
+                r.match_.intersect(&r1.match_).map(|m| Rule {
+                    match_: m,
+                    actions: r.actions.clone(),
+                })
+            })
+            .collect()
+    }
 }
 
 /// Index of a classifier's rules by their exact `Port` constraint.

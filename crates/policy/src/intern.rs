@@ -1,0 +1,369 @@
+//! Hash-consing of predicates — an arena plus structural-hash table that
+//! gives every distinct [`Predicate`] (and [`Pattern`]) node a small integer
+//! id, so the compiler's hot loops compare and cache by id instead of
+//! deep-comparing (or deep-cloning) trees.
+//!
+//! The SDX compiler builds near-identical predicates over and over: every
+//! participant's clauses conjoin the same application match with a
+//! per-participant port filter, and recompilations rebuild the same trees
+//! from scratch. Interning collapses those into a DAG — equal subtrees share
+//! one node — and the pool memoizes predicate→classifier compilation per
+//! node, so a subtree shared by a hundred clauses is compiled exactly once.
+//!
+//! Thread safety: [`SharedPredicatePool`] wraps the pool in a mutex for the
+//! parallel compile pipeline. Interning and memo lookups are cheap relative
+//! to the composition work that dominates compilation, and holding the lock
+//! across a miss guarantees every distinct predicate is compiled exactly
+//! once — which also makes the pool's hit/miss counters deterministic for
+//! any thread count (a property the compiler's stats tests rely on).
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+use sdx_ip::PrefixSet;
+
+use crate::compile::{negate_classifier, product_bool};
+use crate::{compile_predicate, Classifier, Field, Pattern, Predicate};
+
+/// A generic hash-consing arena: `intern` maps equal values to one stable
+/// id, `get` resolves the id back to the canonical value.
+#[derive(Debug)]
+pub struct Interner<T> {
+    arena: Vec<T>,
+    index: HashMap<T, u32>,
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            arena: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Interner<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Interner {
+            arena: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The id of `value`, allocating a slot on first sight.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.index.get(&value) {
+            return id;
+        }
+        let id = u32::try_from(self.arena.len()).expect("interner overflow");
+        self.arena.push(value.clone());
+        self.index.insert(value, id);
+        id
+    }
+
+    /// The canonical value for an id issued by this arena.
+    pub fn get(&self, id: u32) -> &T {
+        &self.arena[id as usize]
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+}
+
+/// Id of an interned predicate node. Equal ids ⇔ structurally equal
+/// predicates (within one pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(u32);
+
+/// One hash-consed predicate node: children are ids, leaf payloads are ids
+/// into the side arenas, so node equality is O(1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node {
+    True,
+    False,
+    Test(Field, u32),
+    InSet(Field, u32),
+    InPrefixes(Field, u32),
+    And(PredId, PredId),
+    Or(PredId, PredId),
+    Not(PredId),
+}
+
+/// Counters describing a pool's effectiveness, surfaced through the
+/// compiler's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Distinct predicate nodes in the arena (DAG size).
+    pub nodes: usize,
+    /// Distinct leaf patterns interned.
+    pub patterns: usize,
+    /// Top-level classifier requests answered from the memo table.
+    pub compile_hits: usize,
+    /// Top-level classifier requests that compiled fresh.
+    pub compile_misses: usize,
+}
+
+/// The predicate pool: hash-consed nodes plus a per-node memo table of
+/// compiled classifiers.
+#[derive(Debug, Default)]
+pub struct PredicatePool {
+    patterns: Interner<Pattern>,
+    value_sets: Interner<BTreeSet<u64>>,
+    prefix_sets: Interner<PrefixSet>,
+    nodes: Interner<Node>,
+    compiled: HashMap<PredId, Arc<Classifier>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PredicatePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a predicate tree, returning the id of its root node. Equal
+    /// subtrees (across all predicates ever interned here) share one node.
+    pub fn intern(&mut self, pred: &Predicate) -> PredId {
+        let node = match pred {
+            Predicate::True => Node::True,
+            Predicate::False => Node::False,
+            Predicate::Test(f, pat) => Node::Test(*f, self.patterns.intern(*pat)),
+            Predicate::InSet(f, set) => Node::InSet(*f, self.value_sets.intern(set.clone())),
+            Predicate::InPrefixes(f, set) => {
+                Node::InPrefixes(*f, self.prefix_sets.intern(set.clone()))
+            }
+            Predicate::And(a, b) => {
+                let (a, b) = (self.intern(a), self.intern(b));
+                Node::And(a, b)
+            }
+            Predicate::Or(a, b) => {
+                let (a, b) = (self.intern(a), self.intern(b));
+                Node::Or(a, b)
+            }
+            Predicate::Not(p) => {
+                let p = self.intern(p);
+                Node::Not(p)
+            }
+        };
+        PredId(self.nodes.intern(node))
+    }
+
+    /// Rebuild the predicate tree for an id (the DAG unfolds back into the
+    /// original tree shape).
+    pub fn resolve(&self, id: PredId) -> Predicate {
+        match self.nodes.get(id.0) {
+            Node::True => Predicate::True,
+            Node::False => Predicate::False,
+            Node::Test(f, pat) => Predicate::Test(*f, *self.patterns.get(*pat)),
+            Node::InSet(f, sid) => Predicate::InSet(*f, self.value_sets.get(*sid).clone()),
+            Node::InPrefixes(f, sid) => {
+                Predicate::InPrefixes(*f, self.prefix_sets.get(*sid).clone())
+            }
+            Node::And(a, b) => {
+                Predicate::And(Box::new(self.resolve(*a)), Box::new(self.resolve(*b)))
+            }
+            Node::Or(a, b) => Predicate::Or(Box::new(self.resolve(*a)), Box::new(self.resolve(*b))),
+            Node::Not(p) => Predicate::Not(Box::new(self.resolve(*p))),
+        }
+    }
+
+    /// The compiled classifier for a node, memoized per node id: shared
+    /// subtrees (a port filter appearing in every clause of a participant,
+    /// an application match shared across participants) compile once, and
+    /// conjunctions combine their children's *cached* classifiers.
+    pub fn classifier(&mut self, id: PredId) -> Arc<Classifier> {
+        if let Some(c) = self.compiled.get(&id) {
+            return Arc::clone(c);
+        }
+        let compiled = match self.nodes.get(id.0).clone() {
+            Node::And(a, b) => {
+                let (ca, cb) = (self.classifier(a), self.classifier(b));
+                product_bool(&ca, &cb, |x, y| x && y)
+            }
+            Node::Or(a, b) => {
+                let (ca, cb) = (self.classifier(a), self.classifier(b));
+                product_bool(&ca, &cb, |x, y| x || y)
+            }
+            Node::Not(p) => {
+                let cp = self.classifier(p);
+                negate_classifier(&cp)
+            }
+            // Leaves: delegate to the tree compiler on the rebuilt leaf
+            // (cheap — no recursion below a leaf).
+            _ => compile_predicate(&self.resolve(id)),
+        };
+        let arc = Arc::new(compiled);
+        self.compiled.insert(id, Arc::clone(&arc));
+        arc
+    }
+
+    /// Intern + compile in one step, with hit/miss accounting. This is the
+    /// compiler's entry point for clause predicates.
+    pub fn compile(&mut self, pred: &Predicate) -> Arc<Classifier> {
+        let id = self.intern(pred);
+        if let Some(c) = self.compiled.get(&id) {
+            self.hits += 1;
+            return Arc::clone(c);
+        }
+        self.misses += 1;
+        self.classifier(id)
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            nodes: self.nodes.len(),
+            patterns: self.patterns.len(),
+            compile_hits: self.hits,
+            compile_misses: self.misses,
+        }
+    }
+}
+
+/// A [`PredicatePool`] shareable across the fork-join compile pipeline.
+#[derive(Debug, Default)]
+pub struct SharedPredicatePool {
+    inner: Mutex<PredicatePool>,
+}
+
+impl SharedPredicatePool {
+    /// An empty shared pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern + compile a clause predicate (see [`PredicatePool::compile`]).
+    /// Holding the lock across a miss means each distinct predicate is
+    /// compiled exactly once, for any thread count.
+    pub fn compile(&self, pred: &Predicate) -> Arc<Classifier> {
+        self.inner.lock().unwrap().compile(pred)
+    }
+
+    /// Effectiveness counters (deterministic across thread counts).
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().unwrap().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+    use std::net::Ipv4Addr;
+
+    fn preds() -> Vec<Predicate> {
+        let web = Predicate::test(Field::DstPort, 80u16);
+        let ports = Predicate::in_set(Field::Port, [1u64, 2, 3]);
+        let prefixes: PrefixSet = ["10.0.0.0/8", "20.0.0.0/16"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        vec![
+            Predicate::True,
+            Predicate::False,
+            web.clone(),
+            ports.clone(),
+            Predicate::in_prefixes(Field::DstIp, prefixes),
+            web.clone().and(ports.clone()),
+            web.clone().or(ports).negate(),
+            web.and(Predicate::test(Field::SrcPort, 9u16)),
+        ]
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_shares_subtrees() {
+        let mut pool = PredicatePool::new();
+        let a = Predicate::test(Field::DstPort, 80u16);
+        let b = Predicate::test(Field::Port, 1u32);
+        let id1 = pool.intern(&a.clone().and(b.clone()));
+        let nodes_before = pool.stats().nodes;
+        // Re-interning the same tree allocates nothing.
+        assert_eq!(pool.intern(&a.clone().and(b.clone())), id1);
+        assert_eq!(pool.stats().nodes, nodes_before);
+        // A different tree sharing subtrees only allocates the new spine.
+        pool.intern(&a.and(b.negate()));
+        assert_eq!(pool.stats().nodes, nodes_before + 2); // Not node + And node
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut pool = PredicatePool::new();
+        for p in preds() {
+            let id = pool.intern(&p);
+            assert_eq!(pool.resolve(id), p, "round trip of {p}");
+        }
+    }
+
+    #[test]
+    fn pooled_compile_matches_tree_compile() {
+        let mut pool = PredicatePool::new();
+        let packets: Vec<Packet> = vec![
+            Packet::udp(
+                1,
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(20, 0, 1, 2),
+                5000,
+                80,
+            ),
+            Packet::udp(
+                9,
+                Ipv4Addr::new(172, 16, 0, 1),
+                Ipv4Addr::new(8, 8, 8, 8),
+                5000,
+                22,
+            ),
+            Packet::new(),
+        ];
+        for p in preds() {
+            let pooled = pool.compile(&p);
+            let tree = compile_predicate(&p);
+            for pkt in &packets {
+                assert_eq!(
+                    pooled.evaluate(pkt),
+                    tree.evaluate(pkt),
+                    "pred {p} on {pkt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_memoizes_per_node() {
+        let mut pool = PredicatePool::new();
+        let p = Predicate::test(Field::DstPort, 80u16).and(Predicate::test(Field::Port, 1u32));
+        let first = pool.compile(&p);
+        let second = pool.compile(&p);
+        assert!(Arc::ptr_eq(&first, &second));
+        let s = pool.stats();
+        assert_eq!((s.compile_hits, s.compile_misses), (1, 1));
+    }
+
+    #[test]
+    fn shared_pool_compiles_concurrently() {
+        let pool = SharedPredicatePool::new();
+        let p = Predicate::test(Field::DstPort, 80u16)
+            .and(Predicate::in_set(Field::Port, [1u64, 2, 3, 4]));
+        crossbeam::pool::scope(4, |s| {
+            for _ in 0..16 {
+                let pool = &pool;
+                let p = &p;
+                s.spawn(move || {
+                    pool.compile(p);
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.compile_misses, 1);
+        assert_eq!(s.compile_hits, 15);
+    }
+}

@@ -29,6 +29,7 @@ mod classifier;
 mod compile;
 mod cover;
 mod field;
+mod intern;
 mod matcher;
 mod packet;
 mod parser;
@@ -39,10 +40,11 @@ mod predicate;
 pub use classifier::{Action, Classifier, Elision, ElisionReason, Optimized, Rule};
 pub use compile::{
     compile_predicate, parallel_compose, sequential_compose, sequential_compose_naive,
-    sequential_compose_traced,
+    sequential_compose_traced, sequential_compose_traced_par,
 };
 pub use cover::{shadowed_rules, witness_outside, Region, ShadowedRule};
 pub use field::{Field, Value};
+pub use intern::{Interner, PoolStats, PredId, PredicatePool, SharedPredicatePool};
 pub use matcher::Match;
 pub use packet::Packet;
 pub use parser::{parse_policy, parse_predicate, ParseError};

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fastpath-f5dc03a3587b6e54.d: crates/bench/benches/ablation_fastpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fastpath-f5dc03a3587b6e54.rmeta: crates/bench/benches/ablation_fastpath.rs Cargo.toml
+
+crates/bench/benches/ablation_fastpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mds-c5ee83d5783ebd79.d: crates/bench/benches/ablation_mds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mds-c5ee83d5783ebd79.rmeta: crates/bench/benches/ablation_mds.rs Cargo.toml
+
+crates/bench/benches/ablation_mds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

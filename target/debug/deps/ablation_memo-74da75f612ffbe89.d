@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_memo-74da75f612ffbe89.d: crates/bench/benches/ablation_memo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_memo-74da75f612ffbe89.rmeta: crates/bench/benches/ablation_memo.rs Cargo.toml
+
+crates/bench/benches/ablation_memo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

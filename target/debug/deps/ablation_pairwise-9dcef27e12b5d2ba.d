@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pairwise-9dcef27e12b5d2ba.d: crates/bench/benches/ablation_pairwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pairwise-9dcef27e12b5d2ba.rmeta: crates/bench/benches/ablation_pairwise.rs Cargo.toml
+
+crates/bench/benches/ablation_pairwise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pipeline-2635c95046678442.d: crates/bench/benches/ablation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pipeline-2635c95046678442.rmeta: crates/bench/benches/ablation_pipeline.rs Cargo.toml
+
+crates/bench/benches/ablation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_gate-1e1ba6887fbe6989.d: crates/core/tests/analysis_gate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_gate-1e1ba6887fbe6989.rmeta: crates/core/tests/analysis_gate.rs Cargo.toml
+
+crates/core/tests/analysis_gate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

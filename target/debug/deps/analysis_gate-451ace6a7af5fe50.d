@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_gate-451ace6a7af5fe50.d: crates/core/tests/analysis_gate.rs
+
+/root/repo/target/debug/deps/analysis_gate-451ace6a7af5fe50: crates/core/tests/analysis_gate.rs
+
+crates/core/tests/analysis_gate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fcf4ef5fb7e4e6d8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fcf4ef5fb7e4e6d8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

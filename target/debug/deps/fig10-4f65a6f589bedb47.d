@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-4f65a6f589bedb47.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-4f65a6f589bedb47: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-75c6877f4c6746f6.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-75c6877f4c6746f6: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

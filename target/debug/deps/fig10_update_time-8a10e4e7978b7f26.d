@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_update_time-8a10e4e7978b7f26.d: crates/bench/benches/fig10_update_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_update_time-8a10e4e7978b7f26.rmeta: crates/bench/benches/fig10_update_time.rs Cargo.toml
+
+crates/bench/benches/fig10_update_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

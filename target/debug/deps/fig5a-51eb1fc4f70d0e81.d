@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig5a-51eb1fc4f70d0e81.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-51eb1fc4f70d0e81: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

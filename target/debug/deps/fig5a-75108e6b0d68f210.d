@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5a-75108e6b0d68f210.d: crates/bench/src/bin/fig5a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5a-75108e6b0d68f210.rmeta: crates/bench/src/bin/fig5a.rs Cargo.toml
+
+crates/bench/src/bin/fig5a.rs:
+Cargo.toml:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig5a-f8c439095bd1f645.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-f8c439095bd1f645: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

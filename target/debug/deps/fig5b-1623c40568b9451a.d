@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig5b-1623c40568b9451a.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-1623c40568b9451a: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5b-de068e10cffc2ca1.d: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b-de068e10cffc2ca1.rmeta: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+crates/bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig5b-e770c1eada00d1eb.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-e770c1eada00d1eb: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c9f20b3c7f2bb542.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c9f20b3c7f2bb542: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

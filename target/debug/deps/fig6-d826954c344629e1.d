@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d826954c344629e1.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d826954c344629e1: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_prefix_groups-5b7d012cb99f3d1a.d: crates/bench/benches/fig6_prefix_groups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_prefix_groups-5b7d012cb99f3d1a.rmeta: crates/bench/benches/fig6_prefix_groups.rs Cargo.toml
+
+crates/bench/benches/fig6_prefix_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

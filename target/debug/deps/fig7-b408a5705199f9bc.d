@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b408a5705199f9bc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-b408a5705199f9bc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

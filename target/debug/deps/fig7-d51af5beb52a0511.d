@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d51af5beb52a0511.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d51af5beb52a0511: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_flow_rules-8436f673c7f7bf13.d: crates/bench/benches/fig7_flow_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_flow_rules-8436f673c7f7bf13.rmeta: crates/bench/benches/fig7_flow_rules.rs Cargo.toml
+
+crates/bench/benches/fig7_flow_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

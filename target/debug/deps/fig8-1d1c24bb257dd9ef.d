@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-1d1c24bb257dd9ef.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-1d1c24bb257dd9ef: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-cc7ebb78e87f0a6e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-cc7ebb78e87f0a6e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

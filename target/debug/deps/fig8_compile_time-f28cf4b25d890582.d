@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_compile_time-f28cf4b25d890582.d: crates/bench/benches/fig8_compile_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_compile_time-f28cf4b25d890582.rmeta: crates/bench/benches/fig8_compile_time.rs Cargo.toml
+
+crates/bench/benches/fig8_compile_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

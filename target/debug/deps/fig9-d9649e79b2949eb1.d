@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-d9649e79b2949eb1.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-d9649e79b2949eb1: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_burst_rules-a908603a6ee9aee8.d: crates/bench/benches/fig9_burst_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_burst_rules-a908603a6ee9aee8.rmeta: crates/bench/benches/fig9_burst_rules.rs Cargo.toml
+
+crates/bench/benches/fig9_burst_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-a262e9e1a5357720.d: crates/core/tests/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-a262e9e1a5357720.rmeta: crates/core/tests/figure1.rs Cargo.toml
+
+crates/core/tests/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

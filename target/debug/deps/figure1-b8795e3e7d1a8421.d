@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-b8795e3e7d1a8421.d: crates/core/tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-b8795e3e7d1a8421: crates/core/tests/figure1.rs
+
+crates/core/tests/figure1.rs:

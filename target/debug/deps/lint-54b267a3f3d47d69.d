@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint-54b267a3f3d47d69.d: tests/lint.rs
+
+/root/repo/target/debug/deps/lint-54b267a3f3d47d69: tests/lint.rs
+
+tests/lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint-881da21bc5447a7a.d: tests/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-881da21bc5447a7a.rmeta: tests/lint.rs Cargo.toml
+
+tests/lint.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_compile-54ae5258a8f490ee.d: tests/parallel_compile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_compile-54ae5258a8f490ee.rmeta: tests/parallel_compile.rs Cargo.toml
+
+tests/parallel_compile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

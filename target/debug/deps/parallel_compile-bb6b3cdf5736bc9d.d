@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_compile-bb6b3cdf5736bc9d.d: tests/parallel_compile.rs
+
+/root/repo/target/debug/deps/parallel_compile-bb6b3cdf5736bc9d: tests/parallel_compile.rs
+
+tests/parallel_compile.rs:

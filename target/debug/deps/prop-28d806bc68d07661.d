@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-28d806bc68d07661.d: crates/policy/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-28d806bc68d07661: crates/policy/tests/prop.rs
+
+crates/policy/tests/prop.rs:

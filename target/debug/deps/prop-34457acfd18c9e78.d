@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-34457acfd18c9e78.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-34457acfd18c9e78: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

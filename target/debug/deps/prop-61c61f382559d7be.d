@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-61c61f382559d7be.d: crates/policy/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-61c61f382559d7be.rmeta: crates/policy/tests/prop.rs Cargo.toml
+
+crates/policy/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

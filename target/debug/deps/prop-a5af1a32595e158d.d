@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-a5af1a32595e158d.d: crates/switch/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-a5af1a32595e158d: crates/switch/tests/prop.rs
+
+crates/switch/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-e2e5fd8360f9fdd6.d: crates/switch/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-e2e5fd8360f9fdd6.rmeta: crates/switch/tests/prop.rs Cargo.toml
+
+crates/switch/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scenario-b68ba99f583a422d.d: tests/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario-b68ba99f583a422d.rmeta: tests/scenario.rs Cargo.toml
+
+tests/scenario.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

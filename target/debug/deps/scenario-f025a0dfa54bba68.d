@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scenario-f025a0dfa54bba68.d: tests/scenario.rs
+
+/root/repo/target/debug/deps/scenario-f025a0dfa54bba68: tests/scenario.rs
+
+tests/scenario.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdx-69f853cf94834357.d: src/lib.rs src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx-69f853cf94834357.rmeta: src/lib.rs src/scenario.rs Cargo.toml
+
+src/lib.rs:
+src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

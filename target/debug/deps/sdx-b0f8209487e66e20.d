@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sdx-b0f8209487e66e20.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/sdx-b0f8209487e66e20: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sdx-c435e94050bd87e5.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libsdx-c435e94050bd87e5.rlib: src/lib.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libsdx-c435e94050bd87e5.rmeta: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdx_analyze-1399d7d9a355b1cd.d: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/debug/deps/sdx_analyze-1399d7d9a355b1cd: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/conflict.rs:
+crates/analyze/src/loops.rs:
+crates/analyze/src/shadow.rs:
+crates/analyze/src/vnh.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sdx_analyze-7f3f4cffbbe5098e.d: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_analyze-7f3f4cffbbe5098e.rmeta: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs Cargo.toml
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/conflict.rs:
+crates/analyze/src/loops.rs:
+crates/analyze/src/shadow.rs:
+crates/analyze/src/vnh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

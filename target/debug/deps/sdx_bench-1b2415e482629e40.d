@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdx_bench-1b2415e482629e40.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_bench-1b2415e482629e40.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_bench-a9da7899a56880c6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sdx_bench-a9da7899a56880c6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdx_bench-c0a01cfbd2bf488c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_bench-c0a01cfbd2bf488c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdx_bench-efad2ac147f30bc5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdx_bench-efad2ac147f30bc5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdx_bench-efad2ac147f30bc5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

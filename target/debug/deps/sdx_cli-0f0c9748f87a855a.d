@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_cli-0f0c9748f87a855a.d: src/bin/sdx-cli.rs
+
+/root/repo/target/debug/deps/sdx_cli-0f0c9748f87a855a: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

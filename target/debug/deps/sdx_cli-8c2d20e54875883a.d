@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdx_cli-8c2d20e54875883a.d: src/bin/sdx-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_cli-8c2d20e54875883a.rmeta: src/bin/sdx-cli.rs Cargo.toml
+
+src/bin/sdx-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

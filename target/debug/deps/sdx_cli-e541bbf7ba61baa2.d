@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdx_cli-e541bbf7ba61baa2.d: src/bin/sdx-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_cli-e541bbf7ba61baa2.rmeta: src/bin/sdx-cli.rs Cargo.toml
+
+src/bin/sdx-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_cli-f99729bfca8c4723.d: src/bin/sdx-cli.rs
+
+/root/repo/target/debug/deps/sdx_cli-f99729bfca8c4723: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

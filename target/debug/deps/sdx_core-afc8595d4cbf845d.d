@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sdx_core-afc8595d4cbf845d.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+/root/repo/target/debug/deps/libsdx_core-afc8595d4cbf845d.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+/root/repo/target/debug/deps/libsdx_core-afc8595d4cbf845d.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/clause.rs:
+crates/core/src/compile.rs:
+crates/core/src/control.rs:
+crates/core/src/fec.rs:
+crates/core/src/multiswitch.rs:
+crates/core/src/participant.rs:
+crates/core/src/runtime.rs:
+crates/core/src/sim.rs:
+crates/core/src/vnh.rs:

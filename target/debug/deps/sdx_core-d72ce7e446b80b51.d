@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sdx_core-d72ce7e446b80b51.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_core-d72ce7e446b80b51.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/clause.rs crates/core/src/compile.rs crates/core/src/control.rs crates/core/src/fec.rs crates/core/src/multiswitch.rs crates/core/src/participant.rs crates/core/src/runtime.rs crates/core/src/sim.rs crates/core/src/vnh.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/clause.rs:
+crates/core/src/compile.rs:
+crates/core/src/control.rs:
+crates/core/src/fec.rs:
+crates/core/src/multiswitch.rs:
+crates/core/src/participant.rs:
+crates/core/src/runtime.rs:
+crates/core/src/sim.rs:
+crates/core/src/vnh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_lint-79a3c10144ba0ebc.d: src/bin/sdx-lint.rs
+
+/root/repo/target/debug/deps/sdx_lint-79a3c10144ba0ebc: src/bin/sdx-lint.rs
+
+src/bin/sdx-lint.rs:

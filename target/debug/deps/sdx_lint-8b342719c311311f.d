@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdx_lint-8b342719c311311f.d: src/bin/sdx-lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_lint-8b342719c311311f.rmeta: src/bin/sdx-lint.rs Cargo.toml
+
+src/bin/sdx-lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdx_lint-e485f95a22d84891.d: src/bin/sdx-lint.rs
+
+/root/repo/target/debug/deps/sdx_lint-e485f95a22d84891: src/bin/sdx-lint.rs
+
+src/bin/sdx-lint.rs:

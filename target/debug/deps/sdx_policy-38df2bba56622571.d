@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sdx_policy-38df2bba56622571.d: crates/policy/src/lib.rs crates/policy/src/classifier.rs crates/policy/src/compile.rs crates/policy/src/cover.rs crates/policy/src/field.rs crates/policy/src/intern.rs crates/policy/src/matcher.rs crates/policy/src/packet.rs crates/policy/src/parser.rs crates/policy/src/pattern.rs crates/policy/src/policy.rs crates/policy/src/predicate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_policy-38df2bba56622571.rmeta: crates/policy/src/lib.rs crates/policy/src/classifier.rs crates/policy/src/compile.rs crates/policy/src/cover.rs crates/policy/src/field.rs crates/policy/src/intern.rs crates/policy/src/matcher.rs crates/policy/src/packet.rs crates/policy/src/parser.rs crates/policy/src/pattern.rs crates/policy/src/policy.rs crates/policy/src/predicate.rs Cargo.toml
+
+crates/policy/src/lib.rs:
+crates/policy/src/classifier.rs:
+crates/policy/src/compile.rs:
+crates/policy/src/cover.rs:
+crates/policy/src/field.rs:
+crates/policy/src/intern.rs:
+crates/policy/src/matcher.rs:
+crates/policy/src/packet.rs:
+crates/policy/src/parser.rs:
+crates/policy/src/pattern.rs:
+crates/policy/src/policy.rs:
+crates/policy/src/predicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

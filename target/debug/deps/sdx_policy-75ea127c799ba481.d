@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sdx_policy-75ea127c799ba481.d: crates/policy/src/lib.rs crates/policy/src/classifier.rs crates/policy/src/compile.rs crates/policy/src/cover.rs crates/policy/src/field.rs crates/policy/src/intern.rs crates/policy/src/matcher.rs crates/policy/src/packet.rs crates/policy/src/parser.rs crates/policy/src/pattern.rs crates/policy/src/policy.rs crates/policy/src/predicate.rs
+
+/root/repo/target/debug/deps/sdx_policy-75ea127c799ba481: crates/policy/src/lib.rs crates/policy/src/classifier.rs crates/policy/src/compile.rs crates/policy/src/cover.rs crates/policy/src/field.rs crates/policy/src/intern.rs crates/policy/src/matcher.rs crates/policy/src/packet.rs crates/policy/src/parser.rs crates/policy/src/pattern.rs crates/policy/src/policy.rs crates/policy/src/predicate.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/classifier.rs:
+crates/policy/src/compile.rs:
+crates/policy/src/cover.rs:
+crates/policy/src/field.rs:
+crates/policy/src/intern.rs:
+crates/policy/src/matcher.rs:
+crates/policy/src/packet.rs:
+crates/policy/src/parser.rs:
+crates/policy/src/pattern.rs:
+crates/policy/src/policy.rs:
+crates/policy/src/predicate.rs:

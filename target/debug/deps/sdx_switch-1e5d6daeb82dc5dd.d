@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdx_switch-1e5d6daeb82dc5dd.d: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+/root/repo/target/debug/deps/sdx_switch-1e5d6daeb82dc5dd: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/arp.rs:
+crates/switch/src/frame.rs:
+crates/switch/src/openflow.rs:
+crates/switch/src/pcap.rs:
+crates/switch/src/router.rs:
+crates/switch/src/switch.rs:
+crates/switch/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdx_switch-b5d036d5aab8bd4d.d: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+/root/repo/target/debug/deps/libsdx_switch-b5d036d5aab8bd4d.rlib: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+/root/repo/target/debug/deps/libsdx_switch-b5d036d5aab8bd4d.rmeta: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/arp.rs:
+crates/switch/src/frame.rs:
+crates/switch/src/openflow.rs:
+crates/switch/src/pcap.rs:
+crates/switch/src/router.rs:
+crates/switch/src/switch.rs:
+crates/switch/src/table.rs:

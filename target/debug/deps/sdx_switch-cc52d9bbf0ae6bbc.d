@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sdx_switch-cc52d9bbf0ae6bbc.d: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdx_switch-cc52d9bbf0ae6bbc.rmeta: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs Cargo.toml
+
+crates/switch/src/lib.rs:
+crates/switch/src/arp.rs:
+crates/switch/src/frame.rs:
+crates/switch/src/openflow.rs:
+crates/switch/src/pcap.rs:
+crates/switch/src/router.rs:
+crates/switch/src/switch.rs:
+crates/switch/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdx_workload-30975acaaf1b5751.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/debug/deps/sdx_workload-30975acaaf1b5751: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/policies.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/traffic.rs:
+crates/workload/src/updates.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdx_workload-4c3c0958006292c8.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/debug/deps/libsdx_workload-4c3c0958006292c8.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/debug/deps/libsdx_workload-4c3c0958006292c8.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/policies.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/traffic.rs:
+crates/workload/src/updates.rs:

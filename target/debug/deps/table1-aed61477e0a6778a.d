@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-aed61477e0a6778a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-aed61477e0a6778a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

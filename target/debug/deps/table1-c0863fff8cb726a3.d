@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c0863fff8cb726a3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c0863fff8cb726a3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

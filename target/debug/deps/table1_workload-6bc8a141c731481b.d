@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_workload-6bc8a141c731481b.d: crates/bench/benches/table1_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_workload-6bc8a141c731481b.rmeta: crates/bench/benches/table1_workload.rs Cargo.toml
+
+crates/bench/benches/table1_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

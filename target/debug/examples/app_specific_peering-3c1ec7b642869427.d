@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_specific_peering-3c1ec7b642869427.d: examples/app_specific_peering.rs
+
+/root/repo/target/debug/examples/app_specific_peering-3c1ec7b642869427: examples/app_specific_peering.rs
+
+examples/app_specific_peering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/app_specific_peering-feaea8182c11df26.d: examples/app_specific_peering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapp_specific_peering-feaea8182c11df26.rmeta: examples/app_specific_peering.rs Cargo.toml
+
+examples/app_specific_peering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_ixp-16f45a8a4e3cf164.d: examples/full_ixp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_ixp-16f45a8a4e3cf164.rmeta: examples/full_ixp.rs Cargo.toml
+
+examples/full_ixp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_ixp-7789dbec3c04aa7f.d: examples/full_ixp.rs
+
+/root/repo/target/debug/examples/full_ixp-7789dbec3c04aa7f: examples/full_ixp.rs
+
+examples/full_ixp.rs:

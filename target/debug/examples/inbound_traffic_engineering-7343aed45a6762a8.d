@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inbound_traffic_engineering-7343aed45a6762a8.d: examples/inbound_traffic_engineering.rs
+
+/root/repo/target/debug/examples/inbound_traffic_engineering-7343aed45a6762a8: examples/inbound_traffic_engineering.rs
+
+examples/inbound_traffic_engineering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inbound_traffic_engineering-a26de8920a6436e0.d: examples/inbound_traffic_engineering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinbound_traffic_engineering-a26de8920a6436e0.rmeta: examples/inbound_traffic_engineering.rs Cargo.toml
+
+examples/inbound_traffic_engineering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/middlebox_steering-c0b7df2261e07a5d.d: examples/middlebox_steering.rs
+
+/root/repo/target/debug/examples/middlebox_steering-c0b7df2261e07a5d: examples/middlebox_steering.rs
+
+examples/middlebox_steering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/middlebox_steering-cfa7a64bf8de389d.d: examples/middlebox_steering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmiddlebox_steering-cfa7a64bf8de389d.rmeta: examples/middlebox_steering.rs Cargo.toml
+
+examples/middlebox_steering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

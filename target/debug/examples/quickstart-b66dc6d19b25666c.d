@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b66dc6d19b25666c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b66dc6d19b25666c: examples/quickstart.rs
+
+examples/quickstart.rs:

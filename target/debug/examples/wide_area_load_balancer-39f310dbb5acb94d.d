@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wide_area_load_balancer-39f310dbb5acb94d.d: examples/wide_area_load_balancer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwide_area_load_balancer-39f310dbb5acb94d.rmeta: examples/wide_area_load_balancer.rs Cargo.toml
+
+examples/wide_area_load_balancer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

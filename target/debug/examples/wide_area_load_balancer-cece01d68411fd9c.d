@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wide_area_load_balancer-cece01d68411fd9c.d: examples/wide_area_load_balancer.rs
+
+/root/repo/target/debug/examples/wide_area_load_balancer-cece01d68411fd9c: examples/wide_area_load_balancer.rs
+
+examples/wide_area_load_balancer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-64afb78d496a8348.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-64afb78d496a8348: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

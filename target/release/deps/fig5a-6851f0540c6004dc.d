@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fig5a-6851f0540c6004dc.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-6851f0540c6004dc: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

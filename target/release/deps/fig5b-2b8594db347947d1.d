@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fig5b-2b8594db347947d1.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-2b8594db347947d1: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo

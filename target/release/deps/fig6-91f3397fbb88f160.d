@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-91f3397fbb88f160.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-91f3397fbb88f160: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

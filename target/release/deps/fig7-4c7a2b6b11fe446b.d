@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-4c7a2b6b11fe446b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-4c7a2b6b11fe446b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-4236fa7eb5f74fa2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-4236fa7eb5f74fa2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

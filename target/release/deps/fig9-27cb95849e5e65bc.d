@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-27cb95849e5e65bc.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-27cb95849e5e65bc: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sdx-054b9c2ab945daf9.d: src/lib.rs src/scenario.rs
+
+/root/repo/target/release/deps/libsdx-054b9c2ab945daf9.rlib: src/lib.rs src/scenario.rs
+
+/root/repo/target/release/deps/libsdx-054b9c2ab945daf9.rmeta: src/lib.rs src/scenario.rs
+
+src/lib.rs:
+src/scenario.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sdx_analyze-0c1cb2d5855cb91b.d: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/release/deps/libsdx_analyze-0c1cb2d5855cb91b.rlib: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+/root/repo/target/release/deps/libsdx_analyze-0c1cb2d5855cb91b.rmeta: crates/analyze/src/lib.rs crates/analyze/src/conflict.rs crates/analyze/src/loops.rs crates/analyze/src/shadow.rs crates/analyze/src/vnh.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/conflict.rs:
+crates/analyze/src/loops.rs:
+crates/analyze/src/shadow.rs:
+crates/analyze/src/vnh.rs:

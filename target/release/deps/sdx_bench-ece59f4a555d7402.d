@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdx_bench-ece59f4a555d7402.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdx_bench-ece59f4a555d7402.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdx_bench-ece59f4a555d7402.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

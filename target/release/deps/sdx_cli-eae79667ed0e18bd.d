@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdx_cli-eae79667ed0e18bd.d: src/bin/sdx-cli.rs
+
+/root/repo/target/release/deps/sdx_cli-eae79667ed0e18bd: src/bin/sdx-cli.rs
+
+src/bin/sdx-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdx_lint-2771317ac5f914e1.d: src/bin/sdx-lint.rs
+
+/root/repo/target/release/deps/sdx_lint-2771317ac5f914e1: src/bin/sdx-lint.rs
+
+src/bin/sdx-lint.rs:

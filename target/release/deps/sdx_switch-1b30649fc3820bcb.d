@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sdx_switch-1b30649fc3820bcb.d: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+/root/repo/target/release/deps/libsdx_switch-1b30649fc3820bcb.rlib: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+/root/repo/target/release/deps/libsdx_switch-1b30649fc3820bcb.rmeta: crates/switch/src/lib.rs crates/switch/src/arp.rs crates/switch/src/frame.rs crates/switch/src/openflow.rs crates/switch/src/pcap.rs crates/switch/src/router.rs crates/switch/src/switch.rs crates/switch/src/table.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/arp.rs:
+crates/switch/src/frame.rs:
+crates/switch/src/openflow.rs:
+crates/switch/src/pcap.rs:
+crates/switch/src/router.rs:
+crates/switch/src/switch.rs:
+crates/switch/src/table.rs:

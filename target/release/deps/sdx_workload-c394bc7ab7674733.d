@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sdx_workload-c394bc7ab7674733.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/release/deps/libsdx_workload-c394bc7ab7674733.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+/root/repo/target/release/deps/libsdx_workload-c394bc7ab7674733.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/policies.rs crates/workload/src/topology.rs crates/workload/src/traffic.rs crates/workload/src/updates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/policies.rs:
+crates/workload/src/topology.rs:
+crates/workload/src/traffic.rs:
+crates/workload/src/updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d0a6e757654c4f14.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d0a6e757654c4f14: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

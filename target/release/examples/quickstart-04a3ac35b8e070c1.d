@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-04a3ac35b8e070c1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-04a3ac35b8e070c1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,1 +1,1 @@
-/root/repo/target/release/libcrossbeam.rlib: /root/repo/vendor/crossbeam/src/lib.rs
+/root/repo/target/release/libcrossbeam.rlib: /root/repo/vendor/crossbeam/src/lib.rs /root/repo/vendor/crossbeam/src/pool.rs

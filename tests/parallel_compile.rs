@@ -1,0 +1,93 @@
+//! Output-equivalence property test for the parallel compile pipeline: over
+//! randomized §6.1 workloads, compiling with 1, 2, and 8 worker threads must
+//! produce rule-for-rule identical flow tables (fabric, sender stage,
+//! receiver stage), identical FEC groups, and identical deterministic
+//! [`CompileStats`] counters. Parallelism may only change the wall clock.
+
+use sdx_core::{Compilation, CompileOptions, SdxRuntime};
+use sdx_workload::{generate_policies, IxpProfile, IxpTopology};
+
+/// Build and compile one workload at a given worker count.
+fn compile_at(
+    participants: usize,
+    prefixes: usize,
+    seed: u64,
+    threads: usize,
+) -> (sdx_core::CompileStats, SdxRuntime) {
+    let topology = IxpTopology::generate(IxpProfile::ams_ix(participants, prefixes), seed);
+    let mix = generate_policies(&topology, seed.wrapping_add(1));
+    let mut sdx = SdxRuntime::new(CompileOptions::with_threads(threads));
+    topology.install(&mut sdx);
+    for (id, policy) in &mix.policies {
+        sdx.set_policy(*id, policy.clone());
+    }
+    let stats = sdx.compile().expect("workload compiles");
+    (stats, sdx)
+}
+
+fn assert_identical(seed: u64, base: &Compilation, other: &Compilation, threads: usize) {
+    let tag = format!("seed {seed}, threads {threads} vs 1");
+    assert_eq!(
+        base.fabric.rules(),
+        other.fabric.rules(),
+        "fabric rules differ: {tag}"
+    );
+    assert_eq!(
+        base.fabric.fingerprint(),
+        other.fabric.fingerprint(),
+        "fabric fingerprint differs: {tag}"
+    );
+    assert_eq!(base.stage1, other.stage1, "sender stage differs: {tag}");
+    assert_eq!(base.stage2, other.stage2, "receiver stage differs: {tag}");
+    assert_eq!(base.groups, other.groups, "FEC groups differ: {tag}");
+    assert_eq!(base.vnh, other.vnh, "VNH assignment differs: {tag}");
+    assert_eq!(
+        base.stats.counters(),
+        other.stats.counters(),
+        "deterministic stats counters differ: {tag}"
+    );
+}
+
+#[test]
+fn parallel_compile_is_bit_identical_to_sequential() {
+    for seed in [7u64, 23, 91] {
+        let (stats1, sdx1) = compile_at(24, 300, seed, 1);
+        let base = sdx1.compilation().expect("compiled");
+        assert!(stats1.rules > 0, "seed {seed}: empty fabric");
+        assert_eq!(stats1.stages.threads, 1);
+        for threads in [2usize, 8] {
+            let (stats_n, sdx_n) = compile_at(24, 300, seed, threads);
+            assert_eq!(stats_n.stages.threads, threads);
+            assert_identical(seed, base, sdx_n.compilation().expect("compiled"), threads);
+        }
+    }
+}
+
+#[test]
+fn parallel_recompile_after_update_is_identical() {
+    // Recompilation exercises the memo-cache hit path under parallelism:
+    // after a policy bump, only the touched participant misses.
+    for threads in [2usize, 8] {
+        let (_, mut sdx1) = compile_at(16, 200, 5, 1);
+        let (_, mut sdx_n) = compile_at(16, 200, 5, threads);
+        for sdx in [&mut sdx1, &mut sdx_n] {
+            // Clearing one participant's policy bumps its version: the
+            // recompilation misses the memo for it and hits for the rest.
+            let id = sdx.participants().next().expect("nonempty").id;
+            sdx.set_policy(id, Default::default());
+            sdx.compile().expect("recompiles");
+        }
+        let base = sdx1.compilation().expect("compiled");
+        assert_identical(5, base, sdx_n.compilation().expect("compiled"), threads);
+        assert!(
+            base.stats.memo_hits > 0,
+            "recompilation should hit the memo cache"
+        );
+    }
+}
+
+#[test]
+fn thread_count_zero_resolves_to_cores() {
+    let (stats, _) = compile_at(12, 150, 3, 0);
+    assert!(stats.stages.threads >= 1);
+}

@@ -1,5 +1,8 @@
-//! Minimal `crossbeam::channel` facade over `std::sync::mpsc`, covering the
-//! unbounded-channel subset the BGP session transport uses.
+//! Minimal `crossbeam` facade: an `mpsc`-backed `channel` module covering
+//! the unbounded-channel subset the BGP session transport uses, and a scoped
+//! fork-join worker [`pool`] used by the parallel policy compiler.
+
+pub mod pool;
 
 pub mod channel {
     //! Unbounded MPSC channels.

@@ -1,0 +1,312 @@
+//! A scoped fork-join worker pool with work stealing, in the spirit of
+//! `crossbeam::thread::scope` + `rayon::join` (crates.io is unavailable, so
+//! the subset the SDX compiler needs lives here).
+//!
+//! Design:
+//!
+//! * [`scope`] spins up a fixed-size pool of worker threads for the duration
+//!   of one fork-join region. Tasks are submitted with [`Scope::spawn`] and
+//!   may borrow from the enclosing stack frame (the region joins every task
+//!   before returning, like `std::thread::scope`).
+//! * Each worker owns a deque: it pops its own newest task first (LIFO, for
+//!   cache locality) and steals the *oldest* task from a sibling when its own
+//!   deque runs dry (FIFO stealing balances coarse tasks first).
+//! * The submitting thread participates in the join phase: after the region
+//!   closure returns, the caller also drains queues instead of blocking.
+//! * A panicking task poisons the region: the first payload is captured and
+//!   re-thrown from [`scope`] after every worker has quiesced, so no task is
+//!   leaked mid-flight.
+//!
+//! Determinism note: the pool makes **no ordering guarantees between
+//! tasks** — callers that need deterministic output (the SDX compiler does)
+//! must key results by task index, as [`parallel_map`] does.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Shared state of one fork-join region.
+struct Shared<'env> {
+    /// One deque per worker thread, plus one (the last) for the submitter.
+    queues: Vec<Mutex<VecDeque<Job<'env>>>>,
+    /// Tasks spawned but not yet finished.
+    pending: AtomicUsize,
+    /// Set once the region closure has returned and all tasks finished;
+    /// workers exit instead of parking.
+    done: AtomicBool,
+    /// Round-robin submission cursor.
+    next: AtomicUsize,
+    /// Wakes parked workers on new work and the joiner on completion.
+    lock: Mutex<()>,
+    cond: Condvar,
+    /// First panic payload thrown by a task.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'env> Shared<'env> {
+    fn new(queues: usize) -> Self {
+        Shared {
+            queues: (0..queues).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn push(&self, job: Job<'env>) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot].lock().unwrap().push_back(job);
+        let _guard = self.lock.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    /// Pop from `own`'s back, else steal from a sibling's front.
+    fn take(&self, own: usize) -> Option<Job<'env>> {
+        if let Some(job) = self.queues[own].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (own + off) % n;
+            if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn run(&self, job: Job<'env>) {
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job)) {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.lock.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Worker loop: run tasks until the region is closed and drained.
+    fn work(&self, own: usize) {
+        loop {
+            match self.take(own) {
+                Some(job) => self.run(job),
+                None => {
+                    if self.done.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let guard = self.lock.lock().unwrap();
+                    // Re-check under the lock to avoid a lost wakeup between
+                    // the failed take and parking.
+                    if self.done.load(Ordering::SeqCst) || self.pending.load(Ordering::SeqCst) > 0 {
+                        drop(guard);
+                        continue;
+                    }
+                    let _ = self
+                        .cond
+                        .wait_timeout(guard, Duration::from_millis(10))
+                        .unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Handle for spawning tasks into a fork-join region. See [`scope`].
+pub struct Scope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Submit a task. It may borrow anything outliving the [`scope`] call and
+    /// runs at most once, on an arbitrary pool thread (possibly the caller
+    /// during the join phase).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        self.shared.push(Box::new(f));
+    }
+}
+
+/// Run a fork-join region on `threads` workers (clamped to at least 1; the
+/// submitting thread also helps, so `threads == 1` still uses two queues but
+/// no extra OS thread). Returns the region closure's value after every
+/// spawned task has finished. Panics from tasks are re-thrown here.
+pub fn scope<'env, R>(threads: usize, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+    let threads = threads.max(1);
+    // Worker 0..extra are OS threads; the last queue belongs to the caller.
+    let extra = threads - 1;
+    let shared = Shared::new(extra + 1);
+    let result = std::thread::scope(|ts| {
+        for w in 0..extra {
+            let shared = &shared;
+            ts.spawn(move || shared.work(w));
+        }
+        let scope_handle = Scope { shared: &shared };
+        let result = f(&scope_handle);
+        // Join phase: the caller drains queues until nothing is pending.
+        while shared.pending.load(Ordering::SeqCst) > 0 {
+            match shared.take(extra) {
+                Some(job) => shared.run(job),
+                None => {
+                    let guard = shared.lock.lock().unwrap();
+                    if shared.pending.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    let _ = shared
+                        .cond
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .unwrap();
+                }
+            }
+        }
+        shared.done.store(true, Ordering::SeqCst);
+        let _guard = shared.lock.lock().unwrap();
+        shared.cond.notify_all();
+        drop(_guard);
+        result
+    });
+    if let Some(payload) = shared.panic.lock().unwrap().take() {
+        panic::resume_unwind(payload);
+    }
+    result
+}
+
+/// The worker count a requested `threads` option resolves to: `0` means
+/// "one per available core", anything else is taken literally.
+pub fn num_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` on a fork-join region of `threads` workers,
+/// preserving input order in the output (the parallel schedule never leaks
+/// into the result). Items are dispatched in contiguous chunks so stealing
+/// moves coarse units of work.
+pub fn parallel_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = num_threads(threads.max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // More chunks than workers so stealing can rebalance skewed items.
+    let chunks = (threads * 4).min(items.len());
+    let chunk_size = items.len().div_ceil(chunks);
+    let mut slots: Vec<Mutex<Option<Vec<U>>>> = Vec::new();
+    let mut work: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut items = items;
+    let mut idx = 0;
+    while !items.is_empty() {
+        let rest = items.split_off(chunk_size.min(items.len()));
+        work.push((idx, std::mem::replace(&mut items, rest)));
+        slots.push(Mutex::new(None));
+        idx += 1;
+    }
+    let f = &f;
+    let slots_ref = &slots;
+    scope(threads, |s| {
+        for (slot, chunk) in work {
+            s.spawn(move || {
+                let out: Vec<U> = chunk.into_iter().map(f).collect();
+                *slots_ref[slot].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("scope joined every chunk task")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_every_task() {
+        let counter = AtomicU64::new(0);
+        scope(4, |s| {
+            for i in 0..100u64 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_borrows_environment() {
+        let data = vec![1, 2, 3];
+        let total = AtomicU64::new(0);
+        scope(2, |s| {
+            for v in &data {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(*v, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            let input: Vec<u64> = (0..257).collect();
+            let out = parallel_map(threads, input.clone(), |x| x * 2);
+            assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(parallel_map(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let result = panic::catch_unwind(|| {
+            scope(3, |s| {
+                for i in 0..16 {
+                    s.spawn(move || {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                    });
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn num_threads_resolution() {
+        assert!(num_threads(0) >= 1);
+        assert_eq!(num_threads(3), 3);
+    }
+}
