@@ -33,15 +33,44 @@ grep -q '"threads":4' "$smoke_dir/b4.json" || {
     echo "ci: bench json missing thread count" >&2; exit 1
 }
 
+echo "== reachability verify smoke (fig8 quick, SDX_VERIFY=1, threads 1 vs 4)"
+# Run the whole-fabric verifier (isolation, blackhole, VNH integrity passes
+# on every compile, plus the differential recompile check after BGP churn)
+# over the quick sweep at both thread counts; the pass wall clocks must land
+# in the bench JSON and the fabric must verify clean.
+SDX_BENCH_QUICK=1 SDX_VERIFY=1 SDX_THREADS=1 SDX_BENCH_JSON="$smoke_dir/v1.json" \
+    target/release/fig8 | grep '^# fingerprint' > "$smoke_dir/vfp1"
+SDX_BENCH_QUICK=1 SDX_VERIFY=1 SDX_THREADS=4 SDX_BENCH_JSON="$smoke_dir/v4.json" \
+    target/release/fig8 | grep '^# fingerprint' > "$smoke_dir/vfp4"
+if ! diff "$smoke_dir/vfp1" "$smoke_dir/vfp4"; then
+    echo "ci: verify-mode compile output diverged across thread counts" >&2; exit 1
+fi
+for f in "$smoke_dir/v1.json" "$smoke_dir/v4.json"; do
+    for key in verify_transit verify_isolation verify_blackhole verify_vnh verify_diff; do
+        grep -q "\"$key\":" "$f" || {
+            echo "ci: bench json missing $key timing" >&2; exit 1
+        }
+    done
+    grep -q '"verify":{"warnings":0,"errors":0}' "$f" || {
+        echo "ci: synthetic fabric failed reachability verification" >&2; exit 1
+    }
+done
+
 echo "== sdx-lint scenarios"
-target/release/sdx-lint --quiet scenarios/figure1.sdx
+target/release/sdx-lint --quiet --verify scenarios/figure1.sdx
 for s in scenarios/lint-*.sdx; do
     # Seeded-defect fixtures must be flagged (exit 1) — not crash (exit 2+).
-    if target/release/sdx-lint --quiet "$s" > /dev/null; then
+    # --verify runs the reachability passes too: lint-isolation.sdx is clean
+    # to the static analyzer and only the symbolic verifier catches it.
+    if target/release/sdx-lint --quiet --verify "$s" > /dev/null; then
         echo "ci: $s unexpectedly clean" >&2; exit 1
     elif [ $? -ne 1 ]; then
         echo "ci: $s failed to run" >&2; exit 1
     fi
 done
+# Multi-file invocation: worst exit status across inputs wins.
+if target/release/sdx-lint --quiet --verify scenarios/figure1.sdx scenarios/lint-isolation.sdx > /dev/null; then
+    echo "ci: multi-file lint must propagate the worst exit" >&2; exit 1
+fi
 
 echo "ci: all green"

@@ -37,9 +37,15 @@ use sdx_policy::{Classifier, Field, Match, Packet};
 use serde::{Deserialize, Serialize};
 
 pub mod conflict;
+pub mod diff;
+pub mod hs;
 pub mod loops;
+pub mod reach;
 pub mod shadow;
 pub mod vnh;
+
+pub use diff::{DiffReport, DiffSide};
+pub use reach::{FibEntry, FibModel, GroupBinding, ReachReport, ReachTimes, VerifyInput};
 
 /// When the controller runs the analyzer, and what it does with errors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,6 +81,15 @@ pub enum PassKind {
     Loop,
     /// VNH / ARP consistency.
     Vnh,
+    /// Whole-fabric BGP consistency / isolation (symbolic reachability).
+    Isolation,
+    /// Whole-fabric cross-stage blackhole detection (symbolic reachability).
+    Blackhole,
+    /// Whole-fabric VNH / FIB tag integrity.
+    VnhIntegrity,
+    /// Differential equivalence of an incremental recompile against a
+    /// from-scratch compile.
+    Differential,
 }
 
 impl fmt::Display for PassKind {
@@ -84,6 +99,10 @@ impl fmt::Display for PassKind {
             PassKind::Conflict => write!(f, "conflict"),
             PassKind::Loop => write!(f, "loop"),
             PassKind::Vnh => write!(f, "vnh"),
+            PassKind::Isolation => write!(f, "isolation"),
+            PassKind::Blackhole => write!(f, "blackhole"),
+            PassKind::VnhIntegrity => write!(f, "vnh-integrity"),
+            PassKind::Differential => write!(f, "differential"),
         }
     }
 }

@@ -52,7 +52,10 @@ pub fn compile_record(
             "{{\"bench\":\"{}\",\"participants\":{},\"target_groups\":{},",
             "\"groups\":{},\"rules\":{},\"threads\":{},\"fingerprint\":\"{:016x}\",",
             "\"wall_us\":{{\"total\":{},\"validate\":{},\"policy_sets\":{},\"fec\":{},",
-            "\"stage1\":{},\"stage2\":{},\"compose\":{},\"analysis\":{}}},",
+            "\"stage1\":{},\"stage2\":{},\"compose\":{},\"analysis\":{},",
+            "\"verify_transit\":{},\"verify_isolation\":{},\"verify_blackhole\":{},",
+            "\"verify_vnh\":{},\"verify_diff\":{}}},",
+            "\"verify\":{{\"warnings\":{},\"errors\":{}}},",
             "\"pred_cache\":{{\"nodes\":{},\"hits\":{},\"misses\":{}}},",
             "\"memo\":{{\"hits\":{},\"misses\":{}}}}}",
         ),
@@ -71,6 +74,13 @@ pub fn compile_record(
         s.stage2_us,
         s.compose_us,
         s.analysis_us,
+        s.verify_transit_us,
+        s.verify_isolation_us,
+        s.verify_blackhole_us,
+        s.verify_vnh_us,
+        s.verify_diff_us,
+        stats.verify_warnings,
+        stats.verify_errors,
         stats.pred_nodes,
         stats.pred_cache_hits,
         stats.pred_cache_misses,
@@ -105,6 +115,15 @@ pub fn env_threads() -> usize {
 /// uses it to finish in seconds).
 pub fn quick_mode() -> bool {
     std::env::var("SDX_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Whether `SDX_VERIFY=1` asked the figure binaries to run the symbolic
+/// reachability verifier alongside each compile (and a differential check
+/// after BGP churn), recording the per-pass wall clocks.
+pub fn verify_mode() -> bool {
+    std::env::var("SDX_VERIFY")
         .map(|v| v == "1")
         .unwrap_or(false)
 }

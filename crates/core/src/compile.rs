@@ -64,6 +64,13 @@ pub struct CompileOptions {
     /// with error-severity findings. `Off` (the default) skips analysis so
     /// the compile-time benchmarks measure the compiler alone.
     pub analysis: AnalysisMode,
+    /// Run the whole-fabric symbolic reachability verifier (`sdx-verify`) on
+    /// the result: isolation/BGP-consistency, cross-stage blackhole, and
+    /// VNH/FIB integrity, each with concrete witness packets. `Warn` records
+    /// diagnostics on the [`Compilation`]; `Deny` additionally refuses to
+    /// return a compilation with error-severity findings. Independent of
+    /// `analysis` — the two gates compose.
+    pub verify: AnalysisMode,
     /// Worker threads for the fork-join compile pipeline: `1` (the default)
     /// compiles sequentially, `0` resolves to one worker per available core,
     /// any other value is taken literally. The compiled output is
@@ -79,6 +86,7 @@ impl Default for CompileOptions {
             memoize: true,
             multi_table: false,
             analysis: AnalysisMode::Off,
+            verify: AnalysisMode::Off,
             threads: 1,
         }
     }
@@ -117,6 +125,20 @@ pub struct StageTimes {
     pub compose_us: u64,
     /// Static analysis (zero when analysis is off).
     pub analysis_us: u64,
+    /// Symbolic transit of the reachability verifier (zero when verification
+    /// is off), shared by the isolation and blackhole passes.
+    pub verify_transit_us: u64,
+    /// Isolation / BGP-consistency checking over the transit results.
+    pub verify_isolation_us: u64,
+    /// Blackhole checking over the transit results.
+    pub verify_blackhole_us: u64,
+    /// VNH / FIB integrity checking.
+    pub verify_vnh_us: u64,
+    /// Differential recompile equivalence checking (zero unless the runtime
+    /// ran [`SdxRuntime::verify_differential`] after this compile).
+    ///
+    /// [`SdxRuntime::verify_differential`]: crate::SdxRuntime::verify_differential
+    pub verify_diff_us: u64,
 }
 
 /// What the compiler measures, for the evaluation harness.
@@ -146,6 +168,12 @@ pub struct CompileStats {
     /// Error-severity findings of the static analyzer (0 when analysis is
     /// off; a denied compilation returns an error instead of stats).
     pub analysis_errors: usize,
+    /// Warning-severity findings of the reachability verifier (0 when
+    /// verification is off).
+    pub verify_warnings: usize,
+    /// Error-severity findings of the reachability verifier (0 when
+    /// verification is off; a denied compilation returns an error instead).
+    pub verify_errors: usize,
     /// Distinct hash-consed predicate nodes interned during this compile.
     pub pred_nodes: usize,
     /// Clause-predicate classifier requests served from the intern pool's
@@ -191,6 +219,10 @@ pub enum CompileError {
     /// demand denial ([`AnalysisMode::Deny`]). Carries the rendered
     /// findings; no flow rules are produced.
     AnalysisRejected(Vec<String>),
+    /// The whole-fabric reachability verifier found error-severity
+    /// violations and the options demand denial. Carries the rendered
+    /// findings (with witness packets); no flow rules are produced.
+    VerifyRejected(Vec<String>),
 }
 
 impl fmt::Display for CompileError {
@@ -213,6 +245,21 @@ impl fmt::Display for CompileError {
                 write!(
                     f,
                     "static analysis rejected the compilation ({} error",
+                    errors.len()
+                )?;
+                if errors.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            CompileError::VerifyRejected(errors) => {
+                write!(
+                    f,
+                    "reachability verification rejected the compilation ({} error",
                     errors.len()
                 )?;
                 if errors.len() != 1 {
@@ -491,6 +538,29 @@ pub fn compile(
         }
         compilation.analysis = Some(analysis);
         compilation.stats.stages.analysis_us = duration_us(t.elapsed());
+    }
+
+    // ---- Whole-fabric reachability verification gate ----------------------
+    if input.options.verify != AnalysisMode::Off {
+        let vi = crate::verify::build_verify_input(input, &compilation);
+        let report = sdx_analyze::reach::run(&vi, threads);
+        compilation.stats.stages.verify_transit_us = report.times.transit_us;
+        compilation.stats.stages.verify_isolation_us = report.times.isolation_us;
+        compilation.stats.stages.verify_blackhole_us = report.times.blackhole_us;
+        compilation.stats.stages.verify_vnh_us = report.times.vnh_us;
+        let verdict = sdx_analyze::Analysis {
+            diagnostics: report.diagnostics,
+        };
+        compilation.stats.verify_warnings = verdict.warnings();
+        compilation.stats.verify_errors = verdict.errors();
+        if let Err(errors) = sdx_analyze::gate(input.options.verify, &verdict) {
+            return Err(CompileError::VerifyRejected(errors));
+        }
+        compilation
+            .analysis
+            .get_or_insert_with(Default::default)
+            .diagnostics
+            .extend(verdict.diagnostics);
     }
 
     compilation.stats.duration_us = duration_us(start.elapsed());

@@ -41,6 +41,7 @@ pub mod multiswitch;
 mod participant;
 mod runtime;
 mod sim;
+pub mod verify;
 mod vnh;
 
 pub use clause::{Clause, Dest, ParticipantPolicy};
@@ -52,6 +53,9 @@ pub use fec::{minimum_disjoint_subsets, minimum_disjoint_subsets_par, DefaultVie
 pub use multiswitch::{distribute, FabricLayout, LayoutError, MultiSwitchFabric, SwitchId};
 pub use participant::{is_vport, Participant, ParticipantId, PortConfig, VPORT_BASE};
 pub use runtime::{IncrementalStats, Overlay, SdxRuntime};
-pub use sdx_analyze::{Analysis, AnalysisMode, Diagnostic, Severity};
+pub use sdx_analyze::{
+    diff, hs, reach, Analysis, AnalysisMode, Diagnostic, DiffReport, DiffSide, FibEntry, FibModel,
+    GroupBinding, ReachReport, Severity, VerifyInput,
+};
 pub use sim::{Delivery, FabricSim};
 pub use vnh::VnhAllocator;

@@ -500,6 +500,157 @@ impl SdxRuntime {
         Some(sdx_analyze::analyze(&analysis_input))
     }
 
+    /// The installed pipeline tables, as classifiers in traversal order
+    /// (overlay rules included at their boosted priorities).
+    fn installed_tables(&self) -> Vec<Classifier> {
+        (0..self.switch.table_count())
+            .map(|i| {
+                let table = self.switch.table_at(i).expect("table index in range");
+                Classifier::new(
+                    table
+                        .rules()
+                        .iter()
+                        .map(|r| sdx_policy::Rule {
+                            match_: r.match_.clone(),
+                            actions: r.actions.clone(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The FIB model of one participant as the *live* control plane would
+    /// converge it: fast-path overlay VNHs take precedence over compiled
+    /// group VNHs, and MACs resolve through the real ARP responder.
+    fn live_fib(&self, viewer: ParticipantId) -> sdx_analyze::FibModel {
+        let own = self.route_server.announced_by(viewer.peer());
+        let mut entries = Vec::new();
+        for prefix in self.route_server.all_prefixes() {
+            if own.contains(&prefix) {
+                continue;
+            }
+            if self
+                .route_server
+                .best_route(&prefix, viewer.peer())
+                .is_none()
+            {
+                continue;
+            }
+            let nh = self
+                .advertised_next_hop(&prefix, viewer)
+                .expect("best route implies next hop");
+            entries.push(sdx_analyze::FibEntry {
+                prefix,
+                next_hop: nh,
+                mac: self.arp.resolve(&nh).map(|m| m.to_u64()),
+            });
+        }
+        sdx_analyze::FibModel {
+            participant: viewer.0,
+            entries,
+        }
+    }
+
+    /// The reachability verifier's input for the *installed* state: the
+    /// switch's live tables (fast-path overlays included) fronted by FIB
+    /// models derived from the live advertisements and ARP responder.
+    /// Exposed so audits can substitute *actual* border-router state via
+    /// [`sdx_analyze::VerifyInput::set_fib`] (see
+    /// [`crate::verify::fib_from_router`]) before running
+    /// [`sdx_analyze::reach::run`] themselves. `None` before the first
+    /// successful [`compile`](Self::compile).
+    pub fn verify_input(&self) -> Option<sdx_analyze::VerifyInput> {
+        let compilation = self.compilation.as_ref()?;
+        let input = self.input();
+        let mut vi = crate::verify::build_verify_input(&input, compilation);
+        vi.tables = self.installed_tables();
+        // Fast-path overlays re-home prefixes onto fresh VNH/VMAC bindings:
+        // pull them out of their base groups so the integrity pass checks
+        // the binding the routers actually converge to.
+        for o in &self.overlays {
+            for g in &mut vi.groups {
+                g.prefixes.remove(&o.prefix);
+            }
+            let mut prefixes = sdx_ip::PrefixSet::new();
+            prefixes.insert(o.prefix);
+            vi.groups.push(sdx_analyze::GroupBinding {
+                prefixes,
+                vnh: o.vnh,
+                vmac: o.vmac.to_u64(),
+            });
+        }
+        vi.fibs = vi
+            .participants
+            .iter()
+            .map(|(id, _)| self.live_fib(ParticipantId(*id)))
+            .collect();
+        Some(vi)
+    }
+
+    /// Run the whole-fabric reachability verifier against the *installed*
+    /// state (see [`verify_input`](Self::verify_input)). `None` before the
+    /// first successful [`compile`](Self::compile).
+    pub fn verify_fabric(&self) -> Option<sdx_analyze::ReachReport> {
+        let vi = self.verify_input()?;
+        Some(sdx_analyze::reach::run(&vi, self.options.threads))
+    }
+
+    /// Differential recompile equivalence (`sdx-verify`'s fourth invariant):
+    /// check that the running fabric — incremental fast-path overlays and
+    /// all — is packet-equivalent, modulo VNH tags, to a from-scratch
+    /// compile of the current inputs. Confirmed differences come back as
+    /// `verify-diff` diagnostics with witness packets; an empty report means
+    /// the incremental path converged to the same forwarding behavior. The
+    /// pass's wall clock is recorded in the active compilation's
+    /// `stages.verify_diff_us`. `None` before the first successful
+    /// [`compile`](Self::compile) or if the reference compile itself fails.
+    pub fn verify_differential(&mut self) -> Option<sdx_analyze::DiffReport> {
+        self.compilation.as_ref()?;
+        let old = sdx_analyze::DiffSide {
+            tables: self.installed_tables(),
+            fibs: self
+                .participants
+                .values()
+                .filter(|p| p.is_physical())
+                .map(|p| self.live_fib(p.id))
+                .collect(),
+        };
+        // The reference side: a gate-free from-scratch compile of the same
+        // inputs with its own VNH pool (tag allocations are expected to
+        // differ — the comparison is modulo tag).
+        let mut options = self.options;
+        options.analysis = sdx_analyze::AnalysisMode::Off;
+        options.verify = sdx_analyze::AnalysisMode::Off;
+        let (new, participants) = {
+            let input = CompileInput {
+                participants: &self.participants,
+                policies: &self.policies,
+                policy_versions: &self.policy_versions,
+                route_server: &self.route_server,
+                options,
+            };
+            let mut alloc = VnhAllocator::default_pool();
+            let memo = MemoCache::new();
+            let fresh = compile(&input, &mut alloc, &memo).ok()?;
+            let tables = if options.multi_table {
+                vec![fresh.stage1.clone(), fresh.stage2.clone()]
+            } else {
+                vec![fresh.fabric.clone()]
+            };
+            let fibs = crate::verify::build_verify_input(&input, &fresh).fibs;
+            (
+                sdx_analyze::DiffSide { tables, fibs },
+                crate::verify::physical_participants(&input),
+            )
+        };
+        let report = sdx_analyze::diff::run(&old, &new, &participants, self.options.threads);
+        if let Some(c) = &mut self.compilation {
+            c.stats.stages.verify_diff_us = report.duration_us;
+        }
+        Some(report)
+    }
+
     /// Which participant owns a fabric port.
     pub fn port_owner(&self, port: u32) -> Option<ParticipantId> {
         self.participants

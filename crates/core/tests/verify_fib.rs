@@ -1,0 +1,118 @@
+//! VNH/FIB integrity against *actual* border-router state: a router whose
+//! ARP cache lost the VNH binding would emit untagged traffic, and the
+//! reachability verifier's witness must name the missing tag.
+
+use std::net::Ipv4Addr;
+
+use sdx_bgp::{AsPath, Asn, PathAttributes};
+use sdx_core::{
+    reach, verify, Clause, Participant, ParticipantId, ParticipantPolicy, PortConfig, SdxRuntime,
+};
+use sdx_ip::Prefix;
+use sdx_policy::{match_, Field};
+use sdx_switch::BorderRouter;
+
+const A: ParticipantId = ParticipantId(1);
+const B: ParticipantId = ParticipantId(2);
+
+fn port(n: u32) -> PortConfig {
+    PortConfig {
+        port: n,
+        mac: format!("02:00:00:00:00:{n:02x}").parse().unwrap(),
+        ip: Ipv4Addr::new(172, 0, 0, n as u8),
+    }
+}
+
+fn fabric() -> SdxRuntime {
+    let mut sdx = SdxRuntime::default();
+    sdx.add_participant(Participant::new(A, Asn(65001), vec![port(1)]));
+    sdx.add_participant(Participant::new(B, Asn(65002), vec![port(2)]));
+    sdx.announce(
+        B,
+        ["20.0.0.0/8".parse::<Prefix>().unwrap()],
+        PathAttributes::new(AsPath::sequence([65002]), Ipv4Addr::new(172, 0, 0, 2)),
+    );
+    // A filtered clause towards B puts 20.0.0.0/8 into a policy set, so the
+    // compiler groups it into an FEC with a VNH/VMAC binding.
+    sdx.set_policy(
+        A,
+        ParticipantPolicy::new().outbound(Clause::fwd(match_(Field::DstPort, 80u16), B)),
+    );
+    sdx.compile().unwrap();
+    sdx
+}
+
+#[test]
+fn corrupted_fib_entry_is_caught_with_the_missing_tag_named() {
+    let sdx = fabric();
+    let prefix: Prefix = "20.0.0.0/8".parse().unwrap();
+    let compilation = sdx.compilation().unwrap();
+    let vnh = compilation.vnh_of(&prefix).expect("20/8 is grouped");
+    let vmac = compilation.vmac_of(&prefix).expect("20/8 is grouped");
+
+    // A's real border router, synced against the SDX's advertisements: its
+    // BGP machinery installs the VNH route and ARP resolves the VMAC.
+    let a_cfg = port(1);
+    let mut router = BorderRouter::new(1, a_cfg.mac, a_cfg.ip);
+    sdx.sync_router(A, &mut router);
+
+    // Baseline: the actual router state passes all reachability invariants.
+    let mut vi = sdx.verify_input().unwrap();
+    vi.set_fib(verify::fib_from_router(A, &router));
+    let clean = reach::run(&vi, 1);
+    assert!(
+        clean.diagnostics.is_empty(),
+        "clean fabric must verify: {:?}",
+        clean.diagnostics
+    );
+
+    // Corrupt one FIB entry post-compile: the ARP binding for the VNH
+    // expires, so the router would forward 20/8 without the VMAC tag.
+    router.expire_arp(&vnh);
+    vi.set_fib(verify::fib_from_router(A, &router));
+    let report = reach::run(&vi, 1);
+
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "verify-fib-missing-tag")
+        .unwrap_or_else(|| panic!("expected verify-fib-missing-tag: {:?}", report.diagnostics));
+    assert_eq!(diag.participant, Some(A.0));
+    assert!(
+        diag.message.contains(&format!("{:#x}", vmac.to_u64())),
+        "witness must name the missing tag {:#x}: {}",
+        vmac.to_u64(),
+        diag.message
+    );
+    assert!(diag.message.contains("20.0.0.0/8"), "{}", diag.message);
+    let witness = diag.witness.as_ref().expect("finding carries a witness");
+    assert_eq!(
+        witness.get(Field::DstIp),
+        Some(u64::from(u32::from(prefix.addr())))
+    );
+}
+
+#[test]
+fn wrong_next_hop_is_caught() {
+    let sdx = fabric();
+    let prefix: Prefix = "20.0.0.0/8".parse().unwrap();
+
+    let a_cfg = port(1);
+    let mut router = BorderRouter::new(1, a_cfg.mac, a_cfg.ip);
+    sdx.sync_router(A, &mut router);
+    // The router somehow kept a stale route to B's interface instead of the
+    // advertised VNH: grouped prefix on the wrong next hop.
+    router.install_route(prefix, Ipv4Addr::new(172, 0, 0, 2));
+
+    let mut vi = sdx.verify_input().unwrap();
+    vi.set_fib(verify::fib_from_router(A, &router));
+    let report = reach::run(&vi, 1);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "verify-fib-wrong-vnh"),
+        "{:?}",
+        report.diagnostics
+    );
+}

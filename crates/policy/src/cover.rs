@@ -118,6 +118,56 @@ impl Region {
         self.witness().is_none()
     }
 
+    /// Does the region contain the packet? Mirrors [`Match::matches`]
+    /// semantics: every positive constraint must hold, and every subtracted
+    /// (negative) constraint must *fail* — which a missing header does.
+    pub fn contains(&self, pkt: &Packet) -> bool {
+        self.pos.matches(pkt)
+            && self.neg.iter().all(|(f, ps)| {
+                ps.iter()
+                    .all(|p| !pkt.get(*f).map(|v| p.matches(v)).unwrap_or(false))
+            })
+    }
+
+    /// The region of packets in `self` that also match `m`, or `None` when
+    /// the intersection is empty. The negative constraints carry over
+    /// unchanged (they only ever shrink the result further).
+    pub fn intersect_match(&self, m: &Match) -> Option<Region> {
+        let pos = self.pos.intersect(m)?;
+        let r = Region {
+            pos,
+            neg: self.neg.clone(),
+        };
+        (!r.is_empty()).then_some(r)
+    }
+
+    /// The intersection of two regions (positive cubes conjoined, negative
+    /// sets merged), or `None` when it is empty.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        let pos = self.pos.intersect(&other.pos)?;
+        let mut neg = self.neg.clone();
+        for (f, ps) in &other.neg {
+            neg.entry(*f).or_default().extend(ps.iter().copied());
+        }
+        let r = Region { pos, neg };
+        (!r.is_empty()).then_some(r)
+    }
+
+    /// The region with every constraint on `field` removed — the projection
+    /// used when a later pipeline stage is known to overwrite the field, so
+    /// its incoming value must not influence equivalence comparisons.
+    pub fn without_field(&self, field: Field) -> Region {
+        let mut r = self.clone();
+        r.pos = r.pos.without(field);
+        r.neg.remove(&field);
+        r
+    }
+
+    /// The positive constraint on a field, if any.
+    pub fn pos_pattern(&self, field: Field) -> Option<&Pattern> {
+        self.pos.get(field)
+    }
+
     /// `self` minus the packets matching `m`, as a disjunction of regions
     /// (possibly empty). Exact.
     pub fn subtract(&self, m: &Match) -> Vec<Region> {
@@ -322,6 +372,80 @@ mod tests {
             Rule::pass(on(Field::DstPort, Pattern::Exact(443))),
         ]);
         assert!(shadowed_rules(&c).is_empty());
+    }
+
+    #[test]
+    fn intersect_match_narrows_and_keeps_negatives() {
+        let base = Region::from_match(on(Field::DstIp, pfx("10.0.0.0/8")));
+        let regions = base.subtract(&on(Field::DstIp, pfx("10.0.0.0/9")));
+        assert_eq!(regions.len(), 1);
+        // Narrowing to the subtracted half is empty; the other half is not.
+        assert!(regions[0]
+            .intersect_match(&on(Field::DstIp, pfx("10.0.0.0/9")))
+            .is_none());
+        let upper = regions[0]
+            .intersect_match(&on(Field::DstIp, pfx("10.128.0.0/9")))
+            .unwrap();
+        let w = upper.witness().unwrap();
+        assert!(on(Field::DstIp, pfx("10.128.0.0/9")).matches(&w));
+    }
+
+    #[test]
+    fn region_intersection_merges_negatives() {
+        let a = Region::from_match(on(Field::DstIp, pfx("10.0.0.0/8")))
+            .subtract(&on(Field::DstIp, pfx("10.0.0.0/9")))
+            .remove(0);
+        let b = Region::from_match(on(Field::DstIp, pfx("10.128.0.0/9")))
+            .subtract(&on(Field::DstIp, pfx("10.128.0.0/10")))
+            .remove(0);
+        let i = a.intersect(&b).unwrap();
+        let w = i.witness().unwrap();
+        assert!(on(Field::DstIp, pfx("10.192.0.0/10")).matches(&w));
+        // A cube inside a's excluded half intersects to nothing.
+        let c = Region::from_match(on(Field::DstIp, pfx("10.0.0.0/10")));
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn contains_respects_negative_constraints() {
+        let r = Region::from_match(on(Field::DstIp, pfx("10.0.0.0/8")))
+            .subtract(&on(Field::DstIp, pfx("10.0.0.0/9")))
+            .remove(0);
+        let inside = Packet::new().with(Field::DstIp, ipv4("10.200.0.1"));
+        let excluded = Packet::new().with(Field::DstIp, ipv4("10.1.0.1"));
+        let outside = Packet::new().with(Field::DstIp, ipv4("11.0.0.1"));
+        assert!(r.contains(&inside));
+        assert!(!r.contains(&excluded));
+        assert!(!r.contains(&outside));
+    }
+
+    #[test]
+    fn without_field_projects_constraints_away() {
+        let r = Region::from_match(
+            on(Field::DstIp, pfx("10.0.0.0/8"))
+                .and(Field::DstMac, Pattern::Exact(0xAA))
+                .unwrap(),
+        )
+        .subtract(&on(Field::DstMac, Pattern::Exact(0xAA)))
+        .first()
+        .cloned();
+        // Subtracting the pinned MAC empties the region entirely…
+        assert!(r.is_none());
+        let r = Region::from_match(
+            on(Field::DstIp, pfx("10.0.0.0/8"))
+                .and(Field::DstMac, Pattern::Exact(0xAA))
+                .unwrap(),
+        );
+        let p = r.without_field(Field::DstMac);
+        let other_mac = Packet::new()
+            .with(Field::DstIp, ipv4("10.0.0.1"))
+            .with(Field::DstMac, 0xBBu64);
+        assert!(!r.contains(&other_mac));
+        assert!(p.contains(&other_mac));
+    }
+
+    fn ipv4(s: &str) -> u64 {
+        u32::from(s.parse::<std::net::Ipv4Addr>().unwrap()) as u64
     }
 
     #[test]

@@ -39,6 +39,12 @@ impl Packet {
         self.fields.get(&field).copied()
     }
 
+    /// Remove a field (the packet no longer carries the header), returning
+    /// the previous value if any.
+    pub fn unset(&mut self, field: Field) -> Option<u64> {
+        self.fields.remove(&field)
+    }
+
     /// The packet's current location (the `Port` field).
     pub fn port(&self) -> Option<u32> {
         self.get(Field::Port).map(|v| v as u32)

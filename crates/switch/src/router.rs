@@ -89,6 +89,18 @@ impl BorderRouter {
         self.fib.longest_match(dst).map(|(_, nh)| *nh)
     }
 
+    /// Iterate over the FIB: `(prefix, next hop)` in lexicographic order.
+    /// The whole-fabric verifier reads the router's real forwarding state
+    /// through this instead of re-deriving it from BGP.
+    pub fn routes(&self) -> impl Iterator<Item = (Prefix, Ipv4Addr)> + '_ {
+        self.fib.iter().map(|(p, nh)| (p, *nh))
+    }
+
+    /// The cached MAC for a next-hop IP, if the router has resolved it.
+    pub fn arp_lookup(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.arp_cache.get(&ip).copied()
+    }
+
     /// Learn an ARP binding (from a reply or gratuitous ARP).
     pub fn learn_arp(&mut self, reply: &ArpReply) {
         self.arp_cache.insert(reply.sender_ip, reply.sender_mac);
@@ -212,6 +224,22 @@ mod tests {
             Forward::Frame(f) => assert_eq!(f.dst_mac(), Some(MacAddr::from_u64(2))),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn routes_and_arp_are_observable() {
+        let mut r = router();
+        r.install_route("10.0.0.0/8".parse().unwrap(), "172.16.0.5".parse().unwrap());
+        r.install_route("20.0.0.0/8".parse().unwrap(), "172.16.0.6".parse().unwrap());
+        r.learn_arp(&reply("172.16.0.5", 0x42));
+        let routes: Vec<_> = r.routes().collect();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].0, "10.0.0.0/8".parse().unwrap());
+        assert_eq!(
+            r.arp_lookup("172.16.0.5".parse().unwrap()),
+            Some(MacAddr::from_u64(0x42))
+        );
+        assert_eq!(r.arp_lookup("172.16.0.6".parse().unwrap()), None);
     }
 
     #[test]

@@ -1,20 +1,24 @@
-//! `sdx-lint` — statically verify the policies of a scenario file before
+//! `sdx-lint` — statically verify the policies of scenario files before
 //! (or instead of) deploying them.
 //!
-//! Runs the scenario with the `sdx-analyze` pass enabled and reports every
+//! Runs each scenario with the `sdx-analyze` pass enabled and reports every
 //! diagnostic the analyzer produced for the final compilation: shadowed
 //! clauses, cross-participant conflicts and blackholes, forwarding loops,
-//! and VNH/ARP inconsistencies.
+//! and VNH/ARP inconsistencies. With `--verify`, additionally runs the
+//! whole-fabric symbolic reachability verifier (`sdx-verify`): BGP
+//! consistency/isolation, cross-stage blackholes, and VNH/FIB tag integrity,
+//! each violation carrying a concrete witness packet.
 //!
 //! ```bash
 //! cargo run --bin sdx-lint -- scenarios/figure1.sdx
-//! cargo run --bin sdx-lint -- --deny broken.sdx   # refuse to install flow mods
+//! cargo run --bin sdx-lint -- --deny broken.sdx    # refuse to install flow mods
+//! cargo run --bin sdx-lint -- --verify scenarios/*.sdx
 //! cat scenario.sdx | cargo run --bin sdx-lint
 //! ```
 //!
-//! Exit status: 0 when the analysis is clean (warnings allowed), 1 when it
-//! found errors (or `--deny` blocked a compile), 2 when the scenario itself
-//! failed to run.
+//! Exit status: 0 when every scenario is clean (warnings allowed), 1 when
+//! *any* scenario has errors (or `--deny` blocked a compile), 2 when any
+//! scenario itself failed to run. The worst status across all inputs wins.
 
 use std::io::Read;
 
@@ -23,41 +27,33 @@ use sdx::core::{AnalysisMode, CompileOptions, Severity};
 fn main() {
     let mut deny = false;
     let mut quiet = false;
-    let mut path: Option<String> = None;
+    let mut verify = false;
+    let mut paths: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--help" | "-h" => {
-                eprintln!("usage: sdx-lint [--deny] [--quiet] [SCENARIO-FILE]");
-                eprintln!("  --deny   compile with AnalysisMode::Deny: a defective");
-                eprintln!("           scenario fails at its `compile` line and no");
-                eprintln!("           flow rules are installed");
-                eprintln!("  --quiet  suppress the scenario transcript");
-                eprintln!("  reads stdin when no file is given");
+                eprintln!("usage: sdx-lint [--deny] [--quiet] [--verify] [SCENARIO-FILE…]");
+                eprintln!("  --deny    compile with AnalysisMode::Deny: a defective");
+                eprintln!("            scenario fails at its `compile` line and no");
+                eprintln!("            flow rules are installed");
+                eprintln!("  --verify  additionally run the whole-fabric symbolic");
+                eprintln!("            reachability verifier (isolation, blackhole,");
+                eprintln!("            VNH/FIB integrity) with witness packets");
+                eprintln!("  --quiet   suppress the scenario transcripts");
+                eprintln!("  reads stdin when no file is given; with several files,");
+                eprintln!("  the worst exit status across all of them is returned");
                 return;
             }
             "--deny" => deny = true,
             "--quiet" | "-q" => quiet = true,
-            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            "--verify" => verify = true,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
             other => {
                 eprintln!("sdx-lint: unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
-
-    let input = match path {
-        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("sdx-lint: cannot read {path}: {e}");
-            std::process::exit(2);
-        }),
-        None => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .expect("read stdin");
-            buf
-        }
-    };
 
     let mode = if deny {
         AnalysisMode::Deny
@@ -66,16 +62,52 @@ fn main() {
     };
     let options = CompileOptions {
         analysis: mode,
+        verify: if verify { mode } else { AnalysisMode::Off },
         ..Default::default()
     };
-    match sdx::scenario::run_scenario_with(options, &input) {
+
+    let inputs: Vec<(String, String)> = if paths.is_empty() {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        vec![("<stdin>".to_string(), buf)]
+    } else {
+        paths
+            .into_iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("sdx-lint: cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                (path, text)
+            })
+            .collect()
+    };
+
+    let many = inputs.len() > 1;
+    let mut worst = 0;
+    for (name, input) in inputs {
+        if many {
+            println!("== {name} ==");
+        }
+        let status = lint_one(options, deny, quiet, &name, &input);
+        worst = worst.max(status);
+    }
+    std::process::exit(worst);
+}
+
+/// Lint one scenario; returns its exit status (0 clean, 1 findings/denied,
+/// 2 scenario failure).
+fn lint_one(options: CompileOptions, deny: bool, quiet: bool, name: &str, input: &str) -> i32 {
+    match sdx::scenario::run_scenario_with(options, input) {
         Ok((transcript, analysis)) => {
             if !quiet {
                 print!("{transcript}");
             }
             let Some(analysis) = analysis else {
-                eprintln!("sdx-lint: scenario never compiled; nothing analyzed");
-                std::process::exit(2);
+                eprintln!("sdx-lint: {name}: scenario never compiled; nothing analyzed");
+                return 2;
             };
             for diag in &analysis.diagnostics {
                 println!("{diag}");
@@ -94,20 +126,25 @@ fn main() {
                 .iter()
                 .any(|d| d.severity == Severity::Error)
             {
-                std::process::exit(1);
+                1
+            } else {
+                0
             }
         }
         Err(e) => {
             // In deny mode a defective scenario dies at its `compile` line
-            // with the analyzer's findings in the message — report that as
-            // a lint failure, not a scenario bug.
+            // with the gate's findings in the message — report that as a
+            // lint failure, not a scenario bug.
             let msg = e.to_string();
-            if deny && msg.contains("static analysis rejected") {
-                eprintln!("sdx-lint: {msg}");
-                std::process::exit(1);
+            if deny
+                && (msg.contains("static analysis rejected")
+                    || msg.contains("reachability verification rejected"))
+            {
+                eprintln!("sdx-lint: {name}: {msg}");
+                return 1;
             }
-            eprintln!("sdx-lint: {e}");
-            std::process::exit(2);
+            eprintln!("sdx-lint: {name}: {e}");
+            2
         }
     }
 }

@@ -12,6 +12,14 @@ fn options(mode: AnalysisMode) -> CompileOptions {
     }
 }
 
+fn verify_options(mode: AnalysisMode) -> CompileOptions {
+    CompileOptions {
+        analysis: mode,
+        verify: mode,
+        ..Default::default()
+    }
+}
+
 fn fixture(name: &str) -> String {
     let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
@@ -25,6 +33,43 @@ fn figure1_is_clean() {
     assert_eq!(analysis.errors(), 0, "{:?}", analysis.diagnostics);
     // And deny mode does not reject the paper's own example.
     run_scenario_with(options(AnalysisMode::Deny), &script).unwrap();
+}
+
+#[test]
+fn figure1_is_clean_under_reachability_verification() {
+    let script = fixture("figure1.sdx");
+    let (_, analysis) = run_scenario_with(verify_options(AnalysisMode::Warn), &script).unwrap();
+    let analysis = analysis.expect("figure1 compiles with verification on");
+    assert_eq!(analysis.errors(), 0, "{:?}", analysis.diagnostics);
+    run_scenario_with(verify_options(AnalysisMode::Deny), &script).unwrap();
+}
+
+#[test]
+fn isolation_fixture_needs_the_reachability_verifier() {
+    // The seeded defect is invisible to the per-clause static analyzer —
+    // only the whole-fabric symbolic pass catches it.
+    let script = fixture("lint-isolation.sdx");
+    let (_, analysis) = run_scenario_with(verify_options(AnalysisMode::Warn), &script).unwrap();
+    let analysis = analysis.expect("fixture compiles in warn mode");
+    let hit = analysis
+        .with_code("verify-isolation")
+        .next()
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a verify-isolation finding, got {:?}",
+                analysis.diagnostics
+            )
+        });
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.witness.is_some(), "isolation findings carry a witness");
+
+    let err = run_scenario_with(verify_options(AnalysisMode::Deny), &script)
+        .expect_err("deny mode must reject the fixture");
+    assert!(
+        err.message.contains("reachability verification rejected")
+            && err.message.contains("verify-isolation"),
+        "{err}"
+    );
 }
 
 #[test]

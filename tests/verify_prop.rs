@@ -1,0 +1,169 @@
+//! Exactness of the symbolic reachability engine: on random small fabrics,
+//! the header-space traversal must agree with the concrete packet
+//! interpreter on every sampled packet — the symbolic outcome set of a
+//! packet inside an injected region equals what chained table evaluation
+//! emits for it.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdx::core::hs::{self, Flow, TRANSIT_REGION_LIMIT};
+use sdx::core::{
+    Clause, CompileOptions, Participant, ParticipantId, ParticipantPolicy, PortConfig, SdxRuntime,
+};
+use sdx_bgp::{AsPath, Asn, PathAttributes};
+use sdx_ip::Prefix;
+use sdx_policy::{match_, Field, Match, Packet, Pattern, Region};
+
+const PREFIXES: [&str; 5] = [
+    "10.0.0.0/8",
+    "20.0.0.0/8",
+    "30.0.0.0/8",
+    "40.1.0.0/16",
+    "50.2.0.0/16",
+];
+const PORTS: [u16; 3] = [80, 22, 443];
+
+fn port(n: u32) -> PortConfig {
+    PortConfig {
+        port: n,
+        mac: format!("02:00:00:00:00:{n:02x}").parse().unwrap(),
+        ip: Ipv4Addr::new(172, 0, 0, n as u8),
+    }
+}
+
+/// A random fabric: 2–4 physical participants, random announcements from a
+/// small prefix pool, random outbound/inbound clauses (including unfiltered
+/// and drop clauses), randomly single- or two-table.
+fn random_fabric(rng: &mut StdRng) -> Option<SdxRuntime> {
+    let n = rng.gen_range(2..=4u32);
+    let mut sdx = SdxRuntime::new(CompileOptions {
+        multi_table: rng.gen_bool(0.5),
+        ..Default::default()
+    });
+    let ids: Vec<ParticipantId> = (1..=n).map(ParticipantId).collect();
+    for &id in &ids {
+        sdx.add_participant(Participant::new(id, Asn(65000 + id.0), vec![port(id.0)]));
+    }
+    for &id in &ids {
+        for p in PREFIXES {
+            if rng.gen_bool(0.4) {
+                sdx.announce(
+                    id,
+                    [p.parse::<Prefix>().unwrap()],
+                    PathAttributes::new(
+                        AsPath::sequence([65000 + id.0]),
+                        Ipv4Addr::new(172, 0, 0, id.0 as u8),
+                    ),
+                );
+            }
+        }
+    }
+    for &id in &ids {
+        let mut policy = ParticipantPolicy::new();
+        for _ in 0..rng.gen_range(0..=2) {
+            let dp = PORTS[rng.gen_range(0..PORTS.len())];
+            let to = ids[rng.gen_range(0..ids.len())];
+            let clause = if rng.gen_bool(0.2) {
+                Clause::drop(match_(Field::DstPort, dp))
+            } else if rng.gen_bool(0.15) {
+                Clause::fwd(match_(Field::DstPort, dp), to).unfiltered()
+            } else {
+                Clause::fwd(match_(Field::DstPort, dp), to)
+            };
+            policy = policy.outbound(clause);
+        }
+        if rng.gen_bool(0.3) {
+            let dp = PORTS[rng.gen_range(0..PORTS.len())];
+            policy = policy.inbound(if rng.gen_bool(0.3) {
+                Clause::drop(match_(Field::DstPort, dp))
+            } else {
+                Clause::to_port(match_(Field::DstPort, dp), id.0)
+            });
+        }
+        sdx.set_policy(id, policy);
+    }
+    sdx.compile().ok()?;
+    Some(sdx)
+}
+
+fn random_dst_ip(rng: &mut StdRng) -> u32 {
+    if rng.gen_bool(0.8) {
+        let p: Prefix = PREFIXES[rng.gen_range(0..PREFIXES.len())].parse().unwrap();
+        u32::from(p.addr()) | (rng.gen::<u32>() & (u32::MAX >> p.len()))
+    } else {
+        rng.gen()
+    }
+}
+
+#[test]
+fn symbolic_transit_agrees_with_the_packet_interpreter() {
+    let mut rng = StdRng::seed_from_u64(0x5d_1234);
+    let mut samples = 0usize;
+    let mut fabrics = 0usize;
+    while samples < 1000 && fabrics < 64 {
+        let Some(sdx) = random_fabric(&mut rng) else {
+            continue;
+        };
+        fabrics += 1;
+        let vi = sdx
+            .verify_input()
+            .expect("compiled fabric has verify input");
+        let oracle = |pkt: &Packet| -> BTreeSet<Packet> {
+            let mut current: BTreeSet<Packet> = [pkt.clone()].into();
+            for table in &vi.tables {
+                let mut next = BTreeSet::new();
+                for p in &current {
+                    next.extend(table.evaluate(p));
+                }
+                current = next;
+            }
+            current
+        };
+        for fib in &vi.fibs {
+            let ports: Vec<u32> = vi
+                .participants
+                .iter()
+                .find(|(id, _)| *id == fib.participant)
+                .map(|(_, p)| p.clone())
+                .unwrap_or_default();
+            let macs: BTreeSet<u64> = fib.entries.iter().filter_map(|e| e.mac).collect();
+            for &p in &ports {
+                for &mac in &macs {
+                    let region = Region::from_match(
+                        Match::on(Field::Port, Pattern::Exact(p as u64))
+                            .and(Field::DstMac, Pattern::Exact(mac))
+                            .expect("distinct fields"),
+                    );
+                    let result = hs::transit_pipeline(
+                        &vi.tables,
+                        vec![Flow::new(region)],
+                        Field::DstMac,
+                        TRANSIT_REGION_LIMIT,
+                    );
+                    assert!(!result.saturated, "small fabrics must not saturate");
+                    for _ in 0..20 {
+                        let pkt = Packet::new()
+                            .with(Field::Port, p)
+                            .with(Field::DstMac, mac)
+                            .with(Field::DstIp, random_dst_ip(&mut rng))
+                            .with(Field::DstPort, PORTS[rng.gen_range(0..PORTS.len())])
+                            .with(Field::SrcPort, rng.gen_range(1024..u16::MAX as u32) as u16);
+                        assert_eq!(
+                            result.concrete_outcome(&pkt),
+                            oracle(&pkt),
+                            "fabric {fabrics}, injection port={p} mac={mac:#x}, pkt {pkt}"
+                        );
+                        samples += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        samples >= 1000,
+        "sampled only {samples} packets across {fabrics} fabrics"
+    );
+}
