@@ -56,6 +56,20 @@ for f in "$smoke_dir/v1.json" "$smoke_dir/v4.json"; do
     }
 done
 
+echo "== data-plane smoke (dataplane quick + fig1 indexed-vs-linear diff)"
+# The tuple-space index must forward bit-identically to the linear scan:
+# --diff-fig1 probes the Figure 1 exchange (base table, fast-path overlay
+# churn, overlay retirement) through both paths and exits non-zero on any
+# difference. The quick bench run checks the JSON artifact shape.
+target/release/dataplane --diff-fig1
+SDX_BENCH_QUICK=1 SDX_BENCH_JSON="$smoke_dir/dp.json" \
+    target/release/dataplane > /dev/null
+for key in indexed_pps linear_pps buckets index_build_us speedup; do
+    grep -q "\"$key\":" "$smoke_dir/dp.json" || {
+        echo "ci: dataplane json missing $key" >&2; exit 1
+    }
+done
+
 echo "== sdx-lint scenarios"
 target/release/sdx-lint --quiet --verify scenarios/figure1.sdx
 for s in scenarios/lint-*.sdx; do

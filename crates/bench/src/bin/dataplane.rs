@@ -1,0 +1,322 @@
+//! Data-plane throughput benchmark: replay generated traffic through the
+//! compiled fabric at 100/200/300 participants, comparing the tuple-space
+//! indexed flow-table lookup against the linear-scan baseline, and emit
+//! `BENCH_dataplane.json` (packets/sec for both paths, rule/bucket counts,
+//! index build time).
+//!
+//! Knobs: `SDX_BENCH_QUICK=1` shrinks the sweep for CI; `SDX_BENCH_JSON`
+//! overrides the artifact path; `SDX_THREADS` is accepted for symmetry but
+//! the data plane is single-threaded.
+//!
+//! `--diff-fig1` switches to the correctness smoke: rebuild the paper's
+//! Figure 1 exchange, push a probe grid through an indexed and a
+//! linear-scan fabric (before and after fast-path churn), and exit non-zero
+//! on any forwarding difference.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sdx_bench::{bench_json_path, build_sdx, quick_mode, write_bench_json};
+use sdx_bgp::{AsPath, Asn, ExportPolicy, PathAttributes};
+use sdx_core::{
+    Clause, CompileOptions, FabricSim, Participant, ParticipantId, ParticipantPolicy, PortConfig,
+    SdxRuntime,
+};
+use sdx_ip::Prefix;
+use sdx_policy::{match_, Field, Packet};
+use sdx_switch::{BorderRouter, Forward};
+
+fn main() {
+    if std::env::args().any(|a| a == "--diff-fig1") {
+        diff_fig1();
+        return;
+    }
+
+    let quick = quick_mode();
+    let (sizes, prefixes, indexed_target, linear_target): (&[usize], usize, u64, u64) = if quick {
+        (&[20], 400, 20_000, 2_000)
+    } else {
+        (&[100, 200, 300], 10_000, 200_000, 4_000)
+    };
+
+    println!("# Data plane — indexed vs linear flow-table lookup");
+    println!("participants\trules\tbuckets\tindex_build_us\tindexed_pps\tlinear_pps\tspeedup");
+    let mut records = Vec::new();
+    for &n in sizes {
+        let (mut sdx, topology, _mix) = build_sdx(n, prefixes, 11, CompileOptions::default());
+        sdx.compile().expect("compiles");
+        let frames = build_frames(&sdx, &topology, if quick { 64 } else { 256 });
+        assert!(!frames.is_empty(), "no routable traffic generated");
+
+        // Index construction cost, measured on a copy of the installed table.
+        let mut table = sdx.switch().table().clone();
+        let start = Instant::now();
+        table.rebuild_index();
+        let index_build_us = start.elapsed().as_micros() as u64;
+
+        let rules = sdx.switch().total_rules();
+        let stats = sdx.switch().index_stats();
+
+        sdx.set_linear_scan(false);
+        let indexed_pps = replay(&mut sdx, &frames, indexed_target);
+        sdx.set_linear_scan(true);
+        let linear_pps = replay(&mut sdx, &frames, linear_target);
+        sdx.set_linear_scan(false);
+        let speedup = indexed_pps / linear_pps;
+
+        println!(
+            "{n}\t{rules}\t{}\t{index_build_us}\t{indexed_pps:.0}\t{linear_pps:.0}\t{speedup:.1}x",
+            stats.buckets
+        );
+        records.push(format!(
+            concat!(
+                "{{\"bench\":\"dataplane\",\"participants\":{},\"rules\":{},",
+                "\"buckets\":{},\"groups\":{},\"index_build_us\":{},",
+                "\"indexed_packets\":{},\"indexed_pps\":{:.0},",
+                "\"linear_packets\":{},\"linear_pps\":{:.0},\"speedup\":{:.2}}}"
+            ),
+            n,
+            rules,
+            stats.buckets,
+            stats.groups,
+            index_build_us,
+            indexed_target,
+            indexed_pps,
+            linear_target,
+            linear_pps,
+            speedup,
+        ));
+    }
+    let path = bench_json_path("BENCH_dataplane.json");
+    write_bench_json(&path, &records).expect("write bench json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Tagged fabric frames for a sample of cross-participant flows, as the
+/// senders' border routers would emit them (FIB + ARP + VMAC tag). Built
+/// once; the replay loop reuses them.
+fn build_frames(
+    sdx: &SdxRuntime,
+    topology: &sdx_workload::IxpTopology,
+    flows: usize,
+) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let senders: Vec<&Participant> = topology
+        .participants
+        .iter()
+        .filter(|p| p.is_physical())
+        .collect();
+    let mut routers: std::collections::BTreeMap<ParticipantId, BorderRouter> =
+        std::collections::BTreeMap::new();
+    let mut frames = Vec::new();
+    for _ in 0..flows * 4 {
+        if frames.len() >= flows {
+            break;
+        }
+        let sender = senders[rng.gen_range(0..senders.len())];
+        let ann = &topology.announcements[rng.gen_range(0..topology.announcements.len())];
+        if ann.from == sender.id {
+            continue;
+        }
+        let prefix = ann.prefixes[rng.gen_range(0..ann.prefixes.len())];
+        let dst = prefix.first_addr();
+        let dport = *[80u16, 443, 53, 22].choose(&mut rng).unwrap();
+        let pkt = Packet::new()
+            .with(Field::EthType, 0x0800u16)
+            .with(Field::IpProto, 17u8)
+            .with(Field::SrcIp, Ipv4Addr::from(rng.gen::<u32>()))
+            .with(Field::DstIp, dst)
+            .with(Field::SrcPort, rng.gen_range(1024..u16::MAX))
+            .with(Field::DstPort, dport);
+        let router = routers.entry(sender.id).or_insert_with(|| {
+            let port = &sender.ports[0];
+            let mut r = BorderRouter::new(port.port, port.mac, port.ip);
+            sdx.sync_router(sender.id, &mut r);
+            r
+        });
+        let frame = match router.forward(pkt.clone()) {
+            Forward::Frame(f) => Some(f),
+            Forward::NeedArp(req) => sdx.resolve_arp(&req).and_then(|reply| {
+                router.learn_arp(&reply);
+                match router.forward(pkt) {
+                    Forward::Frame(f) => Some(f),
+                    _ => None,
+                }
+            }),
+            Forward::NoRoute => None,
+        };
+        frames.extend(frame);
+    }
+    frames
+}
+
+/// Replay the frames through the fabric in batches until at least `target`
+/// packets have been processed; returns packets per second.
+fn replay(sdx: &mut SdxRuntime, frames: &[Packet], target: u64) -> f64 {
+    let mut sent = 0u64;
+    let start = Instant::now();
+    while sent < target {
+        let outs = sdx.process_batch(frames);
+        debug_assert_eq!(outs.len(), frames.len());
+        sent += frames.len() as u64;
+    }
+    sent as f64 / start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// --diff-fig1: indexed vs linear forwarding equivalence on Figure 1.
+// ---------------------------------------------------------------------------
+
+const A: ParticipantId = ParticipantId(1);
+const B: ParticipantId = ParticipantId(2);
+const C: ParticipantId = ParticipantId(3);
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+fn port(n: u32, last: u8) -> PortConfig {
+    PortConfig {
+        port: n,
+        mac: sdx_ip::MacAddr::from_u64(0x0a00_0000_0000 + n as u64),
+        ip: Ipv4Addr::new(172, 0, 0, last),
+    }
+}
+
+fn attrs(path: &[u32], nh: Ipv4Addr) -> PathAttributes {
+    PathAttributes::new(AsPath::sequence(path.iter().copied()), nh)
+}
+
+/// The Figure 1 exchange (same construction as the `figure1` end-to-end
+/// tests): A's application-specific peering, B's inbound engineering, B's
+/// selective export of 14.0.0.0/8.
+fn fig1_runtime() -> SdxRuntime {
+    let mut sdx = SdxRuntime::new(CompileOptions::default());
+    sdx.add_participant(Participant::new(A, Asn(100), vec![port(1, 11)]));
+    sdx.add_participant(Participant::new(
+        B,
+        Asn(200),
+        vec![port(2, 21), port(3, 22)],
+    ));
+    sdx.add_participant(Participant::new(C, Asn(300), vec![port(4, 31)]));
+
+    let b_nh = Ipv4Addr::new(172, 0, 0, 21);
+    let c_nh = Ipv4Addr::new(172, 0, 0, 31);
+    sdx.announce(
+        B,
+        [p("11.0.0.0/8"), p("12.0.0.0/8"), p("14.0.0.0/8")],
+        attrs(&[200, 65001], b_nh),
+    );
+    sdx.announce(B, [p("13.0.0.0/8")], attrs(&[200], b_nh));
+    sdx.set_export_policy(
+        B,
+        ExportPolicy::export_all().deny_prefix_to(p("14.0.0.0/8"), A.peer()),
+    );
+    sdx.announce(
+        C,
+        [p("11.0.0.0/8"), p("12.0.0.0/8"), p("14.0.0.0/8")],
+        attrs(&[300], c_nh),
+    );
+    sdx.announce(C, [p("13.0.0.0/8")], attrs(&[300, 500, 65001], c_nh));
+
+    sdx.set_policy(
+        A,
+        ParticipantPolicy::new()
+            .outbound(Clause::fwd(match_(Field::DstPort, 80u16), B))
+            .outbound(Clause::fwd(match_(Field::DstPort, 443u16), C)),
+    );
+    sdx.set_policy(
+        B,
+        ParticipantPolicy::new()
+            .inbound(Clause::to_port(
+                sdx_policy::match_prefix(Field::SrcIp, p("0.0.0.0/1")),
+                2,
+            ))
+            .inbound(Clause::to_port(
+                sdx_policy::match_prefix(Field::SrcIp, p("128.0.0.0/1")),
+                3,
+            )),
+    );
+    sdx
+}
+
+fn fig1_sim(linear: bool) -> FabricSim {
+    let mut sdx = fig1_runtime();
+    sdx.compile().expect("figure 1 compiles");
+    sdx.set_linear_scan(linear);
+    let mut sim = FabricSim::new(sdx);
+    sim.sync();
+    sim
+}
+
+fn probe(src: &str, dst: &str, dport: u16) -> Packet {
+    Packet::new()
+        .with(Field::EthType, 0x0800u16)
+        .with(Field::IpProto, 6u8)
+        .with(Field::SrcIp, src.parse::<Ipv4Addr>().unwrap())
+        .with(Field::DstIp, dst.parse::<Ipv4Addr>().unwrap())
+        .with(Field::SrcPort, 50_000u16)
+        .with(Field::DstPort, dport)
+}
+
+fn diff_fig1() {
+    let mut indexed = fig1_sim(false);
+    let mut linear = fig1_sim(true);
+
+    let srcs = ["55.0.0.1", "200.0.0.1"];
+    let dsts = ["11.0.0.1", "12.0.0.1", "13.0.0.1", "14.0.0.1", "99.0.0.1"];
+    let dports = [80u16, 443, 53, 22];
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    let mut run_grid = |indexed: &mut FabricSim, linear: &mut FabricSim, tag: &str| {
+        for from in [A, C] {
+            for src in srcs {
+                for dst in dsts {
+                    for dport in dports {
+                        let pkt = probe(src, dst, dport);
+                        let a = indexed.send_from(from, pkt.clone());
+                        let b = linear.send_from(from, pkt);
+                        checked += 1;
+                        if a != b {
+                            mismatches += 1;
+                            eprintln!(
+                                "MISMATCH [{tag}] from={from:?} {src}->{dst}:{dport}: \
+                                 indexed={a:?} linear={b:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    };
+    run_grid(&mut indexed, &mut linear, "base");
+
+    // Fast-path churn: B withdraws 13.0.0.0/8, overlay rules stack above
+    // the base table on both sides; forwarding must stay identical.
+    for sim in [&mut indexed, &mut linear] {
+        sim.runtime_mut().withdraw(B, [p("13.0.0.0/8")]);
+        sim.sync();
+    }
+    run_grid(&mut indexed, &mut linear, "post-withdraw");
+
+    // And back, so overlay retirement + re-append is covered too.
+    for sim in [&mut indexed, &mut linear] {
+        sim.runtime_mut().announce(
+            B,
+            [p("13.0.0.0/8")],
+            attrs(&[200], Ipv4Addr::new(172, 0, 0, 21)),
+        );
+        sim.sync();
+    }
+    run_grid(&mut indexed, &mut linear, "post-reannounce");
+
+    if mismatches == 0 {
+        println!("fig1-diff: OK ({checked} probes, indexed == linear)");
+    } else {
+        println!("fig1-diff: FAILED ({mismatches}/{checked} probes differ)");
+        std::process::exit(1);
+    }
+}

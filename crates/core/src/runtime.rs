@@ -347,29 +347,14 @@ impl SdxRuntime {
 
         let cookie = self.next_cookie;
         self.next_cookie += 1;
-        let boost = self
-            .switch
-            .table()
-            .rules()
-            .first()
-            .map(|r| r.priority)
-            .unwrap_or(0);
         let n = overlay_rules.len();
-        {
-            let table = self.switch.table_mut();
-            for (i, rule) in overlay_rules.iter().enumerate() {
-                let mut fr = sdx_switch::FlowRule::new(
-                    boost + (n - i) as u32,
-                    rule.match_.clone(),
-                    rule.actions.clone(),
-                )
-                .with_cookie(cookie);
-                if multi_table && !rule.actions.is_empty() {
-                    fr = fr.with_goto(1);
-                }
-                table.install(fr);
-            }
-        }
+        // The table computes the priority boost from its own ceiling, so
+        // repeated overlays stack strictly above the base table and each
+        // other — no collision with base priorities is possible.
+        let goto = multi_table.then_some(1);
+        self.switch
+            .table_mut()
+            .append_rules_above(&overlay_rules, cookie, goto);
         self.arp.bind(vnh, vmac);
         self.incremental.overlay_rules += n;
         self.overlays.push(Overlay {
@@ -419,6 +404,19 @@ impl SdxRuntime {
     /// Push one packet through the fabric.
     pub fn process_packet(&mut self, pkt: &Packet) -> Vec<(u32, Packet)> {
         self.switch.process(pkt)
+    }
+
+    /// Push a batch of packets through the fabric, amortizing the pipeline's
+    /// scratch allocation across the batch. Results are grouped per input
+    /// packet, in input order.
+    pub fn process_batch(&mut self, pkts: &[Packet]) -> Vec<Vec<(u32, Packet)>> {
+        self.switch.process_batch(pkts)
+    }
+
+    /// Force (or lift) linear-scan flow-table lookups — the indexed fast
+    /// path's semantic oracle and the dataplane bench's baseline.
+    pub fn set_linear_scan(&mut self, linear: bool) {
+        self.switch.set_linear_scan(linear);
     }
 
     /// Bring a participant's border router in sync with the SDX's current

@@ -145,6 +145,48 @@ impl FabricSim {
         (out, trace)
     }
 
+    /// Send a batch of IP packets from one participant, pushing them through
+    /// the fabric switch in one batched pipeline pass (the traffic driver's
+    /// path — see [`SdxRuntime::process_batch`]). Deliveries are grouped per
+    /// input packet, in input order; middlebox re-injection falls back to
+    /// per-packet processing, as in [`send_from`](Self::send_from).
+    pub fn send_batch_from(
+        &mut self,
+        from: ParticipantId,
+        packets: &[Packet],
+    ) -> Vec<Vec<Delivery>> {
+        // Stage 1: every packet through the sender's border router.
+        let frames: Vec<Option<Packet>> = packets
+            .iter()
+            .map(|p| self.forward_frame(from, p.clone()))
+            .collect();
+        for frame in frames.iter().flatten() {
+            self.capture_frame(frame);
+        }
+        // Stage 2: the routable ones through the fabric, batched.
+        let flat: Vec<Packet> = frames.iter().flatten().cloned().collect();
+        let mut batched = self.runtime.process_batch(&flat).into_iter();
+        // Reassemble per-input results (un-routable packets deliver nothing).
+        frames
+            .iter()
+            .map(|slot| {
+                if slot.is_none() {
+                    return Vec::new();
+                }
+                let outs = batched.next().expect("one batch result per frame");
+                let deliveries: Vec<Delivery> = outs
+                    .into_iter()
+                    .filter_map(|(port, packet)| {
+                        let to = self.runtime.port_owner(port)?;
+                        Some(Delivery { to, port, packet })
+                    })
+                    .collect();
+                let mut trace = vec![from];
+                self.finish_deliveries(from, deliveries, &mut trace, 4)
+            })
+            .collect()
+    }
+
     fn send_inner(
         &mut self,
         from: ParticipantId,
@@ -155,32 +197,40 @@ impl FabricSim {
         if budget == 0 {
             return Vec::new();
         }
-        let Some((_, router)) = self
+        let Some(frame) = self.forward_frame(from, packet) else {
+            return Vec::new();
+        };
+        self.capture_frame(&frame);
+        let deliveries = self.deliver(frame);
+        self.finish_deliveries(from, deliveries, trace, budget)
+    }
+
+    /// A participant's border router turns an IP packet into a tagged
+    /// fabric frame (FIB + ARP). The sim resolves ARP synchronously: ask
+    /// the SDX responder, learn the binding, and retry once.
+    fn forward_frame(&mut self, from: ParticipantId, packet: Packet) -> Option<Packet> {
+        let (_, router) = self
             .routers
             .iter_mut()
             .map(|(_, v)| v)
-            .find(|(owner, _)| *owner == from)
-        else {
-            return Vec::new();
-        };
-        let frame = match router.forward(packet.clone()) {
-            Forward::Frame(f) => f,
-            // The sim resolves ARP synchronously: ask the SDX responder,
-            // learn the binding, and retry once.
+            .find(|(owner, _)| *owner == from)?;
+        match router.forward(packet.clone()) {
+            Forward::Frame(f) => Some(f),
             Forward::NeedArp(req) => {
-                let Some(reply) = self.runtime.resolve_arp(&req) else {
-                    return Vec::new();
-                };
+                let reply = self.runtime.resolve_arp(&req)?;
                 router.learn_arp(&reply);
                 match router.forward(packet) {
-                    Forward::Frame(f) => f,
-                    _ => return Vec::new(),
+                    Forward::Frame(f) => Some(f),
+                    _ => None,
                 }
             }
-            Forward::NoRoute => return Vec::new(),
-        };
+            Forward::NoRoute => None,
+        }
+    }
+
+    fn capture_frame(&mut self, frame: &Packet) {
         if let Some(cap) = &mut self.capture {
-            if let Ok(bytes) = encode_frame(&frame, &[]) {
+            if let Ok(bytes) = encode_frame(frame, &[]) {
                 cap.write_frame(
                     (self.clock_us / 1_000_000) as u32,
                     (self.clock_us % 1_000_000) as u32,
@@ -188,7 +238,17 @@ impl FabricSim {
                 );
             }
         }
-        let deliveries = self.deliver(frame);
+    }
+
+    /// Attribute deliveries to the traffic matrix, recursing through
+    /// middlebox re-injection.
+    fn finish_deliveries(
+        &mut self,
+        from: ParticipantId,
+        deliveries: Vec<Delivery>,
+        trace: &mut Vec<ParticipantId>,
+        budget: usize,
+    ) -> Vec<Delivery> {
         let mut out = Vec::new();
         for d in deliveries {
             if self.reinjectors.contains(&d.to) && d.to != from {

@@ -134,12 +134,21 @@ impl<V> PrefixTrie<V> {
 
     /// All stored prefixes that contain `addr`, least specific first.
     pub fn matches(&self, addr: Ipv4Addr) -> Vec<(Prefix, &V)> {
+        let mut out = Vec::new();
+        self.walk(addr, |p, v| out.push((p, v)));
+        out
+    }
+
+    /// Visit every stored prefix containing `addr`, least specific first,
+    /// without allocating. This is the data-plane lookup primitive: the
+    /// switch's tuple-space index walks the containing chain of each
+    /// prefix-keyed bucket per packet, so the allocation-free form matters.
+    pub fn walk<'a>(&'a self, addr: Ipv4Addr, mut visit: impl FnMut(Prefix, &'a V)) {
         let bits = u32::from(addr);
         let mut node = &self.root;
-        let mut out = Vec::new();
         for i in 0..=32u8 {
             if let Some(v) = &node.value {
-                out.push((Prefix::from_bits(bits, i), v));
+                visit(Prefix::from_bits(bits, i), v);
             }
             if i == 32 {
                 break;
@@ -149,7 +158,6 @@ impl<V> PrefixTrie<V> {
                 None => break,
             }
         }
-        out
     }
 
     /// Iterate over all `(prefix, value)` pairs in lexicographic order.
@@ -248,6 +256,19 @@ mod tests {
             .map(|(_, v)| *v)
             .collect();
         assert_eq!(chain, vec![0, 8, 16, 32]);
+    }
+
+    #[test]
+    fn walk_agrees_with_matches() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        for addr in ["10.1.2.3", "10.9.9.9", "192.0.2.1"] {
+            let mut walked = Vec::new();
+            t.walk(a(addr), |q, v| walked.push((q, v)));
+            assert_eq!(walked, t.matches(a(addr)));
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use compile::{
 pub use cover::{shadowed_rules, witness_outside, Region, ShadowedRule};
 pub use field::{Field, Value};
 pub use intern::{Interner, PoolStats, PredId, PredicatePool, SharedPredicatePool};
-pub use matcher::Match;
+pub use matcher::{Match, MatchSignature, SigKind};
 pub use packet::Packet;
 pub use parser::{parse_policy, parse_predicate, ParseError};
 pub use pattern::Pattern;

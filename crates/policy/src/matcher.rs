@@ -5,6 +5,87 @@ use serde::{Deserialize, Serialize};
 
 use crate::{Field, Packet, Pattern};
 
+/// The shape of a single-field constraint: whether the pattern is an exact
+/// value or an IP prefix. Part of a [`MatchSignature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SigKind {
+    /// `Pattern::Exact` — the field is pinned to one value.
+    Exact,
+    /// `Pattern::Prefix` — the field (an IPv4 address) is constrained to a
+    /// CIDR range shorter than /32.
+    Prefix,
+}
+
+/// The *signature* of a match: which fields it constrains and whether each
+/// constraint is exact or a prefix, with the concrete values erased.
+///
+/// Two matches with the same signature can share one lookup structure — a
+/// hash table over the exact fields' values plus a prefix trie per prefix
+/// field — which is the tuple-space classification the data plane's flow
+/// tables build on (one "tuple" per signature, as in Open vSwitch's
+/// megaflow classifier).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatchSignature {
+    /// `(field, kind)` pairs, sorted by field (the `Match` map order).
+    fields: Vec<(Field, SigKind)>,
+}
+
+impl MatchSignature {
+    /// The signature constraining no fields (the wildcard match's).
+    pub fn wildcard() -> Self {
+        MatchSignature::default()
+    }
+
+    /// Is this the wildcard signature?
+    pub fn is_wildcard(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Number of constrained fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The `(field, kind)` pairs, sorted by field.
+    pub fn fields(&self) -> &[(Field, SigKind)] {
+        &self.fields
+    }
+
+    /// The fields constrained to exact values, in field order.
+    pub fn exact_fields(&self) -> impl Iterator<Item = Field> + '_ {
+        self.fields
+            .iter()
+            .filter(|(_, k)| *k == SigKind::Exact)
+            .map(|(f, _)| *f)
+    }
+
+    /// The fields constrained by prefixes, in field order.
+    pub fn prefix_fields(&self) -> impl Iterator<Item = Field> + '_ {
+        self.fields
+            .iter()
+            .filter(|(_, k)| *k == SigKind::Prefix)
+            .map(|(f, _)| *f)
+    }
+}
+
+impl fmt::Display for MatchSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_wildcard() {
+            return write!(f, "*");
+        }
+        for (i, (field, kind)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match kind {
+                SigKind::Exact => write!(f, "{field}")?,
+                SigKind::Prefix => write!(f, "{field}/")?,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A conjunction of per-field patterns: the match half of a classifier rule.
 ///
 /// A field absent from the map is a wildcard. The empty match (`Match::any()`)
@@ -95,6 +176,25 @@ impl Match {
     /// Are the two matches disjoint (no packet satisfies both)?
     pub fn disjoint(&self, other: &Match) -> bool {
         self.intersect(other).is_none()
+    }
+
+    /// The signature of this match: which fields it constrains and the
+    /// shape (exact vs prefix) of each constraint. Patterns are stored
+    /// canonicalized, so a /32 prefix reports as `SigKind::Exact`.
+    pub fn signature(&self) -> MatchSignature {
+        MatchSignature {
+            fields: self
+                .fields
+                .iter()
+                .map(|(f, p)| {
+                    let kind = match p {
+                        Pattern::Exact(_) => SigKind::Exact,
+                        Pattern::Prefix(_) => SigKind::Prefix,
+                    };
+                    (*f, kind)
+                })
+                .collect(),
+        }
     }
 
     /// Does every packet matching `other` also match `self`?
@@ -217,6 +317,29 @@ mod tests {
     fn without_removes_constraint() {
         let m = Match::on(Field::Port, Pattern::Exact(3));
         assert!(m.without(Field::Port).is_any());
+    }
+
+    #[test]
+    fn signature_reflects_shape_and_canonicalization() {
+        let m = Match::on(Field::DstIp, pfx("10.0.0.0/8"))
+            .and(Field::DstPort, Pattern::Exact(80))
+            .unwrap();
+        let sig = m.signature();
+        assert_eq!(sig.arity(), 2);
+        assert_eq!(sig.prefix_fields().collect::<Vec<_>>(), vec![Field::DstIp]);
+        assert_eq!(sig.exact_fields().collect::<Vec<_>>(), vec![Field::DstPort]);
+        assert_eq!(sig.to_string(), "dstip/,dstport");
+
+        // A /32 prefix canonicalizes to Exact, so its signature says Exact:
+        // the two spellings share a bucket.
+        let host = Match::on(Field::DstIp, pfx("10.0.0.1/32"));
+        assert_eq!(
+            host.signature(),
+            Match::on(Field::DstIp, Pattern::Exact(ip("10.0.0.1"))).signature()
+        );
+
+        assert!(Match::any().signature().is_wildcard());
+        assert_eq!(Match::any().signature(), MatchSignature::wildcard());
     }
 
     #[test]

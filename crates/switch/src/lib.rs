@@ -16,6 +16,7 @@
 
 mod arp;
 mod frame;
+mod index;
 pub mod openflow;
 mod pcap;
 mod router;
@@ -24,6 +25,7 @@ mod table;
 
 pub use arp::{ArpReply, ArpRequest, ArpResponder, ETHTYPE_ARP, ETHTYPE_IPV4};
 pub use frame::{decode_frame, encode_frame, FrameError};
+pub use index::IndexStats;
 pub use pcap::{read_pcap, CapturedFrame, PcapError, PcapWriter};
 pub use router::{BorderRouter, Forward};
 pub use switch::{SoftSwitch, SwitchStats};

@@ -2,6 +2,7 @@ use std::collections::BTreeSet;
 
 use sdx_policy::{Classifier, Field, Packet};
 
+use crate::index::IndexStats;
 use crate::{FlowRule, FlowTable};
 
 /// A software SDN switch: a set of ports and one flow table.
@@ -12,11 +13,17 @@ use crate::{FlowRule, FlowTable};
 /// one packet per action whose final `Port` is a real port of the switch —
 /// actions leaving the packet on a virtual (non-existent) port indicate a
 /// compilation bug and are dropped with a counter.
+///
+/// Lookups use the tables' tuple-space index (see [`crate::index`]); set
+/// [`set_linear_scan`](Self::set_linear_scan) to force the O(rules) linear
+/// scan instead — the baseline the dataplane bench measures against and the
+/// oracle the ci smoke diffs the index against.
 #[derive(Debug, Clone, Default)]
 pub struct SoftSwitch {
     ports: BTreeSet<u32>,
     tables: Vec<FlowTable>,
     stats: SwitchStats,
+    linear_scan: bool,
 }
 
 /// Counters the simulations and tests assert on.
@@ -47,6 +54,7 @@ impl SoftSwitch {
             ports: ports.into_iter().collect(),
             tables: (0..n_tables.max(1)).map(|_| FlowTable::new()).collect(),
             stats: SwitchStats::default(),
+            linear_scan: false,
         }
     }
 
@@ -90,6 +98,26 @@ impl SoftSwitch {
         self.stats
     }
 
+    /// Force (or lift) linear-scan lookups in every pipeline table. The
+    /// linear scan is the semantic oracle for the tuple-space index; the
+    /// dataplane bench uses it as its speedup baseline.
+    pub fn set_linear_scan(&mut self, linear: bool) {
+        self.linear_scan = linear;
+    }
+
+    /// Whether lookups bypass the index.
+    pub fn linear_scan(&self) -> bool {
+        self.linear_scan
+    }
+
+    /// Aggregate index size across the pipeline.
+    pub fn index_stats(&self) -> IndexStats {
+        self.tables
+            .iter()
+            .map(FlowTable::index_stats)
+            .fold(IndexStats::default(), IndexStats::merge)
+    }
+
     /// Read access to the first flow table.
     pub fn table(&self) -> &FlowTable {
         &self.tables[0]
@@ -112,60 +140,101 @@ impl SoftSwitch {
 
     /// Process one packet: returns `(egress port, packet)` pairs.
     pub fn process(&mut self, pkt: &Packet) -> Vec<(u32, Packet)> {
+        let mut out = Vec::new();
+        let mut work = Vec::new();
+        self.process_into(pkt, &mut work, &mut out);
+        out
+    }
+
+    /// Process a batch of packets through the pipeline, reusing one work
+    /// buffer across the whole batch. Emitted `(egress, packet)` pairs are
+    /// grouped per input packet, in input order.
+    pub fn process_batch(&mut self, pkts: &[Packet]) -> Vec<Vec<(u32, Packet)>> {
+        let mut work = Vec::new();
+        let mut results = Vec::with_capacity(pkts.len());
+        for pkt in pkts {
+            let mut out = Vec::new();
+            self.process_into(pkt, &mut work, &mut out);
+            results.push(out);
+        }
+        results
+    }
+
+    /// The pipeline walk behind [`process`](Self::process) and
+    /// [`process_batch`](Self::process_batch). `work` is caller-provided
+    /// scratch (left empty on return) so batches amortize its allocation.
+    fn process_into(
+        &mut self,
+        pkt: &Packet,
+        work: &mut Vec<(usize, Packet)>,
+        out: &mut Vec<(u32, Packet)>,
+    ) {
         let Some(ingress) = pkt.port() else {
             self.stats.bad_ingress += 1;
-            return Vec::new();
+            return;
         };
         if !self.ports.contains(&ingress) {
             self.stats.bad_ingress += 1;
-            return Vec::new();
+            return;
         }
         self.stats.received += 1;
 
+        // Table lookups are read-only (counters are atomic), so the tables
+        // borrow immutably while the stats update in place — no cloning of
+        // rule actions per packet.
+        let SoftSwitch {
+            ports,
+            tables,
+            stats,
+            linear_scan,
+        } = self;
+
         // Walk the pipeline: (table, packet) work items; a goto_table rule
         // continues matching, a plain rule emits.
-        let mut out = Vec::new();
-        let mut work = vec![(0usize, pkt.clone())];
-        let budget = self.tables.len();
+        work.clear();
+        work.push((0usize, pkt.clone()));
+        let budget = tables.len();
         while let Some((table_idx, pkt)) = work.pop() {
-            let Some(table) = self.tables.get_mut(table_idx) else {
-                self.stats.dropped += 1;
+            let Some(table) = tables.get(table_idx) else {
+                stats.dropped += 1;
                 continue;
             };
-            let Some(rule) = table.lookup(&pkt) else {
-                self.stats.dropped += 1;
+            let hit = if *linear_scan {
+                table.lookup_linear(&pkt)
+            } else {
+                table.lookup(&pkt)
+            };
+            let Some(rule) = hit else {
+                stats.dropped += 1;
                 continue;
             };
             if rule.actions.is_empty() {
-                self.stats.dropped += 1;
+                stats.dropped += 1;
                 continue;
             }
-            let actions = rule.actions.clone();
-            let goto = rule.goto_table;
-            for action in &actions {
+            for action in &rule.actions {
                 let emitted = action.apply(&pkt);
-                match goto {
+                match rule.goto_table {
                     // Continue in a strictly later table (OpenFlow forbids
                     // backwards gotos, which also bounds the walk).
                     Some(next) if next > table_idx && next < budget => {
                         work.push((next, emitted));
                     }
                     Some(_) => {
-                        self.stats.misdirected += 1;
+                        stats.misdirected += 1;
                     }
                     None => match emitted.get(Field::Port) {
-                        Some(egress) if self.ports.contains(&(egress as u32)) => {
-                            self.stats.forwarded += 1;
+                        Some(egress) if ports.contains(&(egress as u32)) => {
+                            stats.forwarded += 1;
                             out.push((egress as u32, emitted));
                         }
                         _ => {
-                            self.stats.misdirected += 1;
+                            stats.misdirected += 1;
                         }
                     },
                 }
             }
         }
-        out
     }
 }
 
@@ -253,5 +322,31 @@ mod tests {
         let mut sw = SoftSwitch::new([1]);
         assert!(sw.process(&Packet::new()).is_empty());
         assert_eq!(sw.stats().bad_ingress, 1);
+    }
+
+    #[test]
+    fn batch_matches_single_packet_processing() {
+        let mut indexed = SoftSwitch::new([1, 2, 3]);
+        let mut linear = SoftSwitch::new([1, 2, 3]);
+        let policy =
+            (match_(Field::DstPort, 80u16) >> fwd(2)) + (match_(Field::DstPort, 443u16) >> fwd(3));
+        for sw in [&mut indexed, &mut linear] {
+            sw.install_classifier(&policy.compile(), 1);
+        }
+        linear.set_linear_scan(true);
+        assert!(linear.linear_scan());
+
+        let https = Packet::tcp(
+            1,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(20, 0, 0, 1),
+            5555,
+            443,
+        );
+        let pkts = vec![web_packet(1), https, web_packet(99)];
+        let batched = indexed.process_batch(&pkts);
+        let singles: Vec<_> = pkts.iter().map(|p| linear.process(p)).collect();
+        assert_eq!(batched, singles);
+        assert_eq!(indexed.stats(), linear.stats());
     }
 }

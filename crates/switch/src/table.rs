@@ -1,14 +1,20 @@
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use sdx_policy::{Action, Classifier, Match, Packet};
+use sdx_policy::{Action, Classifier, Match, Packet, Rule};
 use serde::{Deserialize, Serialize};
 
+use crate::index::{IndexStats, TableIndex};
+
 /// A single flow-table entry: an OpenFlow-style (priority, match, actions)
-/// triple with byte/packet counters.
+/// triple.
 ///
 /// The match/action model is shared with the policy compiler ([`Match`] /
 /// [`Action`]), reflecting the paper's observation that compiled SDX policies
 /// "have a straightforward mapping to low-level rules on OpenFlow switches".
+/// Packet counters live on the owning [`FlowTable`] (see
+/// [`FlowTable::packet_count`]), keyed by rule position, so the read-only
+/// match path can bump them without exclusive access.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlowRule {
     /// Higher wins.
@@ -23,12 +29,10 @@ pub struct FlowRule {
     /// Continue matching in this pipeline table after applying the actions
     /// (OpenFlow `goto_table`). `None` = emit.
     pub goto_table: Option<usize>,
-    /// Packets that hit this rule.
-    pub packet_count: u64,
 }
 
 impl FlowRule {
-    /// A rule with zeroed counters and cookie.
+    /// A rule with a zeroed cookie.
     pub fn new(priority: u32, match_: Match, actions: Vec<Action>) -> Self {
         FlowRule {
             priority,
@@ -36,7 +40,6 @@ impl FlowRule {
             match_,
             actions,
             goto_table: None,
-            packet_count: 0,
         }
     }
 
@@ -69,19 +72,53 @@ impl fmt::Display for FlowRule {
         if let Some(t) = self.goto_table {
             write!(f, " goto({t})")?;
         }
-        write!(f, " (n={})", self.packet_count)
+        Ok(())
     }
 }
 
-/// A priority-ordered flow table.
+/// A priority-ordered flow table with an indexed fast path.
 ///
 /// Rules are kept sorted by descending priority; among equal priorities,
 /// insertion order decides (first installed wins), matching common switch
 /// behavior closely enough for the SDX's generated rules, which never rely
 /// on equal-priority overlap.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Lookups go through a tuple-space index (see [`crate::index`]): rules are
+/// bucketed by match signature, exact fields are hash keys, prefix fields
+/// walk a binary trie, and buckets are probed highest-priority-first with an
+/// early exit. [`lookup_linear`](Self::lookup_linear) /
+/// [`peek_linear`](Self::peek_linear) keep the O(n) scan as the oracle the
+/// property tests and the dataplane bench baseline measure against. Both
+/// paths share one read-only match pipeline; per-rule packet counters are
+/// atomic so neither needs `&mut self`.
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct FlowTable {
+    /// Sorted by (priority descending, install sequence ascending) — a total
+    /// order, since sequence numbers are unique.
     rules: Vec<FlowRule>,
+    /// Install sequence of each rule, aligned with `rules`. Ascending within
+    /// every priority band (the first-installed-wins tiebreak).
+    seqs: Vec<u64>,
+    /// Packets that hit each rule, aligned with `rules`.
+    counters: Vec<AtomicU64>,
+    next_seq: u64,
+    index: TableIndex,
+}
+
+impl Clone for FlowTable {
+    fn clone(&self) -> Self {
+        FlowTable {
+            rules: self.rules.clone(),
+            seqs: self.seqs.clone(),
+            counters: self
+                .counters
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            next_seq: self.next_seq,
+            index: self.index.clone(),
+        }
+    }
 }
 
 impl FlowTable {
@@ -105,22 +142,76 @@ impl FlowTable {
         &self.rules
     }
 
+    /// Packets that hit `rules()[i]`. Panics if `i` is out of range.
+    pub fn packet_count(&self, i: usize) -> u64 {
+        self.counters[i].load(Ordering::Relaxed)
+    }
+
+    /// The highest installed priority, if any rule is installed.
+    pub fn max_priority(&self) -> Option<u32> {
+        self.rules.first().map(|r| r.priority)
+    }
+
+    /// Size counters of the lookup index.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
     /// Install a rule (stable within its priority band).
     pub fn install(&mut self, rule: FlowRule) {
         let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.index.insert(&rule.match_, rule.priority, seq);
         self.rules.insert(pos, rule);
+        self.seqs.insert(pos, seq);
+        self.counters.insert(pos, AtomicU64::new(0));
     }
 
     /// Remove every rule carrying `cookie`; returns how many were removed.
     pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
         let before = self.rules.len();
-        self.rules.retain(|r| r.cookie != cookie);
+        if !self.rules.iter().any(|r| r.cookie == cookie) {
+            return 0;
+        }
+        let mut rules = Vec::with_capacity(before);
+        let mut seqs = Vec::with_capacity(before);
+        let mut counters = Vec::with_capacity(before);
+        for ((rule, seq), counter) in self
+            .rules
+            .drain(..)
+            .zip(self.seqs.drain(..))
+            .zip(self.counters.drain(..))
+        {
+            if rule.cookie != cookie {
+                rules.push(rule);
+                seqs.push(seq);
+                counters.push(counter);
+            }
+        }
+        self.rules = rules;
+        self.seqs = seqs;
+        self.counters = counters;
+        self.rebuild_index();
         before - self.rules.len()
     }
 
     /// Remove all rules.
     pub fn clear(&mut self) {
         self.rules.clear();
+        self.seqs.clear();
+        self.counters.clear();
+        self.index.clear();
+    }
+
+    /// Rebuild the lookup index from the rule list. Insertions maintain the
+    /// index incrementally; this is the bulk path used after removals (and
+    /// by the dataplane bench to time index construction).
+    pub fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (i, rule) in self.rules.iter().enumerate() {
+            self.index.insert(&rule.match_, rule.priority, self.seqs[i]);
+        }
     }
 
     /// Replace the whole table with a compiled classifier. Rule `i` of the
@@ -140,6 +231,16 @@ impl FlowTable {
     /// Like [`append_classifier`](Self::append_classifier), additionally
     /// setting `goto_table` on every non-drop rule — how a policy stage is
     /// installed into a multi-table pipeline.
+    ///
+    /// The appended band occupies priorities `priority_boost + 1 ..=
+    /// priority_boost + classifier.len()`. **Invariant:** `priority_boost`
+    /// must be at least the table's current [`max_priority`]
+    /// (self::max_priority), so repeated overlay appends stack strictly
+    /// above everything already installed and can never collide or
+    /// interleave with the base table's priorities. Callers that just want
+    /// "on top of whatever is there" should use
+    /// [`append_rules_above`](Self::append_rules_above), which computes the
+    /// boost itself.
     pub fn append_classifier_goto(
         &mut self,
         classifier: &Classifier,
@@ -147,7 +248,18 @@ impl FlowTable {
         priority_boost: u32,
         goto: Option<usize>,
     ) {
+        debug_assert!(
+            self.max_priority()
+                .map(|p| priority_boost >= p)
+                .unwrap_or(true),
+            "append band would interleave with existing priorities: \
+             boost {priority_boost} < max installed {:?}",
+            self.max_priority()
+        );
         let n = classifier.len() as u32;
+        priority_boost
+            .checked_add(n)
+            .expect("flow-table priority space exhausted");
         for (i, rule) in classifier.rules().iter().enumerate() {
             let mut fr = FlowRule::new(
                 priority_boost + n - i as u32,
@@ -162,29 +274,93 @@ impl FlowTable {
         }
     }
 
+    /// Append bare rules strictly above everything installed, preserving
+    /// their order (earlier = higher priority): the §4.3.2 fast-path overlay
+    /// primitive. Computes the priority boost from the table's own
+    /// [`max_priority`](Self::max_priority), so repeated appends are
+    /// collision-free by construction. Non-drop rules get `goto` when given.
+    /// Returns the boost used (the priority ceiling *before* the append).
+    pub fn append_rules_above(&mut self, rules: &[Rule], cookie: u64, goto: Option<usize>) -> u32 {
+        let boost = self.max_priority().unwrap_or(0);
+        let n = rules.len() as u32;
+        boost
+            .checked_add(n)
+            .expect("flow-table priority space exhausted");
+        for (i, rule) in rules.iter().enumerate() {
+            let mut fr = FlowRule::new(
+                boost + n - i as u32,
+                rule.match_.clone(),
+                rule.actions.clone(),
+            )
+            .with_cookie(cookie);
+            if let (Some(t), false) = (goto, rule.is_drop()) {
+                fr = fr.with_goto(t);
+            }
+            self.install(fr);
+        }
+        boost
+    }
+
+    /// Position of the rule identified by `(priority, seq)` — O(log n), the
+    /// rule list being totally ordered by (priority desc, seq asc).
+    fn position_of(&self, priority: u32, seq: u64) -> Option<usize> {
+        let lo = self.rules.partition_point(|r| r.priority > priority);
+        let hi = lo + self.rules[lo..].partition_point(|r| r.priority >= priority);
+        let band = &self.seqs[lo..hi];
+        let off = band.partition_point(|&s| s < seq);
+        (off < band.len() && band[off] == seq).then_some(lo + off)
+    }
+
+    /// Indexed position of the best rule matching `pkt`.
+    fn find(&self, pkt: &Packet) -> Option<usize> {
+        let (priority, seq) = self.index.lookup(pkt)?;
+        let pos = self
+            .position_of(priority, seq)
+            .expect("index candidates name installed rules");
+        debug_assert!(self.rules[pos].match_.matches(pkt));
+        Some(pos)
+    }
+
     /// Look up the packet: the highest-priority matching rule. Bumps its
     /// packet counter.
-    pub fn lookup(&mut self, pkt: &Packet) -> Option<&FlowRule> {
-        let idx = self.rules.iter().position(|r| r.match_.matches(pkt))?;
-        self.rules[idx].packet_count += 1;
-        Some(&self.rules[idx])
+    pub fn lookup(&self, pkt: &Packet) -> Option<&FlowRule> {
+        let pos = self.find(pkt)?;
+        self.counters[pos].fetch_add(1, Ordering::Relaxed);
+        Some(&self.rules[pos])
     }
 
     /// Like `lookup` but without touching counters.
     pub fn peek(&self, pkt: &Packet) -> Option<&FlowRule> {
+        self.find(pkt).map(|pos| &self.rules[pos])
+    }
+
+    /// The linear-scan oracle for [`lookup`](Self::lookup): same semantics,
+    /// O(rules) per packet. Kept public so the property tests and the
+    /// dataplane bench baseline can measure and diff against it.
+    pub fn lookup_linear(&self, pkt: &Packet) -> Option<&FlowRule> {
+        let pos = self.rules.iter().position(|r| r.match_.matches(pkt))?;
+        self.counters[pos].fetch_add(1, Ordering::Relaxed);
+        Some(&self.rules[pos])
+    }
+
+    /// The linear-scan oracle for [`peek`](Self::peek).
+    pub fn peek_linear(&self, pkt: &Packet) -> Option<&FlowRule> {
         self.rules.iter().find(|r| r.match_.matches(pkt))
     }
 
     /// Total packets matched across all rules.
     pub fn total_hits(&self) -> u64 {
-        self.rules.iter().map(|r| r.packet_count).sum()
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
 impl fmt::Display for FlowTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for r in &self.rules {
-            writeln!(f, "{r}")?;
+        for (i, r) in self.rules.iter().enumerate() {
+            writeln!(f, "{r} (n={})", self.packet_count(i))?;
         }
         Ok(())
     }
@@ -224,6 +400,10 @@ mod tests {
         t.install(FlowRule::new(5, m(1), vec![Action::set(Field::Port, 8u32)]));
         let pkt = Packet::new().with(Field::Port, 1u32);
         assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(7));
+        assert_eq!(
+            t.peek_linear(&pkt).unwrap().actions[0].get(Field::Port),
+            Some(7)
+        );
     }
 
     #[test]
@@ -233,8 +413,10 @@ mod tests {
         let pkt = Packet::new();
         t.lookup(&pkt);
         t.lookup(&pkt);
-        assert_eq!(t.rules()[0].packet_count, 2);
-        assert_eq!(t.total_hits(), 2);
+        assert_eq!(t.packet_count(0), 2);
+        t.lookup_linear(&pkt);
+        assert_eq!(t.packet_count(0), 3);
+        assert_eq!(t.total_hits(), 3);
     }
 
     #[test]
@@ -246,6 +428,10 @@ mod tests {
         assert_eq!(t.remove_by_cookie(7), 2);
         assert_eq!(t.len(), 1);
         assert_eq!(t.rules()[0].cookie, 9);
+        // The index survives removal: the remaining rule is still found.
+        let pkt = Packet::new().with(Field::Port, 3u32);
+        assert_eq!(t.lookup(&pkt).unwrap().cookie, 9);
+        assert!(t.lookup(&Packet::new().with(Field::Port, 1u32)).is_none());
     }
 
     #[test]
@@ -280,5 +466,69 @@ mod tests {
         // Removing the overlay restores the original behavior.
         t.remove_by_cookie(2);
         assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(1));
+    }
+
+    #[test]
+    fn append_rules_above_stacks_collision_free() {
+        use sdx_policy::{fwd, match_};
+        let mut t = FlowTable::new();
+        t.install_classifier(&(match_(Field::DstPort, 80u16) >> fwd(1)).compile(), 1);
+        let base_max = t.max_priority().unwrap();
+        // Two successive overlays: each must land strictly above everything
+        // before it, later appends shadowing earlier ones.
+        let overlay = |to: u32| {
+            (match_(Field::DstPort, 80u16) >> fwd(to))
+                .compile()
+                .rules()
+                .to_vec()
+        };
+        let boost1 = t.append_rules_above(&overlay(2), 2, None);
+        assert_eq!(boost1, base_max);
+        let max1 = t.max_priority().unwrap();
+        assert!(max1 > base_max);
+        let boost2 = t.append_rules_above(&overlay(3), 3, Some(1));
+        assert_eq!(boost2, max1);
+
+        let pkt = Packet::new().with(Field::DstPort, 80u16);
+        let hit = t.peek(&pkt).unwrap();
+        assert_eq!(hit.actions[0].get(Field::Port), Some(3));
+        assert_eq!(hit.goto_table, Some(1));
+        // Unwinding the overlays restores each previous layer.
+        t.remove_by_cookie(3);
+        assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(2));
+        t.remove_by_cookie(2);
+        assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(1));
+    }
+
+    #[test]
+    fn indexed_lookup_handles_prefixes_and_wildcards() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(
+            5,
+            Match::on(Field::DstIp, Pattern::Prefix("10.0.0.0/8".parse().unwrap())),
+            vec![Action::set(Field::Port, 1u32)],
+        ));
+        t.install(FlowRule::new(
+            7,
+            Match::on(
+                Field::DstIp,
+                Pattern::Prefix("10.1.0.0/16".parse().unwrap()),
+            ),
+            vec![Action::set(Field::Port, 2u32)],
+        ));
+        t.install(FlowRule::new(1, Match::any(), vec![]));
+
+        let inner = Packet::new().with(Field::DstIp, std::net::Ipv4Addr::new(10, 1, 2, 3));
+        let outer = Packet::new().with(Field::DstIp, std::net::Ipv4Addr::new(10, 9, 9, 9));
+        let miss = Packet::new().with(Field::DstIp, std::net::Ipv4Addr::new(99, 0, 0, 1));
+        assert_eq!(t.peek(&inner).unwrap().priority, 7);
+        assert_eq!(t.peek(&outer).unwrap().priority, 5);
+        assert_eq!(t.peek(&miss).unwrap().priority, 1);
+        for pkt in [&inner, &outer, &miss] {
+            assert_eq!(t.peek(pkt), t.peek_linear(pkt));
+        }
+        let stats = t.index_stats();
+        assert_eq!(stats.rules, 3);
+        assert_eq!(stats.buckets, 2); // {dstip-prefix}, {wildcard}
     }
 }

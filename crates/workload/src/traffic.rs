@@ -100,11 +100,22 @@ pub fn run_timeline(
             mbps_by_participant: BTreeMap::new(),
             mbps_by_destination: BTreeMap::new(),
         };
-        for flow in flows {
-            for delivery in sim.send_from(flow.from, flow.packet()) {
-                *bin.mbps_by_participant.entry(delivery.to).or_default() += flow.rate_mbps;
-                if let Some(dst) = delivery.packet.dst_ip() {
-                    *bin.mbps_by_destination.entry(dst).or_default() += flow.rate_mbps;
+        // Group the bin's probes by sender so each group rides one batched
+        // pipeline pass through the fabric (deliveries come back grouped
+        // per probe, so per-flow attribution is unchanged).
+        let mut by_sender: BTreeMap<ParticipantId, Vec<usize>> = BTreeMap::new();
+        for (i, flow) in flows.iter().enumerate() {
+            by_sender.entry(flow.from).or_default().push(i);
+        }
+        for (sender, idxs) in &by_sender {
+            let probes: Vec<Packet> = idxs.iter().map(|&i| flows[i].packet()).collect();
+            for (&i, deliveries) in idxs.iter().zip(sim.send_batch_from(*sender, &probes)) {
+                let flow = &flows[i];
+                for delivery in deliveries {
+                    *bin.mbps_by_participant.entry(delivery.to).or_default() += flow.rate_mbps;
+                    if let Some(dst) = delivery.packet.dst_ip() {
+                        *bin.mbps_by_destination.entry(dst).or_default() += flow.rate_mbps;
+                    }
                 }
             }
         }
