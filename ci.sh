@@ -87,4 +87,27 @@ if target/release/sdx-lint --quiet --verify scenarios/figure1.sdx scenarios/lint
     echo "ci: multi-file lint must propagate the worst exit" >&2; exit 1
 fi
 
+echo "== update-plan smoke (sdx-lint --plan over scenarios/plan-*.sdx)"
+# Adversarial churn fixtures: the naive rule-delta ordering demonstrably
+# traverses a transient blackhole / isolation leak, so --plan must flag
+# them (exit 1) with a plan-naive-* witness AND synthesize a safe
+# schedule (plan-ordered / plan-two-phase) for the same delta.
+for s in scenarios/plan-*.sdx; do
+    if out=$(target/release/sdx-lint --quiet --plan "$s"); then
+        echo "ci: $s naive ordering unexpectedly safe" >&2; exit 1
+    elif [ $? -ne 1 ]; then
+        echo "ci: $s plan lint failed to run" >&2; exit 1
+    fi
+    echo "$out" | grep -q 'plan-naive-' || {
+        echo "ci: $s missing naive-ordering evidence" >&2; exit 1
+    }
+    echo "$out" | grep -q 'witness:' || {
+        echo "ci: $s plan violation lacks a witness packet" >&2; exit 1
+    }
+    echo "$out" | grep -Eq 'plan-(ordered|two-phase)' || {
+        echo "ci: $s no safe schedule synthesized" >&2; exit 1
+    }
+done
+echo "$(grep -c . <<< "$(ls scenarios/plan-*.sdx)") plan fixture(s) flagged with witnesses"
+
 echo "ci: all green"

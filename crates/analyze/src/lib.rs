@@ -90,6 +90,9 @@ pub enum PassKind {
     /// Differential equivalence of an incremental recompile against a
     /// from-scratch compile.
     Differential,
+    /// Update-plan safety: intermediate-state checking of rule-level install
+    /// orderings (the `sdx-plan` gate).
+    Plan,
 }
 
 impl fmt::Display for PassKind {
@@ -103,6 +106,7 @@ impl fmt::Display for PassKind {
             PassKind::Blackhole => write!(f, "blackhole"),
             PassKind::VnhIntegrity => write!(f, "vnh-integrity"),
             PassKind::Differential => write!(f, "differential"),
+            PassKind::Plan => write!(f, "plan"),
         }
     }
 }

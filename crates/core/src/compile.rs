@@ -71,6 +71,15 @@ pub struct CompileOptions {
     /// return a compilation with error-severity findings. Independent of
     /// `analysis` — the two gates compose.
     pub verify: AnalysisMode,
+    /// Run the static update-plan safety analyzer (`sdx-plan`) when a
+    /// recompile replaces already-installed tables: compute the rule-level
+    /// delta, synthesize a safe install ordering (two-phase fallback), and
+    /// judge the naive install-stream order. `Warn` records diagnostics and
+    /// installs via the synthesized plan; `Deny` additionally refuses to
+    /// install when **no** safe plan exists (naive-order violations alone
+    /// never block — they are the evidence the planner exists to route
+    /// around). No effect on a first compile (nothing installed to update).
+    pub plan: AnalysisMode,
     /// Worker threads for the fork-join compile pipeline: `1` (the default)
     /// compiles sequentially, `0` resolves to one worker per available core,
     /// any other value is taken literally. The compiled output is
@@ -87,6 +96,7 @@ impl Default for CompileOptions {
             multi_table: false,
             analysis: AnalysisMode::Off,
             verify: AnalysisMode::Off,
+            plan: AnalysisMode::Off,
             threads: 1,
         }
     }
@@ -139,6 +149,15 @@ pub struct StageTimes {
     ///
     /// [`SdxRuntime::verify_differential`]: crate::SdxRuntime::verify_differential
     pub verify_diff_us: u64,
+    /// Rule-level delta computation of the update planner (zero unless the
+    /// plan gate ran).
+    pub plan_delta_us: u64,
+    /// Safe-ordering synthesis of the update planner, including its
+    /// intermediate-state checking (zero unless the plan gate ran).
+    pub plan_search_us: u64,
+    /// The intermediate-state checking portion of the synthesis alone
+    /// (subset of `plan_search_us`).
+    pub plan_check_us: u64,
 }
 
 /// What the compiler measures, for the evaluation harness.
@@ -182,6 +201,23 @@ pub struct CompileStats {
     pub pred_cache_hits: usize,
     /// Clause-predicate classifier requests compiled fresh.
     pub pred_cache_misses: usize,
+    /// Update-plan steps (rule installs + removals) of the last plan-gated
+    /// recompile (0 when the plan gate did not run).
+    pub plan_steps: usize,
+    /// Intermediate states the ordering search checked (0 when the plan
+    /// gate did not run).
+    pub plan_explored: usize,
+    /// Did the planner fall back to the two-phase schedule?
+    pub plan_two_phase: bool,
+    /// Warning-severity findings of the update planner (0 when the plan
+    /// gate did not run).
+    pub plan_warnings: usize,
+    /// Error-severity findings of the update planner — naive-ordering
+    /// violations count here (0 when the plan gate did not run).
+    pub plan_errors: usize,
+    /// Did the install go through the synthesized plan (rule-level delta
+    /// applied step-by-step) rather than a wholesale table rebuild?
+    pub plan_applied: bool,
     /// Wall-clock time of the whole compilation, in microseconds.
     pub duration_us: u64,
     /// Per-stage wall-clock breakdown and worker count.
@@ -223,6 +259,12 @@ pub enum CompileError {
     /// violations and the options demand denial. Carries the rendered
     /// findings (with witness packets); no flow rules are produced.
     VerifyRejected(Vec<String>),
+    /// The update planner found **no** safe install schedule — neither a
+    /// single-phase ordering nor the two-phase fallback passes the
+    /// intermediate-state checks — and the options demand denial. Carries
+    /// the rendered findings (violating step + witness packet); the
+    /// previously installed tables stay in place.
+    PlanRejected(Vec<String>),
 }
 
 impl fmt::Display for CompileError {
@@ -260,6 +302,21 @@ impl fmt::Display for CompileError {
                 write!(
                     f,
                     "reachability verification rejected the compilation ({} error",
+                    errors.len()
+                )?;
+                if errors.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            CompileError::PlanRejected(errors) => {
+                write!(
+                    f,
+                    "update planning rejected the installation: no safe schedule exists ({} error",
                     errors.len()
                 )?;
                 if errors.len() != 1 {
@@ -460,7 +517,17 @@ pub fn compile(
         Vec::new()
     };
     let group_index = fec::index_groups(&groups);
-    alloc.reset();
+    // With the update-plan gate active the pool is NOT recycled: each
+    // recompile allocates a fresh VNH/VMAC *generation*, so a tag never
+    // changes meaning across a plan. Tag reuse would make per-packet
+    // consistency unachievable at rule granularity — a reused tag's
+    // pre-flip traffic needs the old behavior while its post-flip traffic
+    // needs the new one, through rules that cannot tell them apart. The
+    // /12 pool sustains ~1M allocations before `VnhExhausted` forces an
+    // operator reset.
+    if input.options.plan == AnalysisMode::Off {
+        alloc.reset();
+    }
     let mut vnh = Vec::with_capacity(groups.len());
     for _ in &groups {
         vnh.push(alloc.allocate().ok_or(CompileError::VnhExhausted)?);

@@ -57,5 +57,6 @@ pub use sdx_analyze::{
     diff, hs, reach, Analysis, AnalysisMode, Diagnostic, DiffReport, DiffSide, FibEntry, FibModel,
     GroupBinding, ReachReport, Severity, VerifyInput,
 };
+pub use sdx_plan::{PlanReport, PlanStep, Schedule, Violation, ViolationKind};
 pub use sim::{Delivery, FabricSim};
 pub use vnh::VnhAllocator;

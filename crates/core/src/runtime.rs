@@ -16,10 +16,12 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
+use sdx_analyze::AnalysisMode;
 use sdx_bgp::{ExportPolicy, PathAttributes, RouteServer, RpkiStatus, RpkiValidator, Update};
 use sdx_ip::{MacAddr, Prefix};
+use sdx_plan::{DeltaOp, PlanReport, TableState};
 use sdx_policy::{Classifier, Packet};
-use sdx_switch::{ArpReply, ArpRequest, ArpResponder, BorderRouter, SoftSwitch};
+use sdx_switch::{ArpReply, ArpRequest, ArpResponder, BorderRouter, FlowTable, SoftSwitch};
 
 use crate::compile::{
     compile, stage1_rules_for_prefix, Compilation, CompileError, CompileInput, CompileOptions,
@@ -53,6 +55,9 @@ pub struct IncrementalStats {
     pub overlay_rules: usize,
     /// Microseconds spent in the most recent fast-path update.
     pub last_update_us: u64,
+    /// Fast-path overlay installs refused by the flow table (priority space
+    /// exhausted); the background recompilation recovers these.
+    pub install_errors: u64,
 }
 
 /// The SDX controller runtime.
@@ -73,10 +78,16 @@ pub struct SdxRuntime {
     incremental: IncrementalStats,
     rpki: Option<RpkiValidator>,
     rpki_rejected: u64,
+    last_plan: Option<PlanReport>,
 }
 
 /// Cookie tagging the base (fully compiled) table.
 const BASE_COOKIE: u64 = 1;
+
+/// Saturating µs cast for the stage-timing fields.
+fn clamp_us(us: u128) -> u64 {
+    u64::try_from(us).unwrap_or(u64::MAX)
+}
 
 impl Default for SdxRuntime {
     fn default() -> Self {
@@ -103,6 +114,7 @@ impl SdxRuntime {
             incremental: IncrementalStats::default(),
             rpki: None,
             rpki_rejected: 0,
+            last_plan: None,
         }
     }
 
@@ -195,8 +207,24 @@ impl SdxRuntime {
     /// Run the full compilation pipeline and install the result: fabric
     /// rules, ARP bindings for every VNH, and (conceptually) refreshed
     /// advertisements. Clears any fast-path overlays.
+    ///
+    /// With [`CompileOptions::plan`] active and tables already installed,
+    /// the install happens as a *verified update plan*: the rule-level
+    /// delta against the live tables is computed, a safe ordering is
+    /// synthesized (`sdx-plan`), and the steps are applied one by one —
+    /// instead of a wholesale table replacement. `Deny` refuses to install
+    /// when no safe schedule exists ([`CompileError::PlanRejected`]); the
+    /// old tables stay in place.
     pub fn compile(&mut self) -> Result<CompileStats, CompileError> {
-        let compilation = {
+        // Capture the pre-update view before anything moves: the installed
+        // tables (overlays included) and the live verifier input.
+        let plan_old = if self.options.plan != AnalysisMode::Off {
+            self.verify_input().map(|vi| (vi, self.installed_state()))
+        } else {
+            None
+        };
+
+        let mut compilation = {
             let input = CompileInput {
                 participants: &self.participants,
                 policies: &self.policies,
@@ -207,6 +235,72 @@ impl SdxRuntime {
             compile(&input, &mut self.alloc, &self.memo)?
         };
 
+        // ---- Update-plan safety gate (§ consistent updates) --------------
+        let mut schedule = None;
+        if let Some((old_vi, old_state)) = plan_old {
+            let new_vi = {
+                let input = self.input();
+                crate::verify::build_verify_input(&input, &compilation)
+            };
+            let new_state = self.target_state(&compilation);
+            let report = sdx_plan::plan(&sdx_plan::PlanInput {
+                old_state,
+                new_state,
+                old_verify: &old_vi,
+                new_verify: &new_vi,
+                budget: sdx_plan::DEFAULT_SEARCH_BUDGET,
+            });
+
+            compilation.stats.plan_steps = report.steps.len();
+            compilation.stats.plan_explored = report.explored;
+            compilation.stats.plan_two_phase = report.two_phase();
+            compilation.stats.stages.plan_delta_us = clamp_us(report.times.delta_us);
+            compilation.stats.stages.plan_search_us = clamp_us(report.times.search_us);
+            compilation.stats.stages.plan_check_us = clamp_us(report.check_us);
+            let verdict = sdx_analyze::Analysis {
+                diagnostics: report.diagnostics(),
+            };
+            compilation.stats.plan_warnings = verdict.warnings();
+            compilation.stats.plan_errors = verdict.errors();
+
+            // The gate blocks only when *no* safe schedule exists:
+            // naive-ordering violations are the evidence the planner routes
+            // around, not a defect of the new state.
+            if self.options.plan == AnalysisMode::Deny && !report.safe() {
+                return Err(CompileError::PlanRejected(verdict.error_messages()));
+            }
+            compilation
+                .analysis
+                .get_or_insert_with(Default::default)
+                .diagnostics
+                .extend(verdict.diagnostics);
+            schedule = report.schedule.clone();
+            self.last_plan = Some(report);
+        }
+
+        // ---- Install ------------------------------------------------------
+        let planned = schedule
+            .map(|s| self.install_planned(&compilation, &s))
+            .unwrap_or(false);
+        compilation.stats.plan_applied = planned;
+        if !planned {
+            self.install_wholesale(&compilation);
+        }
+        // VNH → VMAC bindings for the ARP responder. Router-interface
+        // bindings are kept; stale VNH bindings are harmless (the pool
+        // restarts, so indices are reused consistently).
+        for (vnh, vmac) in &compilation.vnh {
+            self.arp.bind(*vnh, *vmac);
+        }
+        self.overlays.clear();
+        self.incremental.overlay_rules = 0;
+        let stats = compilation.stats;
+        self.compilation = Some(compilation);
+        Ok(stats)
+    }
+
+    /// Wholesale install: reset the pipeline and load the compiled tables.
+    fn install_wholesale(&mut self, compilation: &Compilation) {
         if self.options.multi_table {
             // Two-table pipeline: sender stage in table 0 (goto 1),
             // receiver stage in table 1. No composition needed.
@@ -224,17 +318,91 @@ impl SdxRuntime {
             self.switch
                 .install_classifier(&compilation.fabric, BASE_COOKIE);
         }
-        // VNH → VMAC bindings for the ARP responder. Router-interface
-        // bindings are kept; stale VNH bindings are harmless (the pool
-        // restarts, so indices are reused consistently).
-        for (vnh, vmac) in &compilation.vnh {
-            self.arp.bind(*vnh, *vmac);
+    }
+
+    /// Apply a synthesized update plan step-by-step to the *live* tables
+    /// (the delta path: touched rules only, no wholesale rebuild), then
+    /// cross-check the result against a fresh install by content
+    /// fingerprint. Returns `false` — caller falls back to the wholesale
+    /// path — when the pipeline shape changed or the fingerprints disagree.
+    fn install_planned(
+        &mut self,
+        compilation: &Compilation,
+        schedule: &sdx_plan::Schedule,
+    ) -> bool {
+        let want_tables = if self.options.multi_table { 2 } else { 1 };
+        if self.switch.table_count() != want_tables {
+            return false;
         }
-        self.overlays.clear();
-        self.incremental.overlay_rules = 0;
-        let stats = compilation.stats;
-        self.compilation = Some(compilation);
-        Ok(stats)
+        for step in &schedule.order {
+            let Some(table) = self.switch.table_at_mut(step.table) else {
+                return false;
+            };
+            match step.op {
+                DeltaOp::Install => table.install(step.rule.to_flow_rule(BASE_COOKIE)),
+                DeltaOp::Remove => {
+                    table.remove_matching(&step.rule.to_flow_rule(BASE_COOKIE));
+                }
+            }
+        }
+        // Paranoia cross-check: the planned result must be content-identical
+        // to what a wholesale install would have produced.
+        let fresh = self.reference_tables(compilation);
+        let matches = (0..want_tables).all(|i| {
+            self.switch
+                .table_at(i)
+                .map(|t| t.fingerprint() == fresh[i].fingerprint())
+                .unwrap_or(false)
+        });
+        if !matches {
+            return false; // wholesale reinstall repairs the divergence
+        }
+        true
+    }
+
+    /// The tables a wholesale install of `compilation` would produce.
+    fn reference_tables(&self, compilation: &Compilation) -> Vec<FlowTable> {
+        if self.options.multi_table {
+            let mut t0 = FlowTable::new();
+            t0.append_classifier_goto(&compilation.stage1, BASE_COOKIE, 0, Some(1));
+            let mut t1 = FlowTable::new();
+            t1.append_classifier(&compilation.stage2, BASE_COOKIE, 0);
+            vec![t0, t1]
+        } else {
+            let mut t = FlowTable::new();
+            t.install_classifier(&compilation.fabric, BASE_COOKIE);
+            vec![t]
+        }
+    }
+
+    /// The rule content of the currently installed pipeline, per table.
+    fn installed_state(&self) -> Vec<TableState> {
+        (0..self.switch.table_count())
+            .map(|i| {
+                sdx_plan::state_of_table(self.switch.table_at(i).expect("table index in range"))
+            })
+            .collect()
+    }
+
+    /// The rule content a wholesale install of `compilation` would produce.
+    fn target_state(&self, compilation: &Compilation) -> Vec<TableState> {
+        if self.options.multi_table {
+            vec![
+                sdx_plan::state_of_classifier(&compilation.stage1, Some(1)),
+                sdx_plan::state_of_classifier(&compilation.stage2, None),
+            ]
+        } else {
+            vec![sdx_plan::state_of_classifier(&compilation.fabric, None)]
+        }
+    }
+
+    /// The update planner's report for the most recent plan-gated
+    /// [`compile`](Self::compile): the delta, the synthesized schedule, the
+    /// naive-ordering violations, and the search counters. `None` until a
+    /// recompile runs with [`CompileOptions::plan`] active and tables
+    /// already installed.
+    pub fn last_plan(&self) -> Option<&PlanReport> {
+        self.last_plan.as_ref()
     }
 
     /// The paper's "background" stage: rerun the optimal compilation,
@@ -350,11 +518,21 @@ impl SdxRuntime {
         let n = overlay_rules.len();
         // The table computes the priority boost from its own ceiling, so
         // repeated overlays stack strictly above the base table and each
-        // other — no collision with base priorities is possible.
+        // other — no collision with base priorities is possible. The append
+        // can still exhaust the priority space after enough stacked
+        // overlays; that is an operational condition, not a bug: leave the
+        // base table serving the prefix and let the background
+        // recompilation reset the ceiling.
         let goto = multi_table.then_some(1);
-        self.switch
+        if self
+            .switch
             .table_mut()
-            .append_rules_above(&overlay_rules, cookie, goto);
+            .append_rules_above(&overlay_rules, cookie, goto)
+            .is_err()
+        {
+            self.incremental.install_errors += 1;
+            return;
+        }
         self.arp.bind(vnh, vmac);
         self.incremental.overlay_rules += n;
         self.overlays.push(Overlay {

@@ -1,0 +1,280 @@
+//! Safe-ordering synthesis: verifier-guided search over step permutations.
+//!
+//! Given the rule-level delta and a [`Checker`], find an ordering of the
+//! steps whose every intermediate state passes the safety checks. The
+//! search is a depth-first walk with backtracking:
+//!
+//! * **Drain partition.** Steps that only remove rules pinned to *retired*
+//!   VMAC tags cannot be taken safely before the routers stop emitting
+//!   those tags — and are trivially safe afterwards. They are peeled off
+//!   up front and appended after the plan's barrier, shrinking the search
+//!   space to the steps that actually interact.
+//! * **Heuristic ordering.** At each node, candidate steps are tried
+//!   installs-first (highest priority first — make-before-break), then
+//!   removals (lowest priority first — dismantle from the bottom). For
+//!   update patterns produced by the SDX compiler this usually finds a
+//!   safe order on the first descent; the backtracking only pays when the
+//!   greedy choice wedges.
+//! * **Incremental re-checking.** A step pinned to one VMAC tag can only
+//!   change that tag's behavior, so only that tag's injections are
+//!   re-verified after it (see [`Checker::affected_tag`]).
+//! * **Budget.** The walk explores at most `budget` nodes; exhaustion
+//!   falls through to the two-phase fallback rather than hanging.
+//!
+//! When no safe single-phase ordering exists (or the budget runs out), the
+//! planner falls back to a **two-phase** plan in the spirit of consistent
+//! updates: phase A installs every new rule (the flow table's
+//! first-installed-wins tie-break keeps old rules authoritative inside
+//! equal-priority bands, so behavior is unchanged — verified, not
+//! assumed), the barrier lets in-flight packets drain and the routers flip
+//! to the new tags, then phase B removes the old rules (traffic must
+//! already see exactly the new behavior — also verified). If even the
+//! two-phase plan fails its checks, the delta genuinely has no
+//! per-packet-consistent rule-granularity schedule and the plan is
+//! reported unsafe with the violating steps as witnesses.
+
+use crate::check::{Checker, Phase, Violation};
+use crate::delta::{apply, DeltaOp, PlanStep, TableState};
+
+/// The synthesized schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The steps, in execution order.
+    pub order: Vec<PlanStep>,
+    /// Steps `order[..barrier]` run first; the plan then waits for the
+    /// route flip / packet drain before running `order[barrier..]`.
+    pub barrier: usize,
+    /// Was the two-phase fallback used (vs. a safe single-phase ordering)?
+    pub two_phase: bool,
+}
+
+/// What the search produced.
+#[derive(Debug)]
+pub struct SearchResult {
+    /// The safe schedule, when one exists.
+    pub schedule: Option<Schedule>,
+    /// Violations that doomed the two-phase fallback (empty on success).
+    pub violations: Vec<Violation>,
+    /// Search nodes expanded (states checked) across the DFS.
+    pub explored: usize,
+    /// Microseconds spent inside intermediate-state checking.
+    pub check_us: u128,
+}
+
+/// Judge an explicit ordering (e.g. the naive differ emission order):
+/// apply the steps one by one and record every intermediate-state
+/// violation, stamped with the step index after which it occurs. An
+/// explicit order has no barrier, so every step — including retired-tag
+/// drains — is judged in the pre-barrier [`Phase::Update`], where old-tag
+/// traffic is still being emitted. Recording stops early once
+/// [`crate::MAX_NAIVE_VIOLATIONS`] pile up: the judgement is evidence,
+/// not a gate, and a bad ordering at workload scale flags tens of
+/// thousands of (injection, step) pairs.
+pub fn judge_order(
+    checker: &Checker,
+    initial: &[TableState],
+    order: &[PlanStep],
+) -> (Vec<Violation>, u128) {
+    let mut state = initial.to_vec();
+    let mut violations = Vec::new();
+    let start = std::time::Instant::now();
+    for (i, step) in order.iter().enumerate() {
+        apply(&mut state, step);
+        let dirty = checker.dirty_injections(Checker::affected_tag(step));
+        for mut v in checker.check_state(&state, &dirty, Phase::Update) {
+            v.step = i;
+            v.step_desc = step.to_string();
+            violations.push(v);
+        }
+        if violations.len() >= crate::MAX_NAIVE_VIOLATIONS {
+            violations.truncate(crate::MAX_NAIVE_VIOLATIONS);
+            break;
+        }
+    }
+    (violations, start.elapsed().as_micros())
+}
+
+/// Is `step` a pure drain: the removal of a rule pinned to a retired tag?
+fn is_drain(checker: &Checker, step: &PlanStep) -> bool {
+    step.op == DeltaOp::Remove
+        && Checker::affected_tag(step)
+            .map(|t| checker.is_retired_tag(t))
+            .unwrap_or(false)
+}
+
+/// Heuristic candidate order: installs by priority descending, then
+/// removals by priority ascending. Returns indices into `steps`.
+fn heuristic_order(steps: &[PlanStep], pending: &[bool]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..steps.len()).filter(|&i| pending[i]).collect();
+    idx.sort_by_key(|&i| {
+        let s = &steps[i];
+        match s.op {
+            DeltaOp::Install => (0u8, u32::MAX - s.rule.priority),
+            DeltaOp::Remove => (1u8, s.rule.priority),
+        }
+    });
+    idx
+}
+
+/// Synthesize a safe schedule for `steps` applied to `initial`.
+pub fn synthesize(
+    checker: &Checker,
+    initial: &[TableState],
+    steps: &[PlanStep],
+    budget: usize,
+) -> SearchResult {
+    let start = std::time::Instant::now();
+    let mut explored = 0usize;
+
+    // Peel off the drain steps; they run after the barrier.
+    let (update, drain): (Vec<PlanStep>, Vec<PlanStep>) =
+        steps.iter().cloned().partition(|s| !is_drain(checker, s));
+
+    // DFS over the update steps.
+    let mut order: Vec<usize> = Vec::with_capacity(update.len());
+    let mut pending = vec![true; update.len()];
+    let mut state = initial.to_vec();
+    let found = dfs(
+        checker,
+        &update,
+        &mut state,
+        &mut order,
+        &mut pending,
+        budget,
+        &mut explored,
+    );
+
+    if found {
+        let mut full: Vec<PlanStep> = order.iter().map(|&i| update[i].clone()).collect();
+        let barrier = full.len();
+        full.extend(drain);
+        return SearchResult {
+            schedule: Some(Schedule {
+                order: full,
+                barrier,
+                two_phase: false,
+            }),
+            violations: Vec::new(),
+            explored,
+            check_us: start.elapsed().as_micros(),
+        };
+    }
+
+    // Two-phase fallback: installs (old behavior must hold — the flow
+    // table's first-installed-wins tie-break shields old rules inside
+    // equal-priority bands), barrier, removals (new behavior must hold).
+    let mut phase_a: Vec<PlanStep> = update
+        .iter()
+        .chain(drain.iter())
+        .filter(|s| s.op == DeltaOp::Install)
+        .cloned()
+        .collect();
+    phase_a.sort_by_key(|s| u32::MAX - s.rule.priority);
+    let mut phase_b: Vec<PlanStep> = update
+        .iter()
+        .chain(drain.iter())
+        .filter(|s| s.op == DeltaOp::Remove)
+        .cloned()
+        .collect();
+    phase_b.sort_by_key(|s| s.rule.priority);
+
+    let mut violations = Vec::new();
+    let mut state = initial.to_vec();
+    for (i, step) in phase_a.iter().enumerate() {
+        apply(&mut state, step);
+        explored += 1;
+        let dirty = checker.dirty_injections(Checker::affected_tag(step));
+        for mut v in checker.check_state(&state, &dirty, Phase::Update) {
+            v.step = i;
+            v.step_desc = step.to_string();
+            violations.push(v);
+        }
+    }
+    // The barrier lands on the post-phase-A state: once the routers flip,
+    // that state — old rules still present — must already show exactly the
+    // new behavior to the new generation, before any removal runs.
+    if !phase_a.is_empty() || !phase_b.is_empty() {
+        explored += 1;
+        for mut v in checker.check_state(&state, &checker.all_injections(), Phase::NewExact) {
+            v.step = phase_a.len().saturating_sub(1);
+            v.step_desc = "barrier".to_string();
+            violations.push(v);
+        }
+    }
+    for (i, step) in phase_b.iter().enumerate() {
+        apply(&mut state, step);
+        explored += 1;
+        let dirty = checker.dirty_injections(Checker::affected_tag(step));
+        for mut v in checker.check_state(&state, &dirty, Phase::NewExact) {
+            v.step = phase_a.len() + i;
+            v.step_desc = step.to_string();
+            violations.push(v);
+        }
+    }
+
+    if violations.is_empty() {
+        let barrier = phase_a.len();
+        let mut full = phase_a;
+        full.extend(phase_b);
+        SearchResult {
+            schedule: Some(Schedule {
+                order: full,
+                barrier,
+                two_phase: true,
+            }),
+            violations: Vec::new(),
+            explored,
+            check_us: start.elapsed().as_micros(),
+        }
+    } else {
+        SearchResult {
+            schedule: None,
+            violations,
+            explored,
+            check_us: start.elapsed().as_micros(),
+        }
+    }
+}
+
+/// Depth-first search for a safe single-phase ordering. `order` and
+/// `pending` are the mutable frontier; `state` always reflects `order`
+/// applied to the initial state. Returns `true` with `order` complete on
+/// success.
+fn dfs(
+    checker: &Checker,
+    steps: &[PlanStep],
+    state: &mut Vec<TableState>,
+    order: &mut Vec<usize>,
+    pending: &mut [bool],
+    budget: usize,
+    explored: &mut usize,
+) -> bool {
+    if order.len() == steps.len() {
+        return true;
+    }
+    for i in heuristic_order(steps, pending) {
+        if *explored >= budget {
+            return false;
+        }
+        *explored += 1;
+        let step = &steps[i];
+        // Snapshot for the undo: the inverse op is not position-exact
+        // inside equal-priority bands, and first-installed-wins makes
+        // position behavior-relevant there.
+        let saved = state.clone();
+        apply(state, step);
+        let dirty = checker.dirty_injections(Checker::affected_tag(step));
+        let safe = checker.check_state(state, &dirty, Phase::Update).is_empty();
+        if safe {
+            pending[i] = false;
+            order.push(i);
+            if dfs(checker, steps, state, order, pending, budget, explored) {
+                return true;
+            }
+            order.pop();
+            pending[i] = true;
+        }
+        *state = saved;
+    }
+    false
+}

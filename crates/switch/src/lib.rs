@@ -29,4 +29,4 @@ pub use index::IndexStats;
 pub use pcap::{read_pcap, CapturedFrame, PcapError, PcapWriter};
 pub use router::{BorderRouter, Forward};
 pub use switch::{SoftSwitch, SwitchStats};
-pub use table::{FlowRule, FlowTable};
+pub use table::{FlowRule, FlowTable, InstallError};

@@ -6,6 +6,37 @@ use serde::{Deserialize, Serialize};
 
 use crate::index::{IndexStats, TableIndex};
 
+/// Why a rule installation was refused. Installation paths that stack rule
+/// bands above existing contents can run the 32-bit priority space dry; that
+/// is an operational condition (recoverable by a background recompilation),
+/// not a programming error, so it surfaces as a typed error instead of a
+/// panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstallError {
+    /// Appending `rules` rules above priority ceiling `ceiling` would
+    /// overflow the 32-bit priority space.
+    PriorityExhausted {
+        /// The table's priority ceiling before the append.
+        ceiling: u32,
+        /// How many rules the append needed above it.
+        rules: u32,
+    },
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::PriorityExhausted { ceiling, rules } => write!(
+                f,
+                "flow-table priority space exhausted: cannot stack {rules} \
+                 rule(s) above priority {ceiling}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
 /// A single flow-table entry: an OpenFlow-style (priority, match, actions)
 /// triple.
 ///
@@ -279,13 +310,25 @@ impl FlowTable {
     /// primitive. Computes the priority boost from the table's own
     /// [`max_priority`](Self::max_priority), so repeated appends are
     /// collision-free by construction. Non-drop rules get `goto` when given.
-    /// Returns the boost used (the priority ceiling *before* the append).
-    pub fn append_rules_above(&mut self, rules: &[Rule], cookie: u64, goto: Option<usize>) -> u32 {
+    /// Returns the boost used (the priority ceiling *before* the append), or
+    /// [`InstallError::PriorityExhausted`] — without installing anything —
+    /// when the band would overflow the priority space (a long-lived runtime
+    /// stacking overlays can get here; a background recompilation resets the
+    /// ceiling and recovers).
+    pub fn append_rules_above(
+        &mut self,
+        rules: &[Rule],
+        cookie: u64,
+        goto: Option<usize>,
+    ) -> Result<u32, InstallError> {
         let boost = self.max_priority().unwrap_or(0);
         let n = rules.len() as u32;
-        boost
-            .checked_add(n)
-            .expect("flow-table priority space exhausted");
+        if boost.checked_add(n).is_none() {
+            return Err(InstallError::PriorityExhausted {
+                ceiling: boost,
+                rules: n,
+            });
+        }
         for (i, rule) in rules.iter().enumerate() {
             let mut fr = FlowRule::new(
                 boost + n - i as u32,
@@ -298,7 +341,57 @@ impl FlowTable {
             }
             self.install(fr);
         }
-        boost
+        Ok(boost)
+    }
+
+    /// Remove the first installed rule whose behavior-relevant fields equal
+    /// `rule`'s — priority, match, actions, and `goto_table`, but *not* the
+    /// cookie (an update plan retires rules by content, not by which
+    /// generation installed them). Returns whether a rule was removed.
+    pub fn remove_matching(&mut self, rule: &FlowRule) -> bool {
+        let Some(pos) = self.rules.iter().position(|r| {
+            r.priority == rule.priority
+                && r.match_ == rule.match_
+                && r.actions == rule.actions
+                && r.goto_table == rule.goto_table
+        }) else {
+            return false;
+        };
+        self.rules.remove(pos);
+        self.seqs.remove(pos);
+        self.counters.remove(pos);
+        self.rebuild_index();
+        true
+    }
+
+    /// FNV-1a fingerprint of the table's behavior-relevant contents: every
+    /// rule's priority, match, actions, and `goto_table`, in table order.
+    /// Cookies, counters, and install sequence numbers are excluded, so two
+    /// tables holding the same rules at the same priorities fingerprint
+    /// equal no matter how they got there — the equality the update-plan
+    /// round-trip property checks.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        for rule in &self.rules {
+            let mut line = format!("prio={} {} ->", rule.priority, rule.match_);
+            for a in &rule.actions {
+                line.push_str(&format!(" {a}"));
+            }
+            if let Some(t) = rule.goto_table {
+                line.push_str(&format!(" goto({t})"));
+            }
+            eat(line.as_bytes());
+            eat(b"\n");
+        }
+        hash
     }
 
     /// Position of the rule identified by `(priority, seq)` — O(log n), the
@@ -482,11 +575,11 @@ mod tests {
                 .rules()
                 .to_vec()
         };
-        let boost1 = t.append_rules_above(&overlay(2), 2, None);
+        let boost1 = t.append_rules_above(&overlay(2), 2, None).unwrap();
         assert_eq!(boost1, base_max);
         let max1 = t.max_priority().unwrap();
         assert!(max1 > base_max);
-        let boost2 = t.append_rules_above(&overlay(3), 3, Some(1));
+        let boost2 = t.append_rules_above(&overlay(3), 3, Some(1)).unwrap();
         assert_eq!(boost2, max1);
 
         let pkt = Packet::new().with(Field::DstPort, 80u16);
@@ -498,6 +591,64 @@ mod tests {
         assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(2));
         t.remove_by_cookie(2);
         assert_eq!(t.peek(&pkt).unwrap().actions[0].get(Field::Port), Some(1));
+    }
+
+    #[test]
+    fn append_rules_above_surfaces_priority_exhaustion() {
+        use sdx_policy::{fwd, match_};
+        let mut t = FlowTable::new();
+        // A rule already sitting at the priority ceiling: any further band
+        // must be refused, and refused atomically (nothing installed).
+        t.install(FlowRule::new(u32::MAX, m(1), vec![]));
+        let overlay = (match_(Field::DstPort, 80u16) >> fwd(2))
+            .compile()
+            .rules()
+            .to_vec();
+        let err = t.append_rules_above(&overlay, 2, None).unwrap_err();
+        assert!(matches!(
+            err,
+            InstallError::PriorityExhausted {
+                ceiling: u32::MAX,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("priority space exhausted"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_matching_ignores_cookie() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(5, m(1), vec![]).with_cookie(7));
+        t.install(FlowRule::new(3, m(2), vec![]).with_cookie(7));
+        // Same content, different cookie: must still remove (once).
+        let probe = FlowRule::new(5, m(1), vec![]).with_cookie(99);
+        assert!(t.remove_matching(&probe));
+        assert!(!t.remove_matching(&probe));
+        assert_eq!(t.len(), 1);
+        // The index survives: the remaining rule is still found.
+        assert_eq!(
+            t.lookup(&Packet::new().with(Field::Port, 2u32))
+                .unwrap()
+                .priority,
+            3
+        );
+        assert!(t.lookup(&Packet::new().with(Field::Port, 1u32)).is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_provenance() {
+        let mut a = FlowTable::new();
+        a.install(FlowRule::new(5, m(1), vec![Action::set(Field::Port, 9u32)]).with_cookie(1));
+        a.install(FlowRule::new(3, m(2), vec![]).with_cookie(1));
+        // Same rules, different install order and cookies.
+        let mut b = FlowTable::new();
+        b.install(FlowRule::new(3, m(2), vec![]).with_cookie(42));
+        b.install(FlowRule::new(5, m(1), vec![Action::set(Field::Port, 9u32)]).with_cookie(7));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Content changes move the fingerprint.
+        b.install(FlowRule::new(1, Match::any(), vec![]));
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -7,12 +7,18 @@
 //! and VNH/ARP inconsistencies. With `--verify`, additionally runs the
 //! whole-fabric symbolic reachability verifier (`sdx-verify`): BGP
 //! consistency/isolation, cross-stage blackholes, and VNH/FIB tag integrity,
-//! each violation carrying a concrete witness packet.
+//! each violation carrying a concrete witness packet. With `--plan`,
+//! recompiles go through the static update planner (`sdx-plan`): the
+//! rule-level delta against the previously installed tables is analyzed,
+//! naive-ordering violations are reported with the violating step and a
+//! witness packet, and a safe install schedule is synthesized (the
+//! `plan-ordered`/`plan-two-phase` summary).
 //!
 //! ```bash
 //! cargo run --bin sdx-lint -- scenarios/figure1.sdx
 //! cargo run --bin sdx-lint -- --deny broken.sdx    # refuse to install flow mods
 //! cargo run --bin sdx-lint -- --verify scenarios/*.sdx
+//! cargo run --bin sdx-lint -- --plan scenarios/plan-blackhole.sdx
 //! cat scenario.sdx | cargo run --bin sdx-lint
 //! ```
 //!
@@ -28,17 +34,23 @@ fn main() {
     let mut deny = false;
     let mut quiet = false;
     let mut verify = false;
+    let mut plan = false;
     let mut paths: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--help" | "-h" => {
-                eprintln!("usage: sdx-lint [--deny] [--quiet] [--verify] [SCENARIO-FILE…]");
+                eprintln!(
+                    "usage: sdx-lint [--deny] [--quiet] [--verify] [--plan] [SCENARIO-FILE…]"
+                );
                 eprintln!("  --deny    compile with AnalysisMode::Deny: a defective");
                 eprintln!("            scenario fails at its `compile` line and no");
                 eprintln!("            flow rules are installed");
                 eprintln!("  --verify  additionally run the whole-fabric symbolic");
                 eprintln!("            reachability verifier (isolation, blackhole,");
                 eprintln!("            VNH/FIB integrity) with witness packets");
+                eprintln!("  --plan    additionally run the static update planner on");
+                eprintln!("            recompiles: naive-ordering violations (step +");
+                eprintln!("            witness packet) and the synthesized safe schedule");
                 eprintln!("  --quiet   suppress the scenario transcripts");
                 eprintln!("  reads stdin when no file is given; with several files,");
                 eprintln!("  the worst exit status across all of them is returned");
@@ -47,6 +59,7 @@ fn main() {
             "--deny" => deny = true,
             "--quiet" | "-q" => quiet = true,
             "--verify" => verify = true,
+            "--plan" => plan = true,
             other if !other.starts_with('-') => paths.push(other.to_string()),
             other => {
                 eprintln!("sdx-lint: unknown argument {other:?}");
@@ -63,6 +76,7 @@ fn main() {
     let options = CompileOptions {
         analysis: mode,
         verify: if verify { mode } else { AnalysisMode::Off },
+        plan: if plan { mode } else { AnalysisMode::Off },
         ..Default::default()
     };
 
@@ -138,7 +152,8 @@ fn lint_one(options: CompileOptions, deny: bool, quiet: bool, name: &str, input:
             let msg = e.to_string();
             if deny
                 && (msg.contains("static analysis rejected")
-                    || msg.contains("reachability verification rejected"))
+                    || msg.contains("reachability verification rejected")
+                    || msg.contains("update planning rejected"))
             {
                 eprintln!("sdx-lint: {name}: {msg}");
                 return 1;

@@ -1,0 +1,205 @@
+//! Integration tests for the static update planner (`sdx-plan`): the
+//! adversarial churn fixtures in `scenarios/` must have their naive
+//! install-stream orderings flagged with a named violating step and a
+//! concrete witness packet, while the synthesized schedule passes every
+//! intermediate-state check — and the runtime must actually install
+//! churn-driven recompiles through that schedule.
+
+use std::net::Ipv4Addr;
+
+use sdx::bgp::{AsPath, Asn, PathAttributes};
+use sdx::core::{
+    AnalysisMode, Clause, CompileOptions, FabricSim, Participant, ParticipantId, ParticipantPolicy,
+    PortConfig, SdxRuntime, Severity,
+};
+use sdx::policy::{match_, Field, Packet};
+use sdx::scenario::run_scenario_with;
+
+fn plan_options(mode: AnalysisMode) -> CompileOptions {
+    CompileOptions {
+        plan: mode,
+        ..Default::default()
+    }
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn blackhole_fixture_flags_naive_order_with_witness() {
+    let script = fixture("plan-blackhole.sdx");
+    let (transcript, analysis) =
+        run_scenario_with(plan_options(AnalysisMode::Warn), &script).unwrap();
+    let analysis = analysis.expect("fixture compiles in warn mode");
+
+    let hit = analysis
+        .with_code("plan-naive-blackhole")
+        .next()
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a plan-naive-blackhole finding, got {:?}",
+                analysis.diagnostics
+            )
+        });
+    assert_eq!(hit.severity, Severity::Error);
+    // The finding names the violating step and carries a concrete witness.
+    assert!(
+        hit.message.contains("unsafe after step"),
+        "step provenance missing: {}",
+        hit.message
+    );
+    let witness = hit.witness.as_ref().expect("blackhole carries a witness");
+    let dst = witness.dst_ip().expect("witness has a destination");
+    assert_eq!(
+        dst.octets()[0],
+        20,
+        "witness hits the re-homed prefix: {dst}"
+    );
+
+    // A safe schedule exists: the violations are evidence against the naive
+    // order, not against the update itself.
+    assert!(
+        analysis.with_code("plan-ordered").next().is_some()
+            || analysis.with_code("plan-two-phase").next().is_some(),
+        "no synthesized schedule summary in {:?}",
+        analysis.diagnostics
+    );
+    assert!(
+        analysis.with_code("plan-unsafe").next().is_none(),
+        "fixture must have a safe schedule"
+    );
+
+    // Post-churn forwarding converged on the new home.
+    assert!(transcript.contains("delivered to C port 3"), "{transcript}");
+}
+
+#[test]
+fn leak_fixture_flags_naive_order_with_witness() {
+    let script = fixture("plan-leak.sdx");
+    let (_, analysis) = run_scenario_with(plan_options(AnalysisMode::Warn), &script).unwrap();
+    let analysis = analysis.expect("fixture compiles in warn mode");
+
+    let hit = analysis
+        .with_code("plan-naive-leak")
+        .next()
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a plan-naive-leak finding, got {:?}",
+                analysis.diagnostics
+            )
+        });
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(
+        hit.message.contains("unsafe after step") && hit.message.contains("never advertised"),
+        "{}",
+        hit.message
+    );
+    // The witness is the in-flight web packet that would reach the
+    // unfiltered clause's target mid-update.
+    let witness = hit.witness.as_ref().expect("leak carries a witness");
+    assert_eq!(witness.get(Field::DstPort), Some(80), "web traffic leaks");
+    let dst = witness.dst_ip().expect("witness has a destination");
+    assert_eq!(dst.octets()[0], 20, "the re-homed prefix leaks: {dst}");
+
+    assert!(
+        analysis.with_code("plan-ordered").next().is_some()
+            || analysis.with_code("plan-two-phase").next().is_some(),
+        "no synthesized schedule summary in {:?}",
+        analysis.diagnostics
+    );
+}
+
+#[test]
+fn plan_deny_passes_fixtures_with_safe_schedules() {
+    // Deny blocks only when *no* safe schedule exists. Both adversarial
+    // fixtures have one, so their compiles must succeed even in deny mode.
+    for name in ["plan-blackhole.sdx", "plan-leak.sdx"] {
+        let script = fixture(name);
+        run_scenario_with(plan_options(AnalysisMode::Deny), &script)
+            .unwrap_or_else(|e| panic!("{name} under plan deny: {e}"));
+    }
+}
+
+/// A churn recompile with the gate active must go through the synthesized
+/// schedule (rule-level delta against the live tables), and the planned
+/// install must converge on exactly the forwarding a wholesale rebuild
+/// would produce.
+#[test]
+fn churn_recompile_installs_via_synthesized_plan() {
+    let mut sdx = SdxRuntime::new(plan_options(AnalysisMode::Warn));
+    let a = ParticipantId(1);
+    let b = ParticipantId(2);
+    let c = ParticipantId(3);
+    for (id, port, mac, ip) in [
+        (a, 1u32, "02:0a:00:00:00:01", Ipv4Addr::new(172, 0, 0, 1)),
+        (b, 2u32, "02:0b:00:00:00:01", Ipv4Addr::new(172, 0, 0, 2)),
+        (c, 3u32, "02:0c:00:00:00:01", Ipv4Addr::new(172, 0, 0, 3)),
+    ] {
+        sdx.add_participant(Participant::new(
+            id,
+            Asn(65000 + id.0),
+            vec![PortConfig {
+                port,
+                mac: mac.parse().unwrap(),
+                ip,
+            }],
+        ));
+    }
+    sdx.announce(
+        b,
+        ["20.0.0.0/8".parse().unwrap()],
+        PathAttributes::new(AsPath::sequence([65002]), Ipv4Addr::new(172, 0, 0, 2)),
+    );
+    sdx.announce(
+        c,
+        ["30.0.0.0/8".parse().unwrap()],
+        PathAttributes::new(AsPath::sequence([65003]), Ipv4Addr::new(172, 0, 0, 3)),
+    );
+    sdx.set_policy(
+        a,
+        ParticipantPolicy::new().outbound(Clause::fwd(match_(Field::DstPort, 80u16), b)),
+    );
+    let first = sdx.compile().expect("first compile");
+    assert_eq!(first.plan_steps, 0, "no plan before tables exist");
+    assert!(!first.plan_applied);
+
+    // Churn: 20.0.0.0/8 re-homes from B to C (fast path runs immediately).
+    sdx.withdraw(b, ["20.0.0.0/8".parse().unwrap()]);
+    sdx.announce(
+        c,
+        ["20.0.0.0/8".parse().unwrap()],
+        PathAttributes::new(
+            AsPath::sequence([65003, 65100]),
+            Ipv4Addr::new(172, 0, 0, 3),
+        ),
+    );
+    let second = sdx.compile().expect("churn recompile");
+
+    assert!(second.plan_steps > 0, "churn produces a non-empty delta");
+    assert!(
+        second.plan_applied,
+        "recompile must install through the synthesized schedule"
+    );
+    let report = sdx.last_plan().expect("plan report recorded");
+    let schedule = report.schedule.as_ref().expect("safe schedule exists");
+    assert_eq!(schedule.order.len(), second.plan_steps);
+    assert!(
+        !report.naive_violations.is_empty(),
+        "the naive ordering of this churn is demonstrably unsafe"
+    );
+
+    // The planned install forwards exactly like the new state should.
+    let mut sim = FabricSim::new(sdx);
+    sim.sync();
+    let pkt = Packet::new()
+        .with(Field::EthType, 0x0800u16)
+        .with(Field::IpProto, 6u8)
+        .with(Field::SrcIp, Ipv4Addr::new(10, 0, 0, 1))
+        .with(Field::DstIp, Ipv4Addr::new(20, 0, 0, 1))
+        .with(Field::DstPort, 80u16);
+    let deliveries = sim.send_from(a, pkt);
+    assert_eq!(deliveries.len(), 1, "{deliveries:?}");
+    assert_eq!(deliveries[0].port, 3, "20/8 now lives behind C");
+}
