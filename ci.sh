@@ -64,11 +64,29 @@ echo "== data-plane smoke (dataplane quick + fig1 indexed-vs-linear diff)"
 target/release/dataplane --diff-fig1
 SDX_BENCH_QUICK=1 SDX_BENCH_JSON="$smoke_dir/dp.json" \
     target/release/dataplane > /dev/null
-for key in indexed_pps linear_pps buckets index_build_us speedup; do
+for key in shards aggregate_pps wall_pps scaling_efficiency linear_pps \
+           linear_packets buckets index_build_us speedup_vs_linear; do
     grep -q "\"$key\":" "$smoke_dir/dp.json" || {
         echo "ci: dataplane json missing $key" >&2; exit 1
     }
 done
+
+echo "== data-plane shard smoke (dataplane quick, SDX_DP_THREADS 1 vs 4)"
+# The RSS-sharded data plane must forward bit-identically regardless of the
+# shard count: run the quick sweep pinned to 1 and to 4 shards and diff the
+# per-batch forwarding fingerprints.
+SDX_BENCH_QUICK=1 SDX_DP_THREADS=1 SDX_BENCH_JSON="$smoke_dir/dp1.json" \
+    target/release/dataplane | grep '^# fingerprint' \
+    | sed 's/shards=[0-9]*/shards=N/' > "$smoke_dir/dpfp1"
+SDX_BENCH_QUICK=1 SDX_DP_THREADS=4 SDX_BENCH_JSON="$smoke_dir/dp4.json" \
+    target/release/dataplane | grep '^# fingerprint' \
+    | sed 's/shards=[0-9]*/shards=N/' > "$smoke_dir/dpfp4"
+if ! diff "$smoke_dir/dpfp1" "$smoke_dir/dpfp4"; then
+    echo "ci: sharded forwarding diverged from single-shard" >&2; exit 1
+fi
+grep -q '"shards":4' "$smoke_dir/dp4.json" || {
+    echo "ci: dataplane json missing pinned shard count" >&2; exit 1
+}
 
 echo "== sdx-lint scenarios"
 target/release/sdx-lint --quiet --verify scenarios/figure1.sdx

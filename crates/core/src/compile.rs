@@ -86,6 +86,13 @@ pub struct CompileOptions {
     /// bit-identical for every thread count — parallelism only changes the
     /// wall clock (see `CompileStats::stages`).
     pub threads: usize,
+    /// Shards for the RSS-style sharded data plane: `1` (the default) runs
+    /// the single-threaded switch; `N > 1` hashes each packet's flow key to
+    /// one of N shards processed over the work-stealing pool. Forwarding
+    /// output and counters are bit-identical for every shard count (see
+    /// `sdx_switch::ShardedSwitch`); the `SDX_DP_THREADS` environment knob
+    /// sets this in the benches.
+    pub dataplane_threads: usize,
 }
 
 impl Default for CompileOptions {
@@ -98,6 +105,7 @@ impl Default for CompileOptions {
             verify: AnalysisMode::Off,
             plan: AnalysisMode::Off,
             threads: 1,
+            dataplane_threads: 1,
         }
     }
 }

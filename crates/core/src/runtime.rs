@@ -21,7 +21,10 @@ use sdx_bgp::{ExportPolicy, PathAttributes, RouteServer, RpkiStatus, RpkiValidat
 use sdx_ip::{MacAddr, Prefix};
 use sdx_plan::{DeltaOp, PlanReport, TableState};
 use sdx_policy::{Classifier, Packet};
-use sdx_switch::{ArpReply, ArpRequest, ArpResponder, BorderRouter, FlowTable, SoftSwitch};
+use sdx_switch::{
+    ArpReply, ArpRequest, ArpResponder, BatchOutput, BorderRouter, FlowTable, ShardedSwitch,
+    SoftSwitch,
+};
 
 use crate::compile::{
     compile, stage1_rules_for_prefix, Compilation, CompileError, CompileInput, CompileOptions,
@@ -72,7 +75,7 @@ pub struct SdxRuntime {
     memo: MemoCache,
     compilation: Option<Compilation>,
     arp: ArpResponder,
-    switch: SoftSwitch,
+    switch: ShardedSwitch,
     overlays: Vec<Overlay>,
     next_cookie: u64,
     incremental: IncrementalStats,
@@ -108,7 +111,7 @@ impl SdxRuntime {
             memo: MemoCache::new(),
             compilation: None,
             arp: ArpResponder::new(),
-            switch: SoftSwitch::new([]),
+            switch: ShardedSwitch::new(SoftSwitch::new([]), options.dataplane_threads),
             overlays: Vec::new(),
             next_cookie: BASE_COOKIE + 1,
             incremental: IncrementalStats::default(),
@@ -140,7 +143,7 @@ impl SdxRuntime {
             participant.router_id,
         );
         for port in &participant.ports {
-            self.switch.add_port(port.port);
+            self.switch.master_mut().add_port(port.port);
             self.arp.bind(port.ip, port.mac);
         }
         self.policy_versions.insert(participant.id, 0);
@@ -171,7 +174,7 @@ impl SdxRuntime {
 
     /// Read access to the fabric switch.
     pub fn switch(&self) -> &SoftSwitch {
-        &self.switch
+        self.switch.master()
     }
 
     /// The last full compilation, if any.
@@ -304,19 +307,21 @@ impl SdxRuntime {
         if self.options.multi_table {
             // Two-table pipeline: sender stage in table 0 (goto 1),
             // receiver stage in table 1. No composition needed.
-            self.switch.reset_pipeline(2);
-            self.switch
+            let master = self.switch.master_mut();
+            master.reset_pipeline(2);
+            master
                 .table_at_mut(0)
                 .expect("table 0")
                 .append_classifier_goto(&compilation.stage1, BASE_COOKIE, 0, Some(1));
-            self.switch
-                .table_at_mut(1)
-                .expect("table 1")
-                .append_classifier(&compilation.stage2, BASE_COOKIE, 0);
+            master.table_at_mut(1).expect("table 1").append_classifier(
+                &compilation.stage2,
+                BASE_COOKIE,
+                0,
+            );
         } else {
-            self.switch.reset_pipeline(1);
-            self.switch
-                .install_classifier(&compilation.fabric, BASE_COOKIE);
+            let master = self.switch.master_mut();
+            master.reset_pipeline(1);
+            master.install_classifier(&compilation.fabric, BASE_COOKIE);
         }
     }
 
@@ -331,11 +336,11 @@ impl SdxRuntime {
         schedule: &sdx_plan::Schedule,
     ) -> bool {
         let want_tables = if self.options.multi_table { 2 } else { 1 };
-        if self.switch.table_count() != want_tables {
+        if self.switch.master().table_count() != want_tables {
             return false;
         }
         for step in &schedule.order {
-            let Some(table) = self.switch.table_at_mut(step.table) else {
+            let Some(table) = self.switch.master_mut().table_at_mut(step.table) else {
                 return false;
             };
             match step.op {
@@ -350,6 +355,7 @@ impl SdxRuntime {
         let fresh = self.reference_tables(compilation);
         let matches = (0..want_tables).all(|i| {
             self.switch
+                .master()
                 .table_at(i)
                 .map(|t| t.fingerprint() == fresh[i].fingerprint())
                 .unwrap_or(false)
@@ -377,9 +383,14 @@ impl SdxRuntime {
 
     /// The rule content of the currently installed pipeline, per table.
     fn installed_state(&self) -> Vec<TableState> {
-        (0..self.switch.table_count())
+        (0..self.switch.master().table_count())
             .map(|i| {
-                sdx_plan::state_of_table(self.switch.table_at(i).expect("table index in range"))
+                sdx_plan::state_of_table(
+                    self.switch
+                        .master()
+                        .table_at(i)
+                        .expect("table index in range"),
+                )
             })
             .collect()
     }
@@ -474,7 +485,11 @@ impl SdxRuntime {
         // Retire any previous overlay for the same prefix.
         if let Some(pos) = self.overlays.iter().position(|o| o.prefix == prefix) {
             let old = self.overlays.remove(pos);
-            let removed = self.switch.table_mut().remove_by_cookie(old.cookie);
+            let removed = self
+                .switch
+                .master_mut()
+                .table_mut()
+                .remove_by_cookie(old.cookie);
             self.incremental.overlay_rules -= removed;
             self.arp.unbind(&old.vnh);
         }
@@ -526,6 +541,7 @@ impl SdxRuntime {
         let goto = multi_table.then_some(1);
         if self
             .switch
+            .master_mut()
             .table_mut()
             .append_rules_above(&overlay_rules, cookie, goto)
             .is_err()
@@ -591,10 +607,50 @@ impl SdxRuntime {
         self.switch.process_batch(pkts)
     }
 
+    /// The zero-alloc batch entry point: emissions land in the reusable
+    /// `out` arena (grouped per input packet, in input order), sharded
+    /// across [`dataplane_threads`](Self::dataplane_threads) shards when
+    /// more than one is configured.
+    pub fn process_batch_into(&mut self, pkts: &[Packet], out: &mut BatchOutput) {
+        self.switch.process_batch_into(pkts, out);
+    }
+
+    /// Like [`process_batch_into`](Self::process_batch_into) but runs the
+    /// shards sequentially on the calling thread, timing each shard's busy
+    /// span — the measurement mode for per-shard (dedicated-core) cost; see
+    /// [`sdx_switch::ShardedSwitch::process_batch_serial_into`].
+    pub fn process_batch_serial_into(&mut self, pkts: &[Packet], out: &mut BatchOutput) {
+        self.switch.process_batch_serial_into(pkts, out);
+    }
+
+    /// Current data-plane shard count.
+    pub fn dataplane_threads(&self) -> usize {
+        self.switch.threads()
+    }
+
+    /// Change the data-plane shard count (0 is clamped to 1); takes effect
+    /// on the next batch. Forwarding output and counters are identical for
+    /// every shard count.
+    pub fn set_dataplane_threads(&mut self, threads: usize) {
+        self.options.dataplane_threads = threads.max(1);
+        self.switch.set_threads(threads);
+    }
+
+    /// Per-shard cumulative busy time (see
+    /// [`sdx_switch::ShardedSwitch::shard_busy`]).
+    pub fn shard_busy(&self) -> Vec<std::time::Duration> {
+        self.switch.shard_busy()
+    }
+
+    /// Zero the per-shard busy clocks.
+    pub fn reset_shard_busy(&mut self) {
+        self.switch.reset_shard_busy();
+    }
+
     /// Force (or lift) linear-scan flow-table lookups — the indexed fast
     /// path's semantic oracle and the dataplane bench's baseline.
     pub fn set_linear_scan(&mut self, linear: bool) {
-        self.switch.set_linear_scan(linear);
+        self.switch.master_mut().set_linear_scan(linear);
     }
 
     /// Bring a participant's border router in sync with the SDX's current
@@ -641,10 +697,13 @@ impl SdxRuntime {
     pub fn export_flow_mods(
         &self,
     ) -> Result<Vec<Vec<bytes::Bytes>>, sdx_switch::openflow::FlowModError> {
-        (0..self.switch.table_count())
+        (0..self.switch.master().table_count())
             .map(|i| {
                 sdx_switch::openflow::flow_mods_for_table(
-                    self.switch.table_at(i).expect("table index in range"),
+                    self.switch
+                        .master()
+                        .table_at(i)
+                        .expect("table index in range"),
                 )
             })
             .collect()
@@ -679,9 +738,13 @@ impl SdxRuntime {
     /// The installed pipeline tables, as classifiers in traversal order
     /// (overlay rules included at their boosted priorities).
     fn installed_tables(&self) -> Vec<Classifier> {
-        (0..self.switch.table_count())
+        (0..self.switch.master().table_count())
             .map(|i| {
-                let table = self.switch.table_at(i).expect("table index in range");
+                let table = self
+                    .switch
+                    .master()
+                    .table_at(i)
+                    .expect("table index in range");
                 Classifier::new(
                     table
                         .rules()

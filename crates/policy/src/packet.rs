@@ -1,4 +1,3 @@
-use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -12,9 +11,24 @@ use crate::{Field, Value};
 /// Following Pyretic, the packet's location is just another field (`Port`),
 /// so policies move packets by modifying it. Fields a packet does not carry
 /// (e.g. transport ports on an ARP frame) are simply absent.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// The representation is a presence bitmask plus a fixed value slot per
+/// [`Field`] — fully inline, so cloning a packet (which the data-plane hot
+/// path does once per emitted copy) never touches the heap. The observable
+/// behavior is that of an ordered `Field → u64` map: iteration yields
+/// present fields in `Field` order, and the `Ord` impl compares packets as
+/// the lexicographic sequence of their `(field, value)` pairs, exactly as
+/// the previous `BTreeMap` representation did (witness selection in the
+/// analyzers picks the minimum of a `BTreeSet<Packet>`, so the order is
+/// semantically load-bearing).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Packet {
-    fields: BTreeMap<Field, u64>,
+    /// Bit `f as usize` set iff field `f` is present.
+    mask: u16,
+    /// Raw value per field, indexed by `Field as usize`. **Invariant:**
+    /// slots whose mask bit is clear hold `0`, so the derived `PartialEq`/
+    /// `Hash` agree with map equality.
+    values: [u64; Field::ALL.len()],
 }
 
 impl Packet {
@@ -25,24 +39,37 @@ impl Packet {
 
     /// Builder-style field assignment.
     pub fn with(mut self, field: Field, value: impl Into<Value>) -> Self {
-        self.fields.insert(field, value.into().0);
+        self.set(field, value);
         self
     }
 
     /// Set a field in place.
     pub fn set(&mut self, field: Field, value: impl Into<Value>) {
-        self.fields.insert(field, value.into().0);
+        let i = field as usize;
+        self.mask |= 1 << i;
+        self.values[i] = value.into().0;
     }
 
     /// The raw value of a field, if present.
+    #[inline]
     pub fn get(&self, field: Field) -> Option<u64> {
-        self.fields.get(&field).copied()
+        let i = field as usize;
+        if self.mask & (1 << i) != 0 {
+            Some(self.values[i])
+        } else {
+            None
+        }
     }
 
     /// Remove a field (the packet no longer carries the header), returning
     /// the previous value if any.
     pub fn unset(&mut self, field: Field) -> Option<u64> {
-        self.fields.remove(&field)
+        let i = field as usize;
+        if self.mask & (1 << i) == 0 {
+            return None;
+        }
+        self.mask &= !(1 << i);
+        Some(std::mem::take(&mut self.values[i]))
     }
 
     /// The packet's current location (the `Port` field).
@@ -70,9 +97,12 @@ impl Packet {
         self.get(Field::SrcMac).map(MacAddr::from_u64)
     }
 
-    /// Iterate over `(field, raw value)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&Field, &u64)> {
-        self.fields.iter()
+    /// Iterate over `(field, raw value)` pairs, in `Field` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Field, &u64)> + '_ {
+        Field::ALL
+            .iter()
+            .zip(self.values.iter())
+            .filter(|(f, _)| self.mask & (1 << (**f as usize)) != 0)
     }
 
     /// A conventional IPv4/UDP test packet, convenient in tests and
@@ -106,10 +136,25 @@ impl Packet {
     }
 }
 
+impl Ord for Packet {
+    /// Lexicographic over the present `(field, value)` pairs in field order
+    /// — identical to the ordering of the map representation this struct
+    /// replaced, which analyzer witness selection depends on.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl PartialOrd for Packet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, (field, v)) in self.fields.iter().enumerate() {
+        for (i, (field, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, " ")?;
             }
@@ -161,5 +206,50 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("dstip=10.0.0.1"), "{s}");
         assert!(s.contains("dstmac=02:00:00:00:00:01"), "{s}");
+    }
+
+    #[test]
+    fn unset_clears_value_and_equality_sees_it() {
+        let mut p = Packet::new().with(Field::DstPort, 80u16);
+        assert_eq!(p.unset(Field::DstPort), Some(80));
+        assert_eq!(p.unset(Field::DstPort), None);
+        assert_eq!(p, Packet::new());
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |p: &Packet| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&p), hash(&Packet::new()));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_over_present_pairs() {
+        // Same semantics the BTreeMap representation had: compare present
+        // (field, value) pairs in field order; a strict prefix sorts first.
+        let a = Packet::new().with(Field::Port, 1u32);
+        let b = Packet::new()
+            .with(Field::Port, 1u32)
+            .with(Field::DstPort, 9u16);
+        let c = Packet::new().with(Field::Port, 2u32);
+        let d = Packet::new().with(Field::SrcMac, 0u64);
+        assert!(a < b, "prefix sorts before extension");
+        assert!(b < c, "value comparison on the first differing field");
+        assert!(c < d, "earlier field sorts before later field");
+        let mut set = std::collections::BTreeSet::new();
+        set.extend([c.clone(), d.clone(), b.clone(), a.clone()]);
+        let sorted: Vec<Packet> = set.into_iter().collect();
+        assert_eq!(sorted, vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn iter_yields_field_order() {
+        let p = Packet::new()
+            .with(Field::DstPort, 80u16)
+            .with(Field::Port, 1u32)
+            .with(Field::SrcIp, Ipv4Addr::new(9, 9, 9, 9));
+        let fields: Vec<Field> = p.iter().map(|(f, _)| *f).collect();
+        assert_eq!(fields, vec![Field::Port, Field::SrcIp, Field::DstPort]);
     }
 }

@@ -20,6 +20,7 @@ mod index;
 pub mod openflow;
 mod pcap;
 mod router;
+mod shard;
 mod switch;
 mod table;
 
@@ -28,5 +29,6 @@ pub use frame::{decode_frame, encode_frame, FrameError};
 pub use index::IndexStats;
 pub use pcap::{read_pcap, CapturedFrame, PcapError, PcapWriter};
 pub use router::{BorderRouter, Forward};
-pub use switch::{SoftSwitch, SwitchStats};
+pub use shard::{flow_hash, ShardedSwitch};
+pub use switch::{BatchOutput, SoftSwitch, SwitchStats};
 pub use table::{FlowRule, FlowTable, InstallError};

@@ -1,0 +1,454 @@
+//! RSS-style sharded data plane: hash each packet's flow key to one of N
+//! per-core shards, each processing its slice of the batch against a
+//! read-only snapshot of the pipeline with shard-local counters, then fold
+//! counters and stats back into the master switch.
+//!
+//! Correctness model:
+//!
+//! * **Any shard can process any packet.** Every shard sees the *full*
+//!   pipeline snapshot; the flow hash is purely a load-distribution and
+//!   counter-cache-affinity decision, so forwarding output is independent of
+//!   the shard count (the property test `shard_prop.rs` proves it).
+//! * **Lookups never lock.** Mutations go through the single writer
+//!   ([`ShardedSwitch::master_mut`]); the master's `generation` counter is
+//!   bumped by every mutating accessor, and the next batch republishes a
+//!   fresh [`Snapshot`] (an `Arc`'d clone of the tables) iff the generation
+//!   moved — an arc-swap-style epoch scheme without per-packet
+//!   synchronization.
+//! * **Counters aggregate on read.** Shards bump plain `u64` delta arrays
+//!   (no atomics on the hot path); after the batch the deltas fold into the
+//!   master tables' counters via [`FlowTable::add_hits`]. Because the whole
+//!   batch runs under `&mut self`, no mutation can interleave between
+//!   publish and fold, so rule positions in the snapshot and the master
+//!   always align and `packet_count` / `total_hits` keep their existing
+//!   semantics.
+//!
+//! Steady state the batch path is allocation-free: per-shard scratch
+//! (assignment lists, delta arrays, emission arenas) is reused across
+//! batches, and the flat [`Packet`] representation clones without touching
+//! the heap.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdx_policy::Packet;
+
+use crate::switch::pipeline_walk;
+use crate::{BatchOutput, FlowTable, SoftSwitch, SwitchStats};
+
+/// Deterministic flow-key hash: FNV-1a over the packet's present
+/// `(field, value)` pairs (in-port, eth addresses/type, and the 5-tuple —
+/// every field the match signatures can key on), finished with a splitmix64
+/// avalanche so the low bits used for `hash % shards` are well mixed even
+/// for near-identical flows.
+pub fn flow_hash(pkt: &Packet) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for (field, value) in pkt.iter() {
+        h ^= *field as u64 + 1;
+        h = h.wrapping_mul(PRIME);
+        h ^= *value;
+        h = h.wrapping_mul(PRIME);
+    }
+    // splitmix64 finalizer.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// An immutable published view of the master pipeline: what shards look
+/// packets up against. Cloned from the master once per mutation epoch, never
+/// mutated afterwards.
+#[derive(Debug)]
+struct Snapshot {
+    ports: BTreeSet<u32>,
+    tables: Vec<FlowTable>,
+    linear: bool,
+}
+
+/// One per-core execution context: the packets assigned to it this batch,
+/// its own emission arena, stats, and rule-hit delta arrays. Everything here
+/// is single-threaded plain data — no atomics, no locks.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Input-packet indices routed to this shard this batch.
+    assigned: Vec<u32>,
+    /// `[table][position]` rule-hit deltas, folded into the master after the
+    /// batch.
+    counters: Vec<Vec<u64>>,
+    stats: SwitchStats,
+    /// Pipeline-walk scratch.
+    work: Vec<(usize, Packet)>,
+    /// This shard's emissions, stitched back into input order afterwards.
+    out: BatchOutput,
+    /// Cumulative time this shard spent processing packets — the
+    /// dedicated-core cost model the bench aggregates over.
+    busy: Duration,
+}
+
+impl Shard {
+    /// Run-to-completion over this shard's assigned packets.
+    fn run(&mut self, snap: &Snapshot, pkts: &[Packet]) {
+        let t0 = Instant::now();
+        let Shard {
+            assigned,
+            counters,
+            stats,
+            work,
+            out,
+            ..
+        } = self;
+        out.clear();
+        for &i in assigned.iter() {
+            let start = out.emitted();
+            pipeline_walk(
+                &snap.ports,
+                &snap.tables,
+                snap.linear,
+                &pkts[i as usize],
+                stats,
+                work,
+                out.items_mut(),
+                &mut |t, pos| counters[t][pos] += 1,
+            );
+            out.commit_span(start);
+        }
+        self.busy += t0.elapsed();
+    }
+}
+
+/// A [`SoftSwitch`] sharded RSS-style across N per-core shards.
+///
+/// All mutation (rule install/remove/append, port add, pipeline reset) goes
+/// through the single writer via [`master_mut`](Self::master_mut); batch
+/// processing fans packets out to shards by flow hash and folds counters
+/// back, preserving the master's observable semantics exactly. With
+/// `threads == 1` the batch path degenerates to the master's own zero-alloc
+/// loop — no snapshot, no routing.
+#[derive(Debug)]
+pub struct ShardedSwitch {
+    master: SoftSwitch,
+    threads: usize,
+    shards: Vec<Shard>,
+    snap: Option<Arc<Snapshot>>,
+    /// `master.generation()` at publish time.
+    epoch: u64,
+    /// Shard index per input packet (stitch scratch).
+    route: Vec<u32>,
+    /// Per-shard read cursor (stitch scratch).
+    cursor: Vec<u32>,
+}
+
+impl Default for ShardedSwitch {
+    fn default() -> Self {
+        ShardedSwitch::new(SoftSwitch::default(), 1)
+    }
+}
+
+impl ShardedSwitch {
+    /// Wrap `master` with `threads` shards (0 is clamped to 1).
+    pub fn new(master: SoftSwitch, threads: usize) -> Self {
+        ShardedSwitch {
+            master,
+            threads: threads.max(1),
+            shards: Vec::new(),
+            snap: None,
+            epoch: 0,
+            route: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+
+    /// The authoritative switch: all reads of tables, counters, stats, and
+    /// index statistics go here.
+    pub fn master(&self) -> &SoftSwitch {
+        &self.master
+    }
+
+    /// The single writer: every mutation bumps the master's generation, so
+    /// the next batch republishes the snapshot.
+    pub fn master_mut(&mut self) -> &mut SoftSwitch {
+        &mut self.master
+    }
+
+    /// Current shard count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Change the shard count (0 is clamped to 1). Takes effect on the next
+    /// batch.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Aggregated stats (identical to the master's: shard deltas are folded
+    /// in at the end of every batch).
+    pub fn stats(&self) -> SwitchStats {
+        self.master.stats()
+    }
+
+    /// Process one packet on the master (sharding is a batch concept).
+    pub fn process(&mut self, pkt: &Packet) -> Vec<(u32, Packet)> {
+        self.master.process(pkt)
+    }
+
+    /// Per-shard cumulative busy time since the last
+    /// [`reset_shard_busy`](Self::reset_shard_busy) — the dedicated-core
+    /// cost model: aggregate throughput is `packets / max(busy)`.
+    pub fn shard_busy(&self) -> Vec<Duration> {
+        self.shards.iter().map(|s| s.busy).collect()
+    }
+
+    /// Zero the per-shard busy clocks.
+    pub fn reset_shard_busy(&mut self) {
+        for s in &mut self.shards {
+            s.busy = Duration::ZERO;
+        }
+    }
+
+    /// Process a batch across the shards in parallel (vendored crossbeam
+    /// fork-join scope), writing emissions grouped per input packet, in
+    /// input order, into the reusable `out` arena. Semantically identical to
+    /// the master's [`SoftSwitch::process_batch_into`].
+    pub fn process_batch_into(&mut self, pkts: &[Packet], out: &mut BatchOutput) {
+        if self.threads <= 1 {
+            self.master.process_batch_into(pkts, out);
+            return;
+        }
+        self.run_sharded(pkts, out, false);
+    }
+
+    /// Like [`process_batch_into`](Self::process_batch_into) but runs the
+    /// shards sequentially on the calling thread, timing each shard's busy
+    /// span. This is the measurement mode for per-shard cost on machines
+    /// with fewer physical cores than shards (each shard's busy time is what
+    /// a dedicated core would spend); output is identical to the parallel
+    /// path.
+    pub fn process_batch_serial_into(&mut self, pkts: &[Packet], out: &mut BatchOutput) {
+        self.run_sharded(pkts, out, true);
+    }
+
+    /// Compatibility shape: one owned `Vec` per input packet.
+    pub fn process_batch(&mut self, pkts: &[Packet]) -> Vec<Vec<(u32, Packet)>> {
+        let mut out = BatchOutput::new();
+        self.process_batch_into(pkts, &mut out);
+        out.to_vecs()
+    }
+
+    /// Republish the snapshot if the master mutated since the last batch,
+    /// and (re)size the shard set.
+    fn ensure_published(&mut self) {
+        let shards = self.threads.max(1);
+        if self.shards.len() != shards {
+            self.shards.clear();
+            self.shards.resize_with(shards, Shard::default);
+        }
+        let generation = self.master.generation();
+        if self.snap.is_none() || self.epoch != generation {
+            self.snap = Some(Arc::new(Snapshot {
+                ports: self.master.port_set().clone(),
+                tables: self.master.tables().to_vec(),
+                linear: self.master.linear_scan(),
+            }));
+            self.epoch = generation;
+        }
+    }
+
+    fn run_sharded(&mut self, pkts: &[Packet], out: &mut BatchOutput, serial: bool) {
+        self.ensure_published();
+        let snap = Arc::clone(self.snap.as_ref().expect("published above"));
+        let n = self.shards.len();
+
+        // Route: flow-hash each packet to a shard.
+        self.route.clear();
+        for shard in &mut self.shards {
+            shard.assigned.clear();
+        }
+        for (i, pkt) in pkts.iter().enumerate() {
+            let s = (flow_hash(pkt) % n as u64) as usize;
+            self.route.push(s as u32);
+            self.shards[s].assigned.push(i as u32);
+        }
+
+        // Zero each shard's delta arrays to the snapshot's table shapes.
+        for shard in &mut self.shards {
+            shard.counters.resize_with(snap.tables.len(), Vec::new);
+            for (deltas, table) in shard.counters.iter_mut().zip(snap.tables.iter()) {
+                deltas.clear();
+                deltas.resize(table.len(), 0);
+            }
+            shard.stats = SwitchStats::default();
+        }
+
+        // Execute: run-to-completion per shard.
+        if serial || n == 1 {
+            for shard in &mut self.shards {
+                shard.run(&snap, pkts);
+            }
+        } else {
+            let snap_ref: &Snapshot = &snap;
+            crossbeam::pool::scope(n, |scope| {
+                for shard in &mut self.shards {
+                    scope.spawn(move || shard.run(snap_ref, pkts));
+                }
+            });
+        }
+
+        // Stitch: interleave shard arenas back into input order.
+        out.clear();
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        for &s in &self.route {
+            let c = &mut self.cursor[s as usize];
+            out.push_span(self.shards[s as usize].out.packet(*c as usize));
+            *c += 1;
+        }
+
+        // Fold: shard deltas into the master's counters and stats. Positions
+        // align with the snapshot because nothing mutated the master since
+        // `ensure_published` (the whole batch runs under `&mut self`).
+        let ShardedSwitch { master, shards, .. } = self;
+        for shard in shards.iter() {
+            master.merge_stats(shard.stats);
+            for (t, deltas) in shard.counters.iter().enumerate() {
+                let table = master.table_at(t).expect("snapshot table shape");
+                for (pos, &n) in deltas.iter().enumerate() {
+                    if n > 0 {
+                        table.add_hits(pos, n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdx_policy::{fwd, match_, Field};
+    use std::net::Ipv4Addr;
+
+    fn policy_switch() -> SoftSwitch {
+        let mut sw = SoftSwitch::new([1, 2, 3]);
+        let policy = (match_(Field::DstPort, 80u16) >> fwd(2))
+            + (match_(Field::DstPort, 443u16) >> (fwd(2) + fwd(3)));
+        sw.install_classifier(&policy.compile(), 1);
+        sw
+    }
+
+    fn traffic(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                Packet::tcp(
+                    1 + (i % 4) as u32, // port 4 does not exist → bad ingress
+                    Ipv4Addr::from(0x0a00_0000 + i as u32),
+                    Ipv4Addr::new(20, 0, 0, 1),
+                    (1024 + i) as u16,
+                    if i % 3 == 0 { 443 } else { 80 + (i % 2) as u16 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flow_hash_is_deterministic_and_spreads() {
+        let pkts = traffic(256);
+        let mut buckets = [0usize; 4];
+        for p in &pkts {
+            assert_eq!(flow_hash(p), flow_hash(&p.clone()));
+            buckets[(flow_hash(p) % 4) as usize] += 1;
+        }
+        // Every shard gets a meaningful share of 256 distinct flows.
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(b > 256 / 16, "shard {i} starved: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_output_matches_single_shard_in_order() {
+        let pkts = traffic(200);
+        let oracle = {
+            let mut sw = policy_switch();
+            sw.process_batch(&pkts)
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let mut sharded = ShardedSwitch::new(policy_switch(), threads);
+            assert_eq!(sharded.process_batch(&pkts), oracle, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn counters_and_stats_fold_exactly() {
+        let pkts = traffic(300);
+        let mut oracle = policy_switch();
+        let oracle_out = oracle.process_batch(&pkts);
+        let oracle_hits: Vec<u64> = (0..oracle.table().len())
+            .map(|i| oracle.table().packet_count(i))
+            .collect();
+
+        let mut sharded = ShardedSwitch::new(policy_switch(), 4);
+        let out = sharded.process_batch(&pkts);
+        assert_eq!(out, oracle_out);
+        assert_eq!(sharded.stats(), oracle.stats());
+        let hits: Vec<u64> = (0..sharded.master().table().len())
+            .map(|i| sharded.master().table().packet_count(i))
+            .collect();
+        assert_eq!(hits, oracle_hits);
+    }
+
+    #[test]
+    fn serial_mode_matches_parallel_and_times_shards() {
+        let pkts = traffic(128);
+        let mut parallel = ShardedSwitch::new(policy_switch(), 4);
+        let mut serial = ShardedSwitch::new(policy_switch(), 4);
+        let mut a = BatchOutput::new();
+        let mut b = BatchOutput::new();
+        parallel.process_batch_into(&pkts, &mut a);
+        serial.process_batch_serial_into(&pkts, &mut b);
+        assert_eq!(a.to_vecs(), b.to_vecs());
+        assert_eq!(parallel.stats(), serial.stats());
+        let busy = serial.shard_busy();
+        assert_eq!(busy.len(), 4);
+        assert!(busy.iter().any(|d| *d > Duration::ZERO));
+        serial.reset_shard_busy();
+        assert!(serial.shard_busy().iter().all(|d| *d == Duration::ZERO));
+    }
+
+    #[test]
+    fn epoch_republish_sees_new_rules() {
+        let pkts = traffic(64);
+        let mut sharded = ShardedSwitch::new(SoftSwitch::new([1, 2, 3, 4]), 2);
+        // First batch: empty table, everything received is dropped.
+        let out = sharded.process_batch(&pkts);
+        assert!(out.iter().all(|v| v.is_empty()));
+        // Mutate through the writer; next batch must observe the rules.
+        sharded
+            .master_mut()
+            .install_classifier(&(match_(Field::DstPort, 80u16) >> fwd(2)).compile(), 1);
+        let out = sharded.process_batch(&pkts);
+        assert!(out.iter().any(|v| !v.is_empty()));
+        // And the oracle agrees.
+        let mut oracle = SoftSwitch::new([1, 2, 3, 4]);
+        let _ = oracle.process_batch(&pkts);
+        oracle.install_classifier(&(match_(Field::DstPort, 80u16) >> fwd(2)).compile(), 1);
+        assert_eq!(out, oracle.process_batch(&pkts));
+    }
+
+    #[test]
+    fn changing_thread_count_mid_stream_is_transparent() {
+        let pkts = traffic(96);
+        let mut oracle = policy_switch();
+        let mut sharded = ShardedSwitch::new(policy_switch(), 1);
+        for threads in [2usize, 8, 1, 4] {
+            sharded.set_threads(threads);
+            assert_eq!(sharded.threads(), threads);
+            assert_eq!(sharded.process_batch(&pkts), oracle.process_batch(&pkts));
+        }
+        assert_eq!(sharded.stats(), oracle.stats());
+    }
+}

@@ -427,6 +427,33 @@ impl FlowTable {
         self.find(pkt).map(|pos| &self.rules[pos])
     }
 
+    /// Indexed position of the best rule matching `pkt`, without touching
+    /// counters — the sharded data plane's lookup primitive: each shard
+    /// counts hits in its *own* array (indexed by this position) instead of
+    /// contending on the table's shared counters, and folds them back via
+    /// [`add_hits`](Self::add_hits).
+    pub fn peek_pos(&self, pkt: &Packet) -> Option<usize> {
+        self.find(pkt)
+    }
+
+    /// The linear-scan oracle for [`peek_pos`](Self::peek_pos).
+    pub fn peek_pos_linear(&self, pkt: &Packet) -> Option<usize> {
+        self.rules.iter().position(|r| r.match_.matches(pkt))
+    }
+
+    /// The rule at position `pos` (as returned by
+    /// [`peek_pos`](Self::peek_pos)). Panics if out of range.
+    pub fn rule_at(&self, pos: usize) -> &FlowRule {
+        &self.rules[pos]
+    }
+
+    /// Add `n` packet hits to the rule at `pos` — the aggregation half of
+    /// the per-shard counting protocol. Atomic, so read-only lookups and
+    /// counter folds need no exclusive access. Panics if out of range.
+    pub fn add_hits(&self, pos: usize, n: u64) {
+        self.counters[pos].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The linear-scan oracle for [`lookup`](Self::lookup): same semantics,
     /// O(rules) per packet. Kept public so the property tests and the
     /// dataplane bench baseline can measure and diff against it.

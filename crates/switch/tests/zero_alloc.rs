@@ -1,0 +1,136 @@
+//! Steady-state allocation audit for the data-plane hot path: after a
+//! warm-up batch has grown every scratch buffer to its high-water mark,
+//! processing further batches — single-shard `process_batch_into` and the
+//! sharded serial path alike — must perform **zero** heap allocations.
+//!
+//! Mechanism: a counting global allocator armed around the measured region.
+//! This file contains exactly one `#[test]` so no concurrent test can
+//! allocate while the counter is armed (the sharded path is exercised in
+//! serial mode for the same reason — worker-thread spawns allocate).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use sdx_policy::{fwd, match_, Field, Packet};
+use sdx_switch::{BatchOutput, ShardedSwitch, SoftSwitch};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `f` with the allocation counter armed; returns how many heap
+/// allocations it performed.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn policy_switch() -> SoftSwitch {
+    let mut sw = SoftSwitch::new([1, 2, 3]);
+    let policy = (match_(Field::DstPort, 80u16) >> fwd(2))
+        + (match_(Field::DstPort, 443u16) >> (fwd(2) + fwd(3)));
+    sw.install_classifier(&policy.compile(), 1);
+    sw
+}
+
+fn traffic(n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            Packet::tcp(
+                1 + (i % 3) as u32,
+                Ipv4Addr::from(0x0a00_0000 + i as u32),
+                Ipv4Addr::new(20, 0, 0, 1),
+                (1024 + i) as u16,
+                if i % 3 == 0 { 443 } else { 80 },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn hot_path_is_allocation_free_in_steady_state() {
+    let pkts = traffic(512);
+
+    // --- Single-shard batch path -----------------------------------------
+    let mut sw = policy_switch();
+    let mut out = BatchOutput::new();
+    // Warm up: grows the arena, spans, and pipeline scratch to their
+    // high-water marks (and exercises every rule at least once).
+    for _ in 0..3 {
+        sw.process_batch_into(&pkts, &mut out);
+    }
+    let single = allocations_during(|| {
+        sw.process_batch_into(&pkts, &mut out);
+    });
+    assert_eq!(
+        single, 0,
+        "single-shard process_batch_into allocated {single} times in steady state"
+    );
+    assert!(out.emitted() > 0, "measured batch forwarded nothing");
+
+    // --- Sharded serial path (4 shards on the calling thread) ------------
+    let mut sharded = ShardedSwitch::new(policy_switch(), 4);
+    let mut sout = BatchOutput::new();
+    for _ in 0..3 {
+        sharded.process_batch_serial_into(&pkts, &mut sout);
+    }
+    let shard = allocations_during(|| {
+        sharded.process_batch_serial_into(&pkts, &mut sout);
+    });
+    assert_eq!(
+        shard, 0,
+        "sharded serial batch allocated {shard} times in steady state"
+    );
+    assert!(
+        sout.emitted() > 0,
+        "measured sharded batch forwarded nothing"
+    );
+
+    // --- Single-packet path ----------------------------------------------
+    // `process` returns an owned Vec, so it cannot be fully zero-alloc; it
+    // must still be O(1) allocations (the output Vec only), not O(pipeline).
+    let warm = &pkts[0];
+    let _ = sw.process(warm);
+    let per_packet = allocations_during(|| {
+        let _ = sw.process(warm);
+    });
+    assert!(
+        per_packet <= 1,
+        "process allocated {per_packet} times for one packet (expected ≤1: the output Vec)"
+    );
+}
