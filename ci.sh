@@ -128,4 +128,25 @@ for s in scenarios/plan-*.sdx; do
 done
 echo "$(grep -c . <<< "$(ls scenarios/plan-*.sdx)") plan fixture(s) flagged with witnesses"
 
+echo "== streaming churn smoke (churn quick: delta pipeline vs batch recompile)"
+# The churn engine drains a 1 h virtual AMS-IX trace through rule-level
+# delta installs; the binary itself exits non-zero if the streamed runtime's
+# forwarding fingerprint differs from a one-shot batch recompile of the
+# final RIB, or if no update was processed.
+SDX_BENCH_QUICK=1 SDX_BENCH_JSON="$smoke_dir/churn.json" \
+    target/release/churn > /dev/null
+for key in events updates_per_sec convergence_p50_us convergence_p99_us \
+           delta_installed delta_removed delta_rules_max reoptimizes \
+           streamed_fingerprint batch_fingerprint; do
+    grep -q "\"$key\":" "$smoke_dir/churn.json" || {
+        echo "ci: churn json missing $key" >&2; exit 1
+    }
+done
+grep -q '"streamed_eq_batch":true' "$smoke_dir/churn.json" || {
+    echo "ci: streamed churn diverged from batch recompile" >&2; exit 1
+}
+grep -q '"updates_per_sec":0\.0,' "$smoke_dir/churn.json" && {
+    echo "ci: churn engine processed no updates" >&2; exit 1
+}
+
 echo "ci: all green"

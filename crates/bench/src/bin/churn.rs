@@ -1,0 +1,151 @@
+//! Streaming churn bench: drains an AMS-IX-profile Table-1 BGP update
+//! trace through the churn engine's delta-install pipeline — route-server
+//! decision → fragment recompile → rule-level delta in make-before-break
+//! order against the live tuple-space index — while replaying packet load
+//! on the sharded data plane and periodically running the paper's
+//! background reoptimization.
+//!
+//! Reports sustained updates/sec, convergence-latency percentiles
+//! (route-event ingress → first correctly-forwarded packet), per-event
+//! delta rule counts, and the streamed-vs-batch forwarding-fingerprint
+//! check: a one-shot recompile of the final RIB must forward identically.
+//! Exits nonzero when the fingerprints differ or no update was processed.
+//!
+//! `SDX_BENCH_QUICK=1` shrinks to a CI-sized run (1 h virtual AMS-IX
+//! churn); the full run covers 24 h. `SDX_BENCH_JSON=path` overrides the
+//! artifact path; `SDX_DP_THREADS=N` sets the data-plane shard count.
+
+use sdx_bench::{bench_json_path, build_sdx, quick_mode, write_bench_json};
+use sdx_churn::{forwarding_fingerprint, ChurnConfig, ChurnEngine};
+use sdx_core::CompileOptions;
+use sdx_workload::{generate_trace, TraceConfig};
+
+const SEED: u64 = 11;
+
+fn main() {
+    let quick = quick_mode();
+    let (participants, prefixes, duration_s, replay_flows) = if quick {
+        (14, 200, 3_600, 64)
+    } else {
+        (60, 4_000, 86_400, 512)
+    };
+    let shards = std::env::var("SDX_DP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4);
+
+    eprintln!(
+        "churn: {participants} participants, {prefixes} prefixes, {duration_s} s virtual trace"
+    );
+    let config = ChurnConfig {
+        trace: TraceConfig {
+            duration_s,
+            ..Default::default()
+        },
+        seed: SEED,
+        replay_interval_s: 60,
+        replay_flows,
+        reoptimize_interval_s: 1_800,
+    };
+
+    // Streamed: the engine drains the trace event by event.
+    let (mut sdx, topology, _mix) =
+        build_sdx(participants, prefixes, SEED, CompileOptions::default());
+    sdx.set_dataplane_threads(shards);
+    sdx.compile().expect("initial compile");
+    let mut engine = ChurnEngine::new(sdx, topology.clone(), config);
+    let report = engine.run();
+    let streamed_fp = forwarding_fingerprint(engine.runtime_mut(), &topology, 4);
+
+    // Batch oracle: same updates straight into the RIB, one recompile.
+    let (mut batch, _, _) = build_sdx(participants, prefixes, SEED, CompileOptions::default());
+    for e in &generate_trace(&topology, config.trace, SEED).events {
+        batch.apply_update(e.from, &e.update);
+    }
+    batch.compile().expect("batch recompile");
+    let batch_fp = forwarding_fingerprint(&mut batch, &topology, 4);
+    let fingerprints_match = streamed_fp == batch_fp;
+
+    eprintln!(
+        "churn: {} events ({} bursts) in {:.2} s busy / {:.2} s wall -> {:.0} updates/s",
+        report.events, report.bursts, report.update_busy_s, report.wall_s, report.updates_per_sec
+    );
+    eprintln!(
+        "churn: convergence p50 {} us, p99 {} us, max {} us over {} samples ({} failures)",
+        report.convergence_p50_us,
+        report.convergence_p99_us,
+        report.convergence_max_us,
+        report.convergence_samples,
+        report.convergence_failures
+    );
+    eprintln!(
+        "churn: deltas +{} -{} rules (max {}/event, mean {:.1}), {} reoptimizes ({} forced), \
+         {} exhaustions, {} replayed packets",
+        report.delta_installed,
+        report.delta_removed,
+        report.delta_rules_max,
+        report.delta_rules_mean,
+        report.reoptimizes,
+        report.reoptimizes_forced,
+        report.overlay_exhausted,
+        report.replayed_packets
+    );
+    println!("# fingerprint streamed {streamed_fp:016x}");
+    println!("# fingerprint batch    {batch_fp:016x}");
+
+    let records = vec![format!(
+        concat!(
+            "{{\"bench\":\"churn\",\"participants\":{},\"prefixes\":{},",
+            "\"virtual_s\":{},\"events\":{},\"bursts\":{},\"updates_per_sec\":{:.1},",
+            "\"convergence_p50_us\":{},\"convergence_p99_us\":{},\"convergence_max_us\":{},",
+            "\"convergence_samples\":{},\"convergence_failures\":{},",
+            "\"delta_installed\":{},\"delta_removed\":{},\"delta_rules_max\":{},",
+            "\"delta_rules_mean\":{:.2},\"reoptimizes\":{},\"reoptimizes_forced\":{},",
+            "\"overlay_exhausted\":{},\"install_errors\":{},",
+            "\"replay_batches\":{},\"replayed_packets\":{},\"overlay_rules_final\":{},",
+            "\"update_busy_s\":{:.3},\"wall_s\":{:.3},",
+            "\"streamed_fingerprint\":\"{:016x}\",\"batch_fingerprint\":\"{:016x}\",",
+            "\"streamed_eq_batch\":{}}}"
+        ),
+        participants,
+        prefixes,
+        report.virtual_s,
+        report.events,
+        report.bursts,
+        report.updates_per_sec,
+        report.convergence_p50_us,
+        report.convergence_p99_us,
+        report.convergence_max_us,
+        report.convergence_samples,
+        report.convergence_failures,
+        report.delta_installed,
+        report.delta_removed,
+        report.delta_rules_max,
+        report.delta_rules_mean,
+        report.reoptimizes,
+        report.reoptimizes_forced,
+        report.overlay_exhausted,
+        report.install_errors,
+        report.replay_batches,
+        report.replayed_packets,
+        report.overlay_rules_final,
+        report.update_busy_s,
+        report.wall_s,
+        streamed_fp,
+        batch_fp,
+        fingerprints_match
+    )];
+
+    let path = bench_json_path("BENCH_churn.json");
+    write_bench_json(&path, &records).expect("write bench json");
+    eprintln!("wrote {}", path.display());
+
+    if !fingerprints_match {
+        eprintln!("churn: FAIL — streamed and batch fingerprints differ");
+        std::process::exit(1);
+    }
+    if report.events == 0 || report.convergence_samples == 0 {
+        eprintln!("churn: FAIL — trace produced no measurable events");
+        std::process::exit(1);
+    }
+}

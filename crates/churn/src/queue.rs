@@ -1,0 +1,107 @@
+//! The virtual-time event queue driving the churn engine.
+//!
+//! A binary min-heap of `(virtual second, sequence)` keys. Periodic
+//! activities (packet replay, background reoptimization) schedule
+//! themselves here; BGP updates are *not* queued — they are pulled lazily
+//! from a [`sdx_workload::TraceStream`] and merged with the queue by
+//! deadline in the engine's run loop, so a week-long trace never
+//! materializes in memory. Ties break by insertion order (FIFO), keeping
+//! the loop deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A periodic engine activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Activity {
+    /// Replay the pre-built traffic batch through the sharded data plane.
+    Replay,
+    /// Run the paper's background reoptimization, coalescing accumulated
+    /// deltas back into minimal tables.
+    Reoptimize,
+}
+
+/// Min-heap of scheduled activities keyed by virtual time.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, Activity)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `activity` at virtual second `at_s`.
+    pub fn push(&mut self, at_s: u64, activity: Activity) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at_s, seq, activity)));
+    }
+
+    /// Virtual time of the next scheduled activity.
+    pub fn peek_at(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Pop the next activity in (time, insertion) order.
+    pub fn pop(&mut self) -> Option<(u64, Activity)> {
+        self.heap.pop().map(|Reverse((at, _, a))| (at, a))
+    }
+
+    /// Number of pending activities.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(300, Activity::Reoptimize);
+        q.push(10, Activity::Replay);
+        q.push(70, Activity::Replay);
+        assert_eq!(q.peek_at(), Some(10));
+        assert_eq!(q.pop(), Some((10, Activity::Replay)));
+        assert_eq!(q.pop(), Some((70, Activity::Replay)));
+        assert_eq!(q.pop(), Some((300, Activity::Reoptimize)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Activity::Reoptimize);
+        q.push(5, Activity::Replay);
+        q.push(5, Activity::Replay);
+        assert_eq!(q.pop(), Some((5, Activity::Reoptimize)));
+        assert_eq!(q.pop(), Some((5, Activity::Replay)));
+        assert_eq!(q.pop(), Some((5, Activity::Replay)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rescheduling_keeps_period() {
+        let mut q = EventQueue::new();
+        q.push(60, Activity::Replay);
+        let mut fired = Vec::new();
+        while let Some((at, a)) = q.pop() {
+            fired.push(at);
+            if at < 300 {
+                q.push(at + 60, a);
+            }
+        }
+        assert_eq!(fired, vec![60, 120, 180, 240, 300]);
+    }
+}

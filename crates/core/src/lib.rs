@@ -52,7 +52,7 @@ pub use control::{ControlPlane, ROUTE_SERVER_ASN};
 pub use fec::{minimum_disjoint_subsets, minimum_disjoint_subsets_par, DefaultView, PrefixGroup};
 pub use multiswitch::{distribute, FabricLayout, LayoutError, MultiSwitchFabric, SwitchId};
 pub use participant::{is_vport, Participant, ParticipantId, PortConfig, VPORT_BASE};
-pub use runtime::{IncrementalStats, Overlay, SdxRuntime};
+pub use runtime::{DeltaInstall, IncrementalStats, Overlay, SdxRuntime};
 pub use sdx_analyze::{
     diff, hs, reach, Analysis, AnalysisMode, Diagnostic, DiffReport, DiffSide, FibEntry, FibModel,
     GroupBinding, ReachReport, Severity, VerifyInput,

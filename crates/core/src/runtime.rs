@@ -61,6 +61,18 @@ pub struct IncrementalStats {
     /// Fast-path overlay installs refused by the flow table (priority space
     /// exhausted); the background recompilation recovers these.
     pub install_errors: u64,
+    /// Fast-path updates that found the VNH pool exhausted. The previous
+    /// overlay (or base table) keeps serving the prefix — stale but
+    /// forwarding — and [`SdxRuntime::needs_reoptimize`] is raised so the
+    /// background stage recovers promptly.
+    pub overlay_exhausted: u64,
+    /// Updates processed through the rule-level delta path
+    /// ([`SdxRuntime::apply_update_delta`]).
+    pub delta_events: u64,
+    /// Individual rules installed by the delta path.
+    pub delta_installed: u64,
+    /// Individual rules removed by the delta path.
+    pub delta_removed: u64,
 }
 
 /// The SDX controller runtime.
@@ -82,6 +94,18 @@ pub struct SdxRuntime {
     rpki: Option<RpkiValidator>,
     rpki_rejected: u64,
     last_plan: Option<PlanReport>,
+    needs_reoptimize: bool,
+    delta_base: u32,
+}
+
+/// What one rule-level delta install did to the live tables (see
+/// [`SdxRuntime::apply_update_delta`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaInstall {
+    /// Rules installed into the live table.
+    pub installed: usize,
+    /// Rules removed from the live table.
+    pub removed: usize,
 }
 
 /// Cookie tagging the base (fully compiled) table.
@@ -118,7 +142,24 @@ impl SdxRuntime {
             rpki: None,
             rpki_rejected: 0,
             last_plan: None,
+            needs_reoptimize: false,
+            delta_base: 0,
         }
+    }
+
+    /// Replace the VNH allocation pool (test/operational knob; a tiny pool
+    /// makes exhaustion reachable). Releases all current allocations.
+    pub fn set_vnh_pool(&mut self, pool: Prefix) {
+        self.alloc = VnhAllocator::new(pool);
+    }
+
+    /// True when the fast path has degraded (VNH pool exhausted or an
+    /// overlay install refused) and a background
+    /// [`reoptimize`](Self::reoptimize) is required to restore optimal —
+    /// and in the exhaustion case, *fresh* — forwarding state. Cleared by
+    /// the next successful [`compile`](Self::compile).
+    pub fn needs_reoptimize(&self) -> bool {
+        self.needs_reoptimize
     }
 
     /// Enable RPKI route-origin validation: announcements whose origin AS
@@ -295,8 +336,20 @@ impl SdxRuntime {
         for (vnh, vmac) in &compilation.vnh {
             self.arp.bind(*vnh, *vmac);
         }
+        // A full install retires every overlay. Reconcile — don't subtract —
+        // the overlay accounting: `remove_by_cookie` during churn may have
+        // already dropped rules this counter never saw.
         self.overlays.clear();
         self.incremental.overlay_rules = 0;
+        self.needs_reoptimize = false;
+        // The fixed priority band for subsequent delta installs starts just
+        // above the freshly installed base table.
+        self.delta_base = self
+            .switch
+            .master()
+            .table_at(0)
+            .and_then(|t| t.max_priority())
+            .unwrap_or(0);
         let stats = compilation.stats;
         self.compilation = Some(compilation);
         Ok(stats)
@@ -422,10 +475,9 @@ impl SdxRuntime {
         self.compile()
     }
 
-    /// Ingest a BGP update from a participant. If a compilation is active,
-    /// every touched prefix goes through the fast path (fresh VNH + overlay
-    /// rules). Returns the touched prefixes.
-    pub fn apply_update(&mut self, from: ParticipantId, update: &Update) -> Vec<Prefix> {
+    /// RPKI-filter one update and feed it to the route server, returning
+    /// the prefixes whose best route changed.
+    fn ingest_update(&mut self, from: ParticipantId, update: &Update) -> Vec<Prefix> {
         // RPKI origin validation: strip Invalid announcements.
         let mut update = update.clone();
         if let (Some(rpki), Some(attrs)) = (&self.rpki, &update.attrs) {
@@ -440,13 +492,20 @@ impl SdxRuntime {
             }
         }
         let events = self.route_server.apply_update(from.peer(), &update);
-        let touched: Vec<Prefix> = events
+        events
             .into_iter()
             .filter_map(|e| match e {
                 sdx_bgp::RsEvent::PrefixTouched(p) => Some(p),
                 _ => None,
             })
-            .collect();
+            .collect()
+    }
+
+    /// Ingest a BGP update from a participant. If a compilation is active,
+    /// every touched prefix goes through the fast path (fresh VNH + overlay
+    /// rules). Returns the touched prefixes.
+    pub fn apply_update(&mut self, from: ParticipantId, update: &Update) -> Vec<Prefix> {
+        let touched = self.ingest_update(from, update);
         if self.compilation.is_some() {
             let start = Instant::now();
             for prefix in &touched {
@@ -457,6 +516,34 @@ impl SdxRuntime {
                 u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         }
         touched
+    }
+
+    /// The streaming-churn variant of [`apply_update`](Self::apply_update):
+    /// every touched prefix is migrated by **rule-level deltas** computed
+    /// via `sdx_plan::diff` against the live table and applied in
+    /// make-before-break order at a fixed priority band just above the base
+    /// table — no overlay stacking, no classifier rebuild. Returns the
+    /// touched prefixes and the aggregate rule delta.
+    pub fn apply_update_delta(
+        &mut self,
+        from: ParticipantId,
+        update: &Update,
+    ) -> (Vec<Prefix>, DeltaInstall) {
+        let touched = self.ingest_update(from, update);
+        let mut total = DeltaInstall::default();
+        if self.compilation.is_some() {
+            let start = Instant::now();
+            for prefix in &touched {
+                let d = self.fast_path_delta(*prefix);
+                total.installed += d.installed;
+                total.removed += d.removed;
+            }
+            self.incremental.updates += touched.len() as u64;
+            self.incremental.delta_events += touched.len() as u64;
+            self.incremental.last_update_us =
+                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        }
+        (touched, total)
     }
 
     /// Convenience announce (see [`apply_update`](Self::apply_update)).
@@ -478,39 +565,38 @@ impl SdxRuntime {
         self.apply_update(from, &Update::withdraw(prefixes))
     }
 
-    /// §4.3.2's fast stage for one prefix: assume a new VNH is needed,
-    /// compile only the rules mentioning the fresh VMAC, and push them with
-    /// priority above the base table.
-    fn fast_path(&mut self, prefix: Prefix) {
-        // Retire any previous overlay for the same prefix.
-        if let Some(pos) = self.overlays.iter().position(|o| o.prefix == prefix) {
-            let old = self.overlays.remove(pos);
-            let removed = self
-                .switch
-                .master_mut()
-                .table_mut()
-                .remove_by_cookie(old.cookie);
-            self.incremental.overlay_rules -= removed;
-            self.arp.unbind(&old.vnh);
-        }
-
-        // A prefix with no remaining candidates needs no rules: the
-        // withdrawal propagates via BGP and routers stop tagging it.
-        if self.route_server.best_route_global(&prefix).is_none() {
-            return;
-        }
-
-        let Some((vnh, vmac)) = self.alloc.allocate() else {
-            return; // pool exhausted; background recompilation will recover
+    /// Retire the overlay covering `prefix` (rules, ARP binding,
+    /// bookkeeping), if one exists. Returns how many rules were removed.
+    fn retire_overlay(&mut self, prefix: Prefix) -> usize {
+        let Some(pos) = self.overlays.iter().position(|o| o.prefix == prefix) else {
+            return 0;
         };
+        let old = self.overlays.remove(pos);
+        let removed = self
+            .switch
+            .master_mut()
+            .table_mut()
+            .remove_by_cookie(old.cookie);
+        // Saturating on purpose: `remove_by_cookie` reports what the *table*
+        // held, which can exceed what this counter ever saw if a recompile
+        // reconciled the accounting in between.
+        self.incremental.overlay_rules = self.incremental.overlay_rules.saturating_sub(removed);
+        self.arp.unbind(&old.vnh);
+        removed
+    }
+
+    /// Compile the stage-1 fragment for `prefix` tagged with `vmac`,
+    /// composed down to single-table form unless the pipeline runs
+    /// multi-table mode.
+    fn fragment_for(&self, prefix: &Prefix, vmac: MacAddr) -> Vec<sdx_policy::Rule> {
         let multi_table = self.options.multi_table;
         let stage2 = match &self.compilation {
             Some(c) => c.stage2.clone(),
-            None => return,
+            None => return Vec::new(),
         };
         let input = self.input();
-        let fragment_rules = stage1_rules_for_prefix(&input, &prefix, vmac);
-        let overlay_rules: Vec<sdx_policy::Rule> = if multi_table {
+        let fragment_rules = stage1_rules_for_prefix(&input, prefix, vmac);
+        if multi_table {
             // Pipeline mode: the sender-stage fragment goes straight into
             // table 0 (goto 1); no composition needed.
             fragment_rules
@@ -526,7 +612,32 @@ impl SdxRuntime {
                 .filter(|r| r.match_.get(sdx_policy::Field::DstMac) == Some(&vmac_pattern))
                 .cloned()
                 .collect()
+        }
+    }
+
+    /// §4.3.2's fast stage for one prefix: assume a new VNH is needed,
+    /// compile only the rules mentioning the fresh VMAC, and push them with
+    /// priority above the base table.
+    fn fast_path(&mut self, prefix: Prefix) {
+        // A prefix with no remaining candidates needs no rules: the
+        // withdrawal propagates via BGP and routers stop tagging it.
+        if self.route_server.best_route_global(&prefix).is_none() {
+            self.retire_overlay(prefix);
+            return;
+        }
+
+        // Allocate *before* retiring the previous overlay: when the pool is
+        // exhausted the stale overlay keeps forwarding the prefix (its VNH
+        // is still advertised and its rules still present) instead of
+        // leaving it ruleless until someone happens to recompile. The
+        // condition is counted and flags the background stage.
+        let Some((vnh, vmac)) = self.alloc.allocate() else {
+            self.incremental.overlay_exhausted += 1;
+            self.needs_reoptimize = true;
+            return;
         };
+        let overlay_rules = self.fragment_for(&prefix, vmac);
+        self.retire_overlay(prefix);
 
         let cookie = self.next_cookie;
         self.next_cookie += 1;
@@ -538,7 +649,7 @@ impl SdxRuntime {
         // overlays; that is an operational condition, not a bug: leave the
         // base table serving the prefix and let the background
         // recompilation reset the ceiling.
-        let goto = multi_table.then_some(1);
+        let goto = self.options.multi_table.then_some(1);
         if self
             .switch
             .master_mut()
@@ -547,6 +658,7 @@ impl SdxRuntime {
             .is_err()
         {
             self.incremental.install_errors += 1;
+            self.needs_reoptimize = true;
             return;
         }
         self.arp.bind(vnh, vmac);
@@ -558,6 +670,100 @@ impl SdxRuntime {
             cookie,
             rules: n,
         });
+    }
+
+    /// The steady-path variant of [`fast_path`](Self::fast_path): migrate
+    /// `prefix` by a rule-level delta instead of an overlay append. The old
+    /// fragment's live rules (identified by the retiring overlay's cookie)
+    /// and the freshly compiled fragment are diffed with `sdx_plan::diff`,
+    /// and the steps are applied in make-before-break order: installs
+    /// first, removals after. Because every fragment rule is pinned to an
+    /// exact, never-reused VMAC tag, the two sides match disjoint packets
+    /// and every intermediate state is per-packet consistent. New rules
+    /// occupy the *fixed* priority band immediately above the base table
+    /// (`delta_base`), so sustained churn does not ratchet the priority
+    /// ceiling the way stacked overlays do.
+    fn fast_path_delta(&mut self, prefix: Prefix) -> DeltaInstall {
+        if self.route_server.best_route_global(&prefix).is_none() {
+            let removed = self.retire_overlay(prefix);
+            self.incremental.delta_removed += removed as u64;
+            return DeltaInstall {
+                installed: 0,
+                removed,
+            };
+        }
+
+        let Some((vnh, vmac)) = self.alloc.allocate() else {
+            self.incremental.overlay_exhausted += 1;
+            self.needs_reoptimize = true;
+            return DeltaInstall::default();
+        };
+        let fragment = self.fragment_for(&prefix, vmac);
+        let n = fragment.len() as u32;
+        if self.delta_base.checked_add(n).is_none() {
+            self.incremental.install_errors += 1;
+            self.needs_reoptimize = true;
+            return DeltaInstall::default();
+        }
+
+        let goto = self.options.multi_table.then_some(1);
+        let new_state: TableState = fragment
+            .iter()
+            .enumerate()
+            .map(|(i, r)| sdx_plan::PlanRule {
+                priority: self.delta_base + n - i as u32,
+                match_: r.match_.clone(),
+                actions: r.actions.clone(),
+                goto_table: match (goto, r.actions.is_empty()) {
+                    (Some(t), false) => Some(t),
+                    _ => None,
+                },
+            })
+            .collect();
+
+        let old = self.overlays.iter().position(|o| o.prefix == prefix);
+        let old_state = match old {
+            Some(pos) => sdx_plan::state_of_cookie(
+                self.switch.master().table_at(0).expect("table 0"),
+                self.overlays[pos].cookie,
+            ),
+            None => TableState::new(),
+        };
+        let steps = sdx_plan::diff(&[old_state], &[new_state]);
+        let schedule = sdx_plan::make_before_break(&steps);
+
+        // Installs, then the barrier, then removals. Old and new fragments
+        // never share rule content (distinct VMAC tags), so the diff never
+        // cancels across them: the removal side is exactly the old cookie's
+        // rules, which lets one `remove_by_cookie` retire them with a
+        // single index rebuild.
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+        let installed = schedule.barrier;
+        {
+            let table = self.switch.master_mut().table_mut();
+            for step in &schedule.order[..schedule.barrier] {
+                table.install(step.rule.to_flow_rule(cookie));
+            }
+        }
+        let removed = self.retire_overlay(prefix);
+        debug_assert_eq!(
+            removed,
+            schedule.order.len() - schedule.barrier,
+            "delta removal side diverged from the retiring cookie's rules"
+        );
+        self.arp.bind(vnh, vmac);
+        self.incremental.overlay_rules += installed;
+        self.incremental.delta_installed += installed as u64;
+        self.incremental.delta_removed += removed as u64;
+        self.overlays.push(Overlay {
+            prefix,
+            vnh,
+            vmac,
+            cookie,
+            rules: installed,
+        });
+        DeltaInstall { installed, removed }
     }
 
     /// The next hop the route server advertises to `viewer` for `prefix`:

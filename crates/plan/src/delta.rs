@@ -115,6 +115,25 @@ pub fn state_of_table(table: &FlowTable) -> TableState {
         .collect()
 }
 
+/// The [`TableState`] of just the rules in `table` carrying `cookie` —
+/// the live content of one install generation (e.g. a fast-path overlay
+/// fragment), in table order. Diffing this against a freshly compiled
+/// fragment yields the rule-level steps that migrate the generation
+/// without touching the rest of the table.
+pub fn state_of_cookie(table: &FlowTable, cookie: u64) -> TableState {
+    table
+        .rules()
+        .iter()
+        .filter(|r| r.cookie == cookie)
+        .map(|r| PlanRule {
+            priority: r.priority,
+            match_: r.match_.clone(),
+            actions: r.actions.clone(),
+            goto_table: r.goto_table,
+        })
+        .collect()
+}
+
 /// The [`TableState`] a fresh `install_classifier` of `classifier` would
 /// produce: rule `i` at priority `len - i`, `goto` on every non-drop rule
 /// when given (mirrors `FlowTable::append_classifier_goto` at boost 0).
@@ -258,6 +277,40 @@ mod tests {
         assert_eq!(steps[0].rule, rule(3, 1, Some(9)));
         assert_eq!(steps[1].op, DeltaOp::Install);
         assert_eq!(steps[1].rule, rule(3, 1, Some(7)));
+    }
+
+    #[test]
+    fn state_of_cookie_filters_one_generation() {
+        let mut table = FlowTable::new();
+        table.install(rule(3, 1, Some(9)).to_flow_rule(7));
+        table.install(rule(2, 2, Some(8)).to_flow_rule(9));
+        table.install(rule(1, 3, None).to_flow_rule(7));
+        let state = state_of_cookie(&table, 7);
+        assert_eq!(state, vec![rule(3, 1, Some(9)), rule(1, 3, None)]);
+        assert!(state_of_cookie(&table, 42).is_empty());
+    }
+
+    #[test]
+    fn make_before_break_installs_then_removes() {
+        let old = vec![vec![rule(3, 1, Some(9)), rule(2, 2, Some(8))]];
+        let new = vec![vec![rule(3, 1, Some(7)), rule(1, 3, None)]];
+        let steps = diff(&old, &new);
+        let schedule = crate::search::make_before_break(&steps);
+        assert_eq!(schedule.order.len(), steps.len());
+        assert_eq!(schedule.barrier, 2); // both installs precede the barrier
+        assert!(schedule.order[..schedule.barrier]
+            .iter()
+            .all(|s| s.op == DeltaOp::Install));
+        assert!(schedule.order[schedule.barrier..]
+            .iter()
+            .all(|s| s.op == DeltaOp::Remove));
+        // Applying the schedule lands on the new state regardless of the
+        // interleaving the differ emitted.
+        let mut state = old.clone();
+        for step in &schedule.order {
+            assert!(apply(&mut state, step));
+        }
+        assert_eq!(state, new);
     }
 
     #[test]

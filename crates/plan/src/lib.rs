@@ -34,10 +34,10 @@ pub mod search;
 
 pub use check::{Checker, Phase, Violation, ViolationKind};
 pub use delta::{
-    classifier_of, diff, state_of_classifier, state_of_table, DeltaOp, PlanRule, PlanStep,
-    TableState,
+    classifier_of, diff, state_of_classifier, state_of_cookie, state_of_table, DeltaOp, PlanRule,
+    PlanStep, TableState,
 };
-pub use search::{judge_order, synthesize, Schedule, SearchResult};
+pub use search::{judge_order, make_before_break, synthesize, Schedule, SearchResult};
 
 /// Default DFS node budget: far above what SDX churn deltas need, low
 /// enough that a pathological delta falls back to two-phase promptly.

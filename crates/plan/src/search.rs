@@ -61,6 +61,28 @@ pub struct SearchResult {
     pub check_us: u128,
 }
 
+/// The make-before-break ordering of a delta whose install and removal
+/// sides are known to match **disjoint** packet sets (e.g. fast-path
+/// fragments pinned to distinct exact VMAC tags): all installs first, then
+/// the barrier, then the removals. Every intermediate state forwards each
+/// packet exactly as either the old or the new state does — old-tag
+/// traffic keeps hitting the old rules until they drain, new-tag traffic
+/// only ever sees the complete new fragment or falls through to the base
+/// table — so the schedule is per-packet consistent *by construction* and
+/// needs no search. Callers are responsible for the disjointness
+/// precondition; overlapping matches void the guarantee.
+pub fn make_before_break(steps: &[PlanStep]) -> Schedule {
+    let mut order: Vec<PlanStep> = Vec::with_capacity(steps.len());
+    order.extend(steps.iter().filter(|s| s.op == DeltaOp::Install).cloned());
+    let barrier = order.len();
+    order.extend(steps.iter().filter(|s| s.op == DeltaOp::Remove).cloned());
+    Schedule {
+        order,
+        barrier,
+        two_phase: true,
+    }
+}
+
 /// Judge an explicit ordering (e.g. the naive differ emission order):
 /// apply the steps one by one and record every intermediate-state
 /// violation, stamped with the step index after which it occurs. An

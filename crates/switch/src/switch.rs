@@ -565,5 +565,23 @@ mod tests {
         let g2 = sw.generation();
         sw.set_linear_scan(true);
         assert!(sw.generation() > g2);
+        // Every remaining mutating accessor: a missed bump would let a
+        // sharded reader keep serving a stale snapshot forever.
+        let g3 = sw.generation();
+        sw.install_rule(FlowRule::new(1, sdx_policy::Match::any(), vec![]).with_cookie(9));
+        assert!(sw.generation() > g3);
+        let g4 = sw.generation();
+        let _ = sw.table_at_mut(0);
+        assert!(sw.generation() > g4);
+        let g5 = sw.generation();
+        sw.install_classifier(&Classifier::default(), 10);
+        assert!(sw.generation() > g5);
+        let g6 = sw.generation();
+        sw.reset_pipeline(2);
+        assert!(sw.generation() > g6);
+        // Pure reads never bump.
+        let g7 = sw.generation();
+        let _ = (sw.table(), sw.table_at(0), sw.ports(), sw.linear_scan());
+        assert_eq!(sw.generation(), g7);
     }
 }

@@ -2,8 +2,11 @@
 //! N ∈ {1, 2, 4, 8}, the sharded switch's batch output (in input order —
 //! strictly stronger than multiset equality), stats, and per-rule packet
 //! counters must be bit-identical to the single-shard oracle under a
-//! randomized churn of installs, overlay appends, cookie removals, and
-//! clears applied through the single-writer path between batches. The
+//! randomized churn of installs, overlay appends, cookie removals,
+//! delta-plan mutations (in-band installs above the current ceiling and
+//! content-based `remove_matching` retirements, the churn engine's rule
+//! vocabulary), and clears applied through the single-writer path between
+//! batches. The
 //! serial (dedicated-core measurement) mode must agree with the parallel
 //! fork-join mode as well.
 
@@ -64,6 +67,12 @@ enum Op {
     Append(Vec<MatchSpec>),
     /// Remove by cookie.
     RemoveCookie(u64),
+    /// A delta-plan install: in-band, just above the current ceiling (the
+    /// churn engine's `delta_base + n - i` placement).
+    DeltaInstall(u8, MatchSpec),
+    /// A delta-plan removal: retire the k-th live rule by *content* (the
+    /// update plan's `remove_matching`), not by cookie.
+    RemoveMatching(u8),
     /// Drop everything.
     Clear,
 }
@@ -84,6 +93,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0u32..6, arb_spec()).prop_map(|(p, s)| Op::Install(p, s)),
         prop::collection::vec(arb_spec(), 1..4).prop_map(Op::Append),
         (0u64..30).prop_map(Op::RemoveCookie),
+        (any::<u8>(), arb_spec()).prop_map(|(o, s)| Op::DeltaInstall(o, s)),
+        (any::<u8>(), arb_spec()).prop_map(|(o, s)| Op::DeltaInstall(o, s)),
+        any::<u8>().prop_map(Op::RemoveMatching),
+        any::<u8>().prop_map(Op::RemoveMatching),
         Just(Op::Clear),
     ]
 }
@@ -122,6 +135,32 @@ fn apply_op(sw: &mut SoftSwitch, op: &Op, next_cookie: &mut u64) {
         }
         Op::RemoveCookie(c) => {
             sw.table_mut().remove_by_cookie(*c);
+        }
+        Op::DeltaInstall(off, spec) => {
+            let cookie = *next_cookie;
+            *next_cookie += 1;
+            let prio = sw
+                .table()
+                .max_priority()
+                .unwrap_or(0)
+                .saturating_add(1 + (*off % 3) as u32);
+            sw.install_rule(
+                FlowRule::new(
+                    prio,
+                    build_match(spec),
+                    vec![Action::set(Field::Port, cookie as u32 % 3)],
+                )
+                .with_cookie(cookie),
+            );
+        }
+        Op::RemoveMatching(k) => {
+            // Deterministic across switches: the tables are identical, so
+            // the k-th rule is the same everywhere.
+            let len = sw.table().len();
+            if len > 0 {
+                let victim = sw.table().rules()[*k as usize % len].clone();
+                sw.table_mut().remove_matching(&victim);
+            }
         }
         Op::Clear => {
             sw.table_mut().clear();

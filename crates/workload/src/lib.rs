@@ -19,6 +19,6 @@ pub use policies::{
 pub use topology::{Announcement, IxpProfile, IxpTopology};
 pub use traffic::{render_series, run_timeline, FlowSpec, TimelineEvent, TrafficBin};
 pub use updates::{
-    burst_stats, generate_trace, generate_trace_with, table1_row, trace_stats, BurstStats,
-    Table1Row, TraceConfig, TraceEvent, UpdateTrace,
+    burst_stats, generate_trace, generate_trace_with, stream_trace, table1_row, trace_stats,
+    BurstStats, Table1Row, TraceConfig, TraceEvent, TraceStream, UpdateTrace,
 };

@@ -107,7 +107,9 @@ pub fn generate_policies(topology: &IxpTopology, seed: u64) -> PolicyMix {
     let contents = ranked(AsCategory::Content);
 
     let take_frac = |v: &[ParticipantId], f: f64| -> Vec<ParticipantId> {
-        let k = ((v.len() as f64 * f).ceil() as usize).min(v.len()).max(1);
+        // At least one when the category is populated; empty categories
+        // (tiny topologies) stay empty instead of indexing out of range.
+        let k = ((v.len() as f64 * f).ceil() as usize).max(1).min(v.len());
         v[..k].to_vec()
     };
     let top_eyeballs = take_frac(&eyeballs, 0.15);

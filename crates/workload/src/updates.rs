@@ -113,13 +113,46 @@ pub fn trace_stats(topology: &IxpTopology, config: TraceConfig, seed: u64) -> Up
 }
 
 /// The generator core: emits every event to `sink` and returns the summary
-/// (with an empty `events` vector).
+/// (with an empty `events` vector). Implemented on top of [`TraceStream`],
+/// so the pulled and pushed forms produce identical event sequences.
 pub fn generate_trace_with(
     topology: &IxpTopology,
     config: TraceConfig,
     seed: u64,
     mut sink: impl FnMut(TraceEvent),
 ) -> UpdateTrace {
+    let mut stream = stream_trace(topology, config, seed);
+    for e in stream.by_ref() {
+        sink(e);
+    }
+    stream.summary()
+}
+
+/// A lazily generated update trace: the [`Iterator`] form of
+/// [`generate_trace_with`], pulling one [`TraceEvent`] at a time so an
+/// event loop can interleave trace consumption with other (virtual-time)
+/// work without materializing millions of events. The random draw order is
+/// identical to the batch generator's, so a given `(topology, config,
+/// seed)` yields the same events either way.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    rng: StdRng,
+    config: TraceConfig,
+    /// The shuffled unstable subset; bursts touch contiguous runs of it.
+    unstable: Vec<(Prefix, ParticipantId, PathAttributes)>,
+    now: u64,
+    burst_start: usize,
+    burst_size: usize,
+    burst_pos: usize,
+    touched: std::collections::BTreeSet<Prefix>,
+    bursts: usize,
+    updates: usize,
+    raw_updates: usize,
+    done: bool,
+}
+
+/// Open a lazy trace over the topology's announced prefixes.
+pub fn stream_trace(topology: &IxpTopology, config: TraceConfig, seed: u64) -> TraceStream {
     let mut rng = StdRng::seed_from_u64(seed);
 
     // The unstable subset: flaps are confined to it, so the fraction of
@@ -141,56 +174,92 @@ pub fn generate_trace_with(
     let unstable_count = ((owners.len() as f64) * config.unstable_fraction)
         .round()
         .max(1.0) as usize;
-    let unstable = &owners[..unstable_count.min(owners.len())];
+    owners.truncate(unstable_count.min(owners.len()));
 
-    let mut touched = std::collections::BTreeSet::new();
-    let mut updates = 0usize;
-    let mut raw_updates = 0usize;
-    let mut bursts = 0usize;
-    let mut now = 0u64;
+    TraceStream {
+        rng,
+        config,
+        unstable: owners,
+        now: 0,
+        burst_start: 0,
+        burst_size: 0,
+        burst_pos: 0,
+        touched: std::collections::BTreeSet::new(),
+        bursts: 0,
+        updates: 0,
+        raw_updates: 0,
+        done: false,
+    }
+}
 
-    loop {
-        now += gap_seconds(&mut rng);
-        if now >= config.duration_s {
-            break;
-        }
-        bursts += 1;
-        let size = burst_size(&mut rng).min(unstable.len());
-        // A burst touches a contiguous run of the (shuffled) unstable set,
-        // approximating the correlated-prefix structure of real bursts.
-        let start = rng.gen_range(0..unstable.len());
-        for k in 0..size {
-            let (prefix, owner, attrs) = &unstable[(start + k) % unstable.len()];
-            touched.insert(*prefix);
-            updates += 1;
-            // Raw-feed multiplicity: geometric-ish with the configured mean.
-            let mean = config.raw_multiplicity_mean.max(1.0);
-            raw_updates += 1 + (-(1.0 - rng.gen::<f64>()).ln() * (mean - 1.0)) as usize;
-            let update = if rng.gen_bool(config.withdraw_probability) {
-                Update::withdraw([*prefix])
-            } else {
-                // Re-announce with a perturbed path (a best-path change).
-                let mut attrs = attrs.clone();
-                attrs.as_path = attrs
-                    .as_path
-                    .prepend(sdx_bgp::Asn(rng.gen_range(1_000..60_000)));
-                Update::announce([*prefix], attrs)
-            };
-            sink(TraceEvent {
-                at_s: now,
-                from: *owner,
-                update,
-            });
+impl TraceStream {
+    /// The summary so far (with an empty `events` vector); the full-trace
+    /// statistics once the stream is exhausted.
+    pub fn summary(&self) -> UpdateTrace {
+        UpdateTrace {
+            events: Vec::new(),
+            bursts: self.bursts,
+            prefixes_updated: self.touched.len(),
+            updates: self.updates,
+            raw_updates: self.raw_updates,
+            unstable_prefixes: self.unstable.len(),
         }
     }
 
-    UpdateTrace {
-        events: Vec::new(),
-        bursts,
-        prefixes_updated: touched.len(),
-        updates,
-        raw_updates,
-        unstable_prefixes: unstable.len(),
+    /// Virtual time of the most recently emitted burst, seconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.burst_pos < self.burst_size {
+                let k = self.burst_pos;
+                self.burst_pos += 1;
+                let idx = (self.burst_start + k) % self.unstable.len();
+                let (prefix, owner) = (self.unstable[idx].0, self.unstable[idx].1);
+                self.touched.insert(prefix);
+                self.updates += 1;
+                // Raw-feed multiplicity: geometric-ish with the mean.
+                let mean = self.config.raw_multiplicity_mean.max(1.0);
+                self.raw_updates +=
+                    1 + (-(1.0 - self.rng.gen::<f64>()).ln() * (mean - 1.0)) as usize;
+                let update = if self.rng.gen_bool(self.config.withdraw_probability) {
+                    Update::withdraw([prefix])
+                } else {
+                    // Re-announce with a perturbed path (a best-path change).
+                    let mut attrs = self.unstable[idx].2.clone();
+                    attrs.as_path = attrs
+                        .as_path
+                        .prepend(sdx_bgp::Asn(self.rng.gen_range(1_000..60_000)));
+                    Update::announce([prefix], attrs)
+                };
+                return Some(TraceEvent {
+                    at_s: self.now,
+                    from: owner,
+                    update,
+                });
+            }
+            self.now += gap_seconds(&mut self.rng);
+            if self.now >= self.config.duration_s {
+                self.done = true;
+                return None;
+            }
+            self.bursts += 1;
+            self.burst_size = burst_size(&mut self.rng).min(self.unstable.len());
+            // A burst touches a contiguous run of the (shuffled) unstable
+            // set, approximating the correlated-prefix structure of real
+            // bursts.
+            self.burst_start = self.rng.gen_range(0..self.unstable.len());
+            self.burst_pos = 0;
+        }
     }
 }
 
@@ -280,6 +349,25 @@ mod tests {
         let a = generate_trace(&t, TraceConfig::default(), 9);
         let b = generate_trace(&t, TraceConfig::default(), 9);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn stream_matches_batch_generator() {
+        let t = topo();
+        let config = TraceConfig {
+            duration_s: 20_000,
+            ..Default::default()
+        };
+        let batch = generate_trace(&t, config, 9);
+        let mut stream = stream_trace(&t, config, 9);
+        let pulled: Vec<TraceEvent> = stream.by_ref().collect();
+        assert_eq!(pulled, batch.events);
+        let summary = stream.summary();
+        assert_eq!(summary.bursts, batch.bursts);
+        assert_eq!(summary.updates, batch.updates);
+        assert_eq!(summary.raw_updates, batch.raw_updates);
+        assert_eq!(summary.prefixes_updated, batch.prefixes_updated);
+        assert_eq!(summary.unstable_prefixes, batch.unstable_prefixes);
     }
 
     #[test]
