@@ -149,4 +149,57 @@ grep -q '"updates_per_sec":0\.0,' "$smoke_dir/churn.json" && {
     echo "ci: churn engine processed no updates" >&2; exit 1
 }
 
+echo "== delta-safety smoke (churn quick checked run + sdx-lint --delta)"
+# The quick churn bench re-runs the trace with every streamed delta gated
+# by the incremental verifier in Deny mode: every event must be checked,
+# none denied, the checked runtime must still match the batch recompile
+# bit for bit, and the sampled from-scratch oracle must agree on every
+# verdict.
+for key in delta_checked delta_certified delta_structural delta_denied \
+           check_p50_us check_p99_us checked_eq_batch checked_over_baseline \
+           speedup_p50 agreed disagreed; do
+    grep -q "\"$key\":" "$smoke_dir/churn.json" || {
+        echo "ci: churn json missing $key" >&2; exit 1
+    }
+done
+grep -q '"delta_checked":0,' "$smoke_dir/churn.json" && {
+    echo "ci: checked churn run verified no deltas" >&2; exit 1
+}
+grep -q '"delta_denied":[1-9]' "$smoke_dir/churn.json" && {
+    echo "ci: checked churn run denied a streamed install" >&2; exit 1
+}
+grep -q '"checked_eq_batch":true' "$smoke_dir/churn.json" || {
+    echo "ci: checked streamed run diverged from batch recompile" >&2; exit 1
+}
+grep -q '"disagreed":0' "$smoke_dir/churn.json" || {
+    echo "ci: incremental verdicts disagreed with the from-scratch oracle" >&2; exit 1
+}
+# Per-delta check latency budget: 20x the committed full-run p99. The
+# quick fabric is far smaller than the committed run's, so the headroom
+# only has to absorb CI machine noise.
+committed_p99=$(grep -o '"check_p99_us":[0-9]*' BENCH_churn.json | head -1 | cut -d: -f2)
+quick_p99=$(grep -o '"check_p99_us":[0-9]*' "$smoke_dir/churn.json" | head -1 | cut -d: -f2)
+budget=$((committed_p99 * 20))
+if [ "$quick_p99" -gt "$budget" ]; then
+    echo "ci: per-delta check p99 ${quick_p99}us blew the ${budget}us budget" >&2; exit 1
+fi
+echo "per-delta check p99 ${quick_p99}us (budget ${budget}us)"
+# Replay the adversarial fixture: the MBB deltas certify (exit 0) while
+# the naive ordering demonstrably blackholes (evidence, not a gate).
+out=$(target/release/sdx-lint --delta scenarios/delta-inconsistent.sdx) || {
+    echo "ci: sdx-lint --delta failed on the churn fixture" >&2; exit 1
+}
+echo "$out" | grep -q 'naive-order blackhole' || {
+    echo "ci: delta fixture lost its naive-order blackhole evidence" >&2; exit 1
+}
+echo "$out" | grep -q '2 certified' || {
+    echo "ci: delta fixture deltas no longer certify" >&2; exit 1
+}
+
+echo "== property harnesses (bounded fuzz sweep)"
+# The seeded fuzz harness, case-bounded for CI: parser round-trip and
+# token-soup robustness, and the tuple-space index vs its linear oracle.
+PROPTEST_CASES=64 cargo test -q --offline -p sdx-policy --test parser_prop
+PROPTEST_CASES=64 cargo test -q --offline -p sdx-switch --test index_prop
+
 echo "ci: all green"

@@ -9,18 +9,95 @@
 //! (route-event ingress → first correctly-forwarded packet), per-event
 //! delta rule counts, and the streamed-vs-batch forwarding-fingerprint
 //! check: a one-shot recompile of the final RIB must forward identically.
-//! Exits nonzero when the fingerprints differ or no update was processed.
+//!
+//! Three runs land in the artifact:
+//! 1. `churn` — the unchecked baseline (as in prior revisions).
+//! 2. `churn_checked` — the same trace with `delta_check = Deny`: every
+//!    streamed delta passes the incremental header-space verifier before
+//!    install. Records verdict counts, per-event check percentiles, and
+//!    the throughput ratio against the baseline.
+//! 3. `churn_delta_scale` — a 200-participant fabric with sparse
+//!    from-scratch sampling: incremental vs from-scratch check latency
+//!    percentiles, the p50 speedup, and verdict-agreement counts.
+//!
+//! Exits nonzero when fingerprints differ, no update was processed, or a
+//! sampled incremental verdict disagrees with the from-scratch oracle.
 //!
 //! `SDX_BENCH_QUICK=1` shrinks to a CI-sized run (1 h virtual AMS-IX
 //! churn); the full run covers 24 h. `SDX_BENCH_JSON=path` overrides the
 //! artifact path; `SDX_DP_THREADS=N` sets the data-plane shard count.
 
-use sdx_bench::{bench_json_path, build_sdx, quick_mode, write_bench_json};
-use sdx_churn::{forwarding_fingerprint, ChurnConfig, ChurnEngine};
-use sdx_core::CompileOptions;
+use sdx_bench::{bench_json_path, build_sdx, percentile, quick_mode, write_bench_json};
+use sdx_churn::{forwarding_fingerprint, ChurnConfig, ChurnEngine, ChurnReport};
+use sdx_core::{AnalysisMode, CompileOptions};
 use sdx_workload::{generate_trace, TraceConfig};
 
 const SEED: u64 = 11;
+
+/// Render the shared per-run fields of a churn record (caller appends
+/// run-specific fields and the closing brace).
+fn churn_record_head(bench: &str, participants: usize, prefixes: usize, r: &ChurnReport) -> String {
+    format!(
+        concat!(
+            "{{\"bench\":\"{}\",\"participants\":{},\"prefixes\":{},",
+            "\"virtual_s\":{},\"events\":{},\"bursts\":{},\"updates_per_sec\":{:.1},",
+            "\"convergence_p50_us\":{},\"convergence_p99_us\":{},\"convergence_max_us\":{},",
+            "\"convergence_samples\":{},\"convergence_failures\":{},",
+            "\"delta_installed\":{},\"delta_removed\":{},\"delta_rules_max\":{},",
+            "\"delta_rules_mean\":{:.2},\"reoptimizes\":{},\"reoptimizes_forced\":{},",
+            "\"overlay_exhausted\":{},\"install_errors\":{},",
+            "\"replay_batches\":{},\"replayed_packets\":{},\"overlay_rules_final\":{},",
+            "\"update_busy_s\":{:.3},\"wall_s\":{:.3}"
+        ),
+        bench,
+        participants,
+        prefixes,
+        r.virtual_s,
+        r.events,
+        r.bursts,
+        r.updates_per_sec,
+        r.convergence_p50_us,
+        r.convergence_p99_us,
+        r.convergence_max_us,
+        r.convergence_samples,
+        r.convergence_failures,
+        r.delta_installed,
+        r.delta_removed,
+        r.delta_rules_max,
+        r.delta_rules_mean,
+        r.reoptimizes,
+        r.reoptimizes_forced,
+        r.overlay_exhausted,
+        r.install_errors,
+        r.replay_batches,
+        r.replayed_packets,
+        r.overlay_rules_final,
+        r.update_busy_s,
+        r.wall_s,
+    )
+}
+
+/// The verdict/latency fields every checked run appends.
+fn delta_check_fields(r: &ChurnReport) -> String {
+    format!(
+        concat!(
+            ",\"delta_checked\":{},\"delta_certified\":{},\"delta_structural\":{},",
+            "\"delta_reordered\":{},\"delta_rejected\":{},\"delta_denied\":{},",
+            "\"check_p50_us\":{},\"check_p99_us\":{},\"check_max_us\":{},",
+            "\"check_total_us\":{}"
+        ),
+        r.delta_checked,
+        r.delta_certified,
+        r.delta_structural,
+        r.delta_reordered,
+        r.delta_rejected,
+        r.delta_denied,
+        r.check_p50_us,
+        r.check_p99_us,
+        r.check_max_us,
+        r.check_total_us,
+    )
+}
 
 fn main() {
     let quick = quick_mode();
@@ -92,60 +169,170 @@ fn main() {
     );
     println!("# fingerprint streamed {streamed_fp:016x}");
     println!("# fingerprint batch    {batch_fp:016x}");
+    // Checked run: identical trace, every streamed delta gated by the
+    // incremental verifier in Deny mode. No from-scratch sampling — the
+    // throughput figure isolates the incremental checker's overhead.
+    let checked_opts = CompileOptions {
+        delta_check: AnalysisMode::Deny,
+        ..CompileOptions::default()
+    };
+    let (mut checked_sdx, _, _) = build_sdx(participants, prefixes, SEED, checked_opts);
+    checked_sdx.set_dataplane_threads(shards);
+    checked_sdx.compile().expect("initial compile (checked)");
+    let mut checked_engine = ChurnEngine::new(checked_sdx, topology.clone(), config);
+    let checked = checked_engine.run();
+    let checked_fp = forwarding_fingerprint(checked_engine.runtime_mut(), &topology, 4);
+    let checked_match = checked_fp == batch_fp;
+    let checked_ratio = checked.updates_per_sec / report.updates_per_sec.max(f64::EPSILON);
+    eprintln!(
+        "churn_checked: {:.0} updates/s ({:.2}x baseline), {} checked \
+         ({} structural, {} reordered, {} rejected, {} denied), check p50 {} us p99 {} us",
+        checked.updates_per_sec,
+        checked_ratio,
+        checked.delta_checked,
+        checked.delta_structural,
+        checked.delta_reordered,
+        checked.delta_rejected,
+        checked.delta_denied,
+        checked.check_p50_us,
+        checked.check_p99_us
+    );
 
-    let records = vec![format!(
-        concat!(
-            "{{\"bench\":\"churn\",\"participants\":{},\"prefixes\":{},",
-            "\"virtual_s\":{},\"events\":{},\"bursts\":{},\"updates_per_sec\":{:.1},",
-            "\"convergence_p50_us\":{},\"convergence_p99_us\":{},\"convergence_max_us\":{},",
-            "\"convergence_samples\":{},\"convergence_failures\":{},",
-            "\"delta_installed\":{},\"delta_removed\":{},\"delta_rules_max\":{},",
-            "\"delta_rules_mean\":{:.2},\"reoptimizes\":{},\"reoptimizes_forced\":{},",
-            "\"overlay_exhausted\":{},\"install_errors\":{},",
-            "\"replay_batches\":{},\"replayed_packets\":{},\"overlay_rules_final\":{},",
-            "\"update_busy_s\":{:.3},\"wall_s\":{:.3},",
-            "\"streamed_fingerprint\":\"{:016x}\",\"batch_fingerprint\":\"{:016x}\",",
-            "\"streamed_eq_batch\":{}}}"
+    // Scale run: a 200-participant fabric with sparse from-scratch
+    // sampling, measuring the incremental cache's advantage over a
+    // ground-up header-space check of the full update schedule.
+    // From-scratch checks run over the full tag-closed universe (seconds
+    // each at this scale) — sample sparsely to bound bench wall time.
+    let (scale_participants, scale_prefixes, scale_duration_s, scale_sample) = if quick {
+        (200, 300, 3_600, 8)
+    } else {
+        (200, 600, 14_400, 8)
+    };
+    eprintln!(
+        "churn_delta_scale: {scale_participants} participants, {scale_prefixes} prefixes, \
+         sampling every {scale_sample}th check"
+    );
+    let scale_opts = CompileOptions {
+        delta_check: AnalysisMode::Warn,
+        ..CompileOptions::default()
+    };
+    let (mut scale_sdx, scale_topology, _) =
+        build_sdx(scale_participants, scale_prefixes, SEED, scale_opts);
+    scale_sdx.set_delta_check_sample(scale_sample);
+    scale_sdx.set_delta_log_limit(65_536);
+    scale_sdx.compile().expect("initial compile (scale)");
+    let scale_config = ChurnConfig {
+        trace: TraceConfig {
+            duration_s: scale_duration_s,
+            ..Default::default()
+        },
+        seed: SEED,
+        replay_interval_s: 0,
+        replay_flows: 0,
+        reoptimize_interval_s: 1_800,
+    };
+    let mut scale_engine = ChurnEngine::new(scale_sdx, scale_topology, scale_config);
+    let scale = scale_engine.run();
+    let runtime = scale_engine.runtime_mut();
+    let mut inc_us: Vec<u64> = runtime.delta_samples().iter().map(|(i, _)| *i).collect();
+    let mut scratch_us: Vec<u64> = runtime.delta_samples().iter().map(|(_, s)| *s).collect();
+    inc_us.sort_unstable();
+    scratch_us.sort_unstable();
+    let inc_p50 = percentile(&inc_us, 0.50);
+    let inc_p99 = percentile(&inc_us, 0.99);
+    let scratch_p50 = percentile(&scratch_us, 0.50);
+    let scratch_p99 = percentile(&scratch_us, 0.99);
+    let speedup_p50 = scratch_p50 as f64 / (inc_p50.max(1)) as f64;
+    let agreed = runtime
+        .delta_log()
+        .iter()
+        .filter(|r| r.agreed == Some(true))
+        .count();
+    let disagreed = runtime
+        .delta_log()
+        .iter()
+        .filter(|r| r.agreed == Some(false))
+        .count();
+    eprintln!(
+        "churn_delta_scale: {} samples, incremental p50 {} us / p99 {} us vs \
+         from-scratch p50 {} us / p99 {} us ({:.1}x at p50), {} agreed / {} disagreed",
+        inc_us.len(),
+        inc_p50,
+        inc_p99,
+        scratch_p50,
+        scratch_p99,
+        speedup_p50,
+        agreed,
+        disagreed
+    );
+
+    let records = vec![
+        format!(
+            concat!(
+                "{},\"streamed_fingerprint\":\"{:016x}\",\"batch_fingerprint\":\"{:016x}\",",
+                "\"streamed_eq_batch\":{}}}"
+            ),
+            churn_record_head("churn", participants, prefixes, &report),
+            streamed_fp,
+            batch_fp,
+            fingerprints_match
         ),
-        participants,
-        prefixes,
-        report.virtual_s,
-        report.events,
-        report.bursts,
-        report.updates_per_sec,
-        report.convergence_p50_us,
-        report.convergence_p99_us,
-        report.convergence_max_us,
-        report.convergence_samples,
-        report.convergence_failures,
-        report.delta_installed,
-        report.delta_removed,
-        report.delta_rules_max,
-        report.delta_rules_mean,
-        report.reoptimizes,
-        report.reoptimizes_forced,
-        report.overlay_exhausted,
-        report.install_errors,
-        report.replay_batches,
-        report.replayed_packets,
-        report.overlay_rules_final,
-        report.update_busy_s,
-        report.wall_s,
-        streamed_fp,
-        batch_fp,
-        fingerprints_match
-    )];
+        format!(
+            concat!(
+                "{}{},\"checked_fingerprint\":\"{:016x}\",\"checked_eq_batch\":{},",
+                "\"baseline_updates_per_sec\":{:.1},\"checked_over_baseline\":{:.3}}}"
+            ),
+            churn_record_head("churn_checked", participants, prefixes, &checked),
+            delta_check_fields(&checked),
+            checked_fp,
+            checked_match,
+            report.updates_per_sec,
+            checked_ratio
+        ),
+        format!(
+            concat!(
+                "{}{},\"sample_every\":{},\"samples\":{},",
+                "\"incremental_p50_us\":{},\"incremental_p99_us\":{},",
+                "\"scratch_p50_us\":{},\"scratch_p99_us\":{},\"speedup_p50\":{:.1},",
+                "\"agreed\":{},\"disagreed\":{}}}"
+            ),
+            churn_record_head(
+                "churn_delta_scale",
+                scale_participants,
+                scale_prefixes,
+                &scale
+            ),
+            delta_check_fields(&scale),
+            scale_sample,
+            inc_us.len(),
+            inc_p50,
+            inc_p99,
+            scratch_p50,
+            scratch_p99,
+            speedup_p50,
+            agreed,
+            disagreed
+        ),
+    ];
 
     let path = bench_json_path("BENCH_churn.json");
     write_bench_json(&path, &records).expect("write bench json");
     eprintln!("wrote {}", path.display());
 
-    if !fingerprints_match {
-        eprintln!("churn: FAIL — streamed and batch fingerprints differ");
+    if !fingerprints_match || !checked_match {
+        eprintln!("churn: FAIL — streamed/checked and batch fingerprints differ");
         std::process::exit(1);
     }
     if report.events == 0 || report.convergence_samples == 0 {
         eprintln!("churn: FAIL — trace produced no measurable events");
+        std::process::exit(1);
+    }
+    if checked.delta_checked == 0 || scale.delta_checked == 0 || inc_us.is_empty() {
+        eprintln!("churn: FAIL — checked runs verified no deltas");
+        std::process::exit(1);
+    }
+    if disagreed > 0 {
+        eprintln!("churn: FAIL — incremental verdicts disagreed with the from-scratch oracle");
         std::process::exit(1);
     }
 }

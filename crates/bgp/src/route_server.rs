@@ -235,6 +235,43 @@ impl RouteServer {
             .collect()
     }
 
+    /// The whole advertisement relation for `prefix` in one pass: each
+    /// viewer mapped to [`reachable_via`](Self::reachable_via)'s answer for
+    /// it (viewers with no feasible route are omitted). The candidate list
+    /// is walked once per viewer with no route cloning, which is what the
+    /// streamed delta checker needs at churn rate — per-viewer
+    /// `reachable_via` calls rebuild a `Candidate` vector (attrs clone per
+    /// entry) for every participant on every update.
+    pub fn advert_map(&self, prefix: &Prefix) -> BTreeMap<PeerId, BTreeSet<PeerId>> {
+        let candidates: Vec<(PeerId, &Route)> = self
+            .candidates
+            .candidates(prefix)
+            .filter(|(peer, _)| self.peers.contains_key(peer))
+            .map(|(peer, route)| (*peer, route))
+            .collect();
+        let mut out = BTreeMap::new();
+        for (&viewer, info) in &self.peers {
+            let mut via = BTreeSet::new();
+            for (announcer, route) in &candidates {
+                if *announcer == viewer {
+                    continue;
+                }
+                let exporter = &self.peers[announcer];
+                if !exporter.export.allows(prefix, viewer)
+                    || route.attrs.as_path.contains(info.asn)
+                    || !Self::communities_allow(route, info.asn)
+                {
+                    continue;
+                }
+                via.insert(*announcer);
+            }
+            if !via.is_empty() {
+                out.insert(viewer, via);
+            }
+        }
+        out
+    }
+
     /// The prefixes `for_peer` may forward through `next_hop`: announced by
     /// `next_hop` and exported to `for_peer`. This set becomes the BGP filter
     /// spliced into `for_peer`'s outbound policies (§4.1).
@@ -448,6 +485,23 @@ mod tests {
         assert!(!rs.reachable_via(&p("13.0.0.0/8"), B).contains(&B));
         // Another peer still sees B's p4.
         assert_eq!(rs.reachable_via(&p("14.0.0.0/8"), C), BTreeSet::from([B]));
+    }
+
+    #[test]
+    fn advert_map_matches_per_peer_reachable_via() {
+        let rs = figure_1b();
+        for prefix in ["11.0.0.0/8", "12.0.0.0/8", "13.0.0.0/8", "14.0.0.0/8"] {
+            let prefix = p(prefix);
+            let map = rs.advert_map(&prefix);
+            for &peer in [A, B, C].iter() {
+                let via = rs.reachable_via(&prefix, peer);
+                assert_eq!(
+                    map.get(&peer).cloned().unwrap_or_default(),
+                    via,
+                    "advert_map diverged from reachable_via for {prefix} at {peer}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -112,6 +112,28 @@ pub struct ChurnReport {
     pub replayed_packets: u64,
     /// Overlay rules live when the run ended.
     pub overlay_rules_final: usize,
+    /// Streamed deltas checked by the incremental safety verifier (0 when
+    /// `delta_check` is off).
+    pub delta_checked: u64,
+    /// … certified safe (structurally or symbolically).
+    pub delta_certified: u64,
+    /// … certified by the structural gate alone (no symbolic work).
+    pub delta_structural: u64,
+    /// … reordered by the DFS search before install.
+    pub delta_reordered: u64,
+    /// … for which no per-packet-consistent schedule exists.
+    pub delta_rejected: u64,
+    /// … denied install under `delta_check = Deny` (degraded to a forced
+    /// reoptimize).
+    pub delta_denied: u64,
+    /// Per-event incremental check latency, p50 µs (0 when unchecked).
+    pub check_p50_us: u64,
+    /// … p99 µs.
+    pub check_p99_us: u64,
+    /// … worst case µs.
+    pub check_max_us: u64,
+    /// Total µs spent in incremental delta checking.
+    pub check_total_us: u64,
 }
 
 /// The engine: owns the runtime, the trace, the probe routers, and the
@@ -125,6 +147,7 @@ pub struct ChurnEngine {
     replay_frames: Vec<Packet>,
     out: BatchOutput,
     latencies_us: Vec<u64>,
+    check_us: Vec<u64>,
     report: ChurnReport,
     delta_rules_total: u64,
     update_busy: Duration,
@@ -142,6 +165,7 @@ impl ChurnEngine {
             replay_frames: Vec::new(),
             out: BatchOutput::new(),
             latencies_us: Vec::new(),
+            check_us: Vec::new(),
             report: ChurnReport::default(),
             delta_rules_total: 0,
             update_busy: Duration::ZERO,
@@ -226,6 +250,17 @@ impl ChurnEngine {
         self.report.overlay_exhausted = incremental.overlay_exhausted;
         self.report.install_errors = incremental.install_errors;
         self.report.overlay_rules_final = incremental.overlay_rules;
+        self.report.delta_checked = incremental.delta_checked;
+        self.report.delta_certified = incremental.delta_certified;
+        self.report.delta_structural = incremental.delta_structural;
+        self.report.delta_reordered = incremental.delta_reordered;
+        self.report.delta_rejected = incremental.delta_rejected;
+        self.report.delta_denied = incremental.delta_denied;
+        self.report.check_total_us = incremental.delta_check_us;
+        self.check_us.sort_unstable();
+        self.report.check_p50_us = percentile_us(&self.check_us, 0.50);
+        self.report.check_p99_us = percentile_us(&self.check_us, 0.99);
+        self.report.check_max_us = self.check_us.last().copied().unwrap_or(0);
         self.report.clone()
     }
 
@@ -233,11 +268,18 @@ impl ChurnEngine {
     /// measure route-event-ingress → first correctly-forwarded packet.
     fn handle_update(&mut self, event: TraceEvent) {
         let start = Instant::now();
+        let checked_before = self.runtime.incremental_stats().delta_checked;
         let (touched, delta) = self.runtime.apply_update_delta(event.from, &event.update);
         self.report.events += 1;
         let rules = delta.installed + delta.removed;
         self.report.delta_rules_max = self.report.delta_rules_max.max(rules);
-        self.delta_rules_total += rules as u64;
+        self.delta_rules_total = self.delta_rules_total.saturating_add(rules as u64);
+        // Per-event verifier latency: `last_check_us` accumulates across
+        // every prefix the event touched and resets on the next event.
+        let inc = self.runtime.incremental_stats();
+        if inc.delta_checked > checked_before {
+            self.check_us.push(inc.last_check_us);
+        }
 
         // The fast path degraded (VNH exhaustion / refused install):
         // recover *now* — the stale state keeps forwarding meanwhile.
@@ -266,7 +308,8 @@ impl ChurnEngine {
                 self.latencies_us
                     .push(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
             } else {
-                self.report.convergence_failures += 1;
+                self.report.convergence_failures =
+                    self.report.convergence_failures.saturating_add(1);
             }
         }
         self.update_busy += start.elapsed();
@@ -328,9 +371,9 @@ impl ChurnEngine {
     /// refresh everything derived from VMAC tags.
     fn reoptimize(&mut self, forced: bool) {
         if self.runtime.reoptimize().is_ok() {
-            self.report.reoptimizes += 1;
+            self.report.reoptimizes = self.report.reoptimizes.saturating_add(1);
             if forced {
-                self.report.reoptimizes_forced += 1;
+                self.report.reoptimizes_forced = self.report.reoptimizes_forced.saturating_add(1);
             }
             // Every VNH/VMAC binding changed: cached probe-router state and
             // pre-tagged replay frames are stale.
@@ -348,8 +391,11 @@ impl ChurnEngine {
         }
         self.runtime
             .process_batch_into(&self.replay_frames, &mut self.out);
-        self.report.replay_batches += 1;
-        self.report.replayed_packets += self.replay_frames.len() as u64;
+        self.report.replay_batches = self.report.replay_batches.saturating_add(1);
+        self.report.replayed_packets = self
+            .report
+            .replayed_packets
+            .saturating_add(self.replay_frames.len() as u64);
     }
 
     /// Pre-tag a batch of cross-participant flows as the senders' border

@@ -80,6 +80,19 @@ pub struct CompileOptions {
     /// never block — they are the evidence the planner exists to route
     /// around). No effect on a first compile (nothing installed to update).
     pub plan: AnalysisMode,
+    /// Run the *incremental* header-space safety verifier on every streamed
+    /// fast-path delta before it is installed
+    /// (`sdx_plan::IncrementalChecker`): certify the make-before-break
+    /// schedule, reorder it when an intermediate state is unsafe, or flag
+    /// it when no per-packet-consistent schedule exists. `Warn` installs
+    /// regardless (verdicts are recorded); `Deny` skips installing an
+    /// unsafe delta — the stale overlay keeps forwarding — and schedules a
+    /// full reoptimize instead (counted in
+    /// [`IncrementalStats::delta_denied`]). No effect on full compiles;
+    /// composes with the `plan` gate, which covers those.
+    ///
+    /// [`IncrementalStats::delta_denied`]: crate::IncrementalStats::delta_denied
+    pub delta_check: AnalysisMode,
     /// Worker threads for the fork-join compile pipeline: `1` (the default)
     /// compiles sequentially, `0` resolves to one worker per available core,
     /// any other value is taken literally. The compiled output is
@@ -104,6 +117,7 @@ impl Default for CompileOptions {
             analysis: AnalysisMode::Off,
             verify: AnalysisMode::Off,
             plan: AnalysisMode::Off,
+            delta_check: AnalysisMode::Off,
             threads: 1,
             dataplane_threads: 1,
         }
@@ -226,6 +240,10 @@ pub struct CompileStats {
     /// Did the install go through the synthesized plan (rule-level delta
     /// applied step-by-step) rather than a wholesale table rebuild?
     pub plan_applied: bool,
+    /// Streamed deltas the incremental checker denied since the previous
+    /// compile — each one degraded to the full reoptimize this compile
+    /// performs (0 when `delta_check` is not `Deny`). Saturating.
+    pub delta_deny_fallbacks: u64,
     /// Wall-clock time of the whole compilation, in microseconds.
     pub duration_us: u64,
     /// Per-stage wall-clock breakdown and worker count.

@@ -52,11 +52,13 @@ pub use control::{ControlPlane, ROUTE_SERVER_ASN};
 pub use fec::{minimum_disjoint_subsets, minimum_disjoint_subsets_par, DefaultView, PrefixGroup};
 pub use multiswitch::{distribute, FabricLayout, LayoutError, MultiSwitchFabric, SwitchId};
 pub use participant::{is_vport, Participant, ParticipantId, PortConfig, VPORT_BASE};
-pub use runtime::{DeltaInstall, IncrementalStats, Overlay, SdxRuntime};
+pub use runtime::{DeltaInstall, DeltaRecord, IncrementalStats, Overlay, SdxRuntime};
 pub use sdx_analyze::{
     diff, hs, reach, Analysis, AnalysisMode, Diagnostic, DiffReport, DiffSide, FibEntry, FibModel,
     GroupBinding, ReachReport, Severity, VerifyInput,
 };
-pub use sdx_plan::{PlanReport, PlanStep, Schedule, Violation, ViolationKind};
+pub use sdx_plan::{
+    DeltaReport, DeltaVerdict, IncStats, PlanReport, PlanStep, Schedule, Violation, ViolationKind,
+};
 pub use sim::{Delivery, FabricSim};
 pub use vnh::VnhAllocator;

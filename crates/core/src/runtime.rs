@@ -33,6 +33,9 @@ use crate::compile::{
 use crate::vnh::VnhAllocator;
 use crate::{Participant, ParticipantId, ParticipantPolicy};
 
+/// One [`RouteServer::advert_map`] snapshot: viewer → feasible advertisers.
+type AdvertMap = BTreeMap<sdx_bgp::PeerId, std::collections::BTreeSet<sdx_bgp::PeerId>>;
+
 /// One fast-path overlay: a prefix re-homed onto a fresh VNH after a BGP
 /// update, with its rules installed above the base table.
 #[derive(Debug, Clone)]
@@ -73,6 +76,29 @@ pub struct IncrementalStats {
     pub delta_installed: u64,
     /// Individual rules removed by the delta path.
     pub delta_removed: u64,
+    /// Streamed deltas checked by the incremental verifier (0 when
+    /// [`CompileOptions::delta_check`] is `Off`).
+    pub delta_checked: u64,
+    /// Checked deltas certified safe (structurally or symbolically).
+    pub delta_certified: u64,
+    /// Certified deltas decided by the structural region-disjointness gate
+    /// alone (subset of `delta_certified`; zero symbolic work).
+    pub delta_structural: u64,
+    /// Checked deltas whose proposed schedule was unsafe but a safe
+    /// reordering was synthesized and installed.
+    pub delta_reordered: u64,
+    /// Checked deltas for which no per-packet-consistent schedule exists.
+    pub delta_rejected: u64,
+    /// Rejected deltas whose install was skipped under
+    /// `delta_check = Deny` (the stale overlay keeps forwarding and a full
+    /// reoptimize is scheduled instead).
+    pub delta_denied: u64,
+    /// Total microseconds spent in incremental delta checking.
+    pub delta_check_us: u64,
+    /// Microseconds of incremental checking within the most recent
+    /// [`SdxRuntime::apply_update_delta`] call (summed over its touched
+    /// prefixes).
+    pub last_check_us: u64,
 }
 
 /// The SDX controller runtime.
@@ -96,6 +122,23 @@ pub struct SdxRuntime {
     last_plan: Option<PlanReport>,
     needs_reoptimize: bool,
     delta_base: u32,
+    /// The persistent incremental delta verifier; `Some` once a compile ran
+    /// with [`CompileOptions::delta_check`] active (reseeded every compile).
+    delta_checker: Option<sdx_plan::IncrementalChecker>,
+    delta_judge_naive: bool,
+    /// Run the from-scratch oracle on every nth checked delta (0 = never).
+    delta_sample: u64,
+    delta_events_checked: u64,
+    /// `(incremental µs, from-scratch µs)` per sampled event, capped.
+    delta_samples: Vec<(u64, u64)>,
+    delta_log: Vec<DeltaRecord>,
+    delta_log_limit: usize,
+    /// Deny-skipped deltas since the last compile (stamped into
+    /// [`CompileStats::delta_deny_fallbacks`] by the recovering compile).
+    pending_deny_fallbacks: u64,
+    /// Fault injection: treat the next N checked deltas as unsafe
+    /// (see [`inject_delta_deny`](Self::inject_delta_deny)).
+    delta_deny_next: u64,
 }
 
 /// What one rule-level delta install did to the live tables (see
@@ -108,8 +151,29 @@ pub struct DeltaInstall {
     pub removed: usize,
 }
 
+/// One streamed delta's verdict record (kept when
+/// [`SdxRuntime::set_delta_log_limit`] enables logging — the `sdx-lint
+/// --delta` replay and the equivalence proptest read these).
+#[derive(Debug, Clone)]
+pub struct DeltaRecord {
+    /// The prefix the delta migrated.
+    pub prefix: Prefix,
+    /// The incremental checker's verdict and evidence.
+    pub report: sdx_plan::DeltaReport,
+    /// The from-scratch oracle's report, when this event was sampled.
+    pub from_scratch: Option<sdx_plan::DeltaReport>,
+    /// Microseconds the from-scratch check took (0 when not sampled).
+    pub from_scratch_us: u64,
+    /// Did the incremental and from-scratch reports agree (verdict,
+    /// schedule, and witness content)? `None` when not sampled.
+    pub agreed: Option<bool>,
+}
+
 /// Cookie tagging the base (fully compiled) table.
 const BASE_COOKIE: u64 = 1;
+
+/// Cap on retained `(incremental, from-scratch)` timing sample pairs.
+const DELTA_SAMPLE_CAP: usize = 65_536;
 
 /// Saturating µs cast for the stage-timing fields.
 fn clamp_us(us: u128) -> u64 {
@@ -144,6 +208,15 @@ impl SdxRuntime {
             last_plan: None,
             needs_reoptimize: false,
             delta_base: 0,
+            delta_checker: None,
+            delta_judge_naive: false,
+            delta_sample: 0,
+            delta_events_checked: 0,
+            delta_samples: Vec::new(),
+            delta_log: Vec::new(),
+            delta_log_limit: 0,
+            pending_deny_fallbacks: 0,
+            delta_deny_next: 0,
         }
     }
 
@@ -231,6 +304,57 @@ impl SdxRuntime {
     /// Fast-path counters.
     pub fn incremental_stats(&self) -> IncrementalStats {
         self.incremental
+    }
+
+    /// The incremental delta verifier's internal counters (`None` until a
+    /// compile ran with [`CompileOptions::delta_check`] active).
+    pub fn delta_checker_stats(&self) -> Option<sdx_plan::IncStats> {
+        self.delta_checker.as_ref().map(|c| c.stats())
+    }
+
+    /// Keep up to `limit` per-delta verdict records (see
+    /// [`delta_log`](Self::delta_log)); 0 (the default) disables logging.
+    pub fn set_delta_log_limit(&mut self, limit: usize) {
+        self.delta_log_limit = limit;
+    }
+
+    /// The retained per-delta verdict records, oldest first.
+    pub fn delta_log(&self) -> &[DeltaRecord] {
+        &self.delta_log
+    }
+
+    /// Run the from-scratch checking oracle on every `n`th checked delta
+    /// (0 = never), recording timing pairs and verdict agreement. The
+    /// equivalence proptest uses 1; the bench a sparse sample.
+    pub fn set_delta_check_sample(&mut self, n: u64) {
+        self.delta_sample = n;
+    }
+
+    /// `(incremental µs, from-scratch µs)` timing pairs of the sampled
+    /// events so far.
+    pub fn delta_samples(&self) -> &[(u64, u64)] {
+        &self.delta_samples
+    }
+
+    /// Fault injection: force the next `n` checked deltas through the
+    /// deny path as if the verifier had found them unsafe. MBB fast-path
+    /// schedules are structurally safe by construction, so the Deny
+    /// recovery machinery (skip install, schedule a reoptimize, stamp
+    /// [`CompileStats::delta_deny_fallbacks`]) is unreachable from real
+    /// traffic — this hook keeps it testable end to end.
+    pub fn inject_delta_deny(&mut self, n: u64) {
+        self.delta_deny_next = n;
+    }
+
+    /// Also judge the *naive* differ ordering of every checked delta
+    /// (evidence for `sdx-lint --delta`; forces symbolic work per event).
+    /// Takes effect at the next [`compile`](Self::compile) reseed, or
+    /// immediately when the checker is already live.
+    pub fn set_delta_judge_naive(&mut self, on: bool) {
+        self.delta_judge_naive = on;
+        if let Some(c) = self.delta_checker.as_mut() {
+            c.set_judge_naive(on);
+        }
     }
 
     /// Current overlays (fast-path state awaiting background optimization).
@@ -350,8 +474,26 @@ impl SdxRuntime {
             .table_at(0)
             .and_then(|t| t.max_priority())
             .unwrap_or(0);
+        // Deny-skipped deltas degraded to this full reoptimize; hand the
+        // count to the stats and reset the window.
+        compilation.stats.delta_deny_fallbacks = self.pending_deny_fallbacks;
+        self.pending_deny_fallbacks = 0;
         let stats = compilation.stats;
         self.compilation = Some(compilation);
+        // Reseed the incremental delta verifier from the freshly installed
+        // state: the tables changed wholesale, so every cached partition and
+        // the whole emissions model start over.
+        if self.options.delta_check != AnalysisMode::Off {
+            if let Some(vi) = self.verify_input() {
+                let state = self.installed_state();
+                let judge = self.delta_judge_naive;
+                let checker = self
+                    .delta_checker
+                    .get_or_insert_with(sdx_plan::IncrementalChecker::new);
+                checker.seed(&vi, &state);
+                checker.set_judge_naive(judge);
+            }
+        }
         Ok(stats)
     }
 
@@ -511,7 +653,10 @@ impl SdxRuntime {
             for prefix in &touched {
                 self.fast_path(*prefix);
             }
-            self.incremental.updates += touched.len() as u64;
+            self.incremental.updates = self
+                .incremental
+                .updates
+                .saturating_add(touched.len() as u64);
             self.incremental.last_update_us =
                 u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         }
@@ -533,13 +678,20 @@ impl SdxRuntime {
         let mut total = DeltaInstall::default();
         if self.compilation.is_some() {
             let start = Instant::now();
+            self.incremental.last_check_us = 0;
             for prefix in &touched {
                 let d = self.fast_path_delta(*prefix);
                 total.installed += d.installed;
                 total.removed += d.removed;
             }
-            self.incremental.updates += touched.len() as u64;
-            self.incremental.delta_events += touched.len() as u64;
+            self.incremental.updates = self
+                .incremental
+                .updates
+                .saturating_add(touched.len() as u64);
+            self.incremental.delta_events = self
+                .incremental
+                .delta_events
+                .saturating_add(touched.len() as u64);
             self.incremental.last_update_us =
                 u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         }
@@ -632,7 +784,8 @@ impl SdxRuntime {
         // leaving it ruleless until someone happens to recompile. The
         // condition is counted and flags the background stage.
         let Some((vnh, vmac)) = self.alloc.allocate() else {
-            self.incremental.overlay_exhausted += 1;
+            self.incremental.overlay_exhausted =
+                self.incremental.overlay_exhausted.saturating_add(1);
             self.needs_reoptimize = true;
             return;
         };
@@ -657,12 +810,12 @@ impl SdxRuntime {
             .append_rules_above(&overlay_rules, cookie, goto)
             .is_err()
         {
-            self.incremental.install_errors += 1;
+            self.incremental.install_errors = self.incremental.install_errors.saturating_add(1);
             self.needs_reoptimize = true;
             return;
         }
         self.arp.bind(vnh, vmac);
-        self.incremental.overlay_rules += n;
+        self.incremental.overlay_rules = self.incremental.overlay_rules.saturating_add(n);
         self.overlays.push(Overlay {
             prefix,
             vnh,
@@ -685,8 +838,35 @@ impl SdxRuntime {
     /// ceiling the way stacked overlays do.
     fn fast_path_delta(&mut self, prefix: Prefix) -> DeltaInstall {
         if self.route_server.best_route_global(&prefix).is_none() {
+            // Withdrawal: the only rules to go are the retiring overlay's,
+            // and the routers stop tagging the prefix — the removals are
+            // post-barrier drains.
+            let checked = if self.delta_check_active() {
+                let old_state = self.overlay_state(&prefix);
+                let steps = sdx_plan::diff(&[old_state], &[TableState::new()]);
+                let schedule = sdx_plan::Schedule {
+                    order: steps.clone(),
+                    barrier: 0,
+                    two_phase: true,
+                };
+                let advert_now = self.delta_advert_now(&self.route_server.advert_map(&prefix));
+                self.check_streamed_delta(prefix, Vec::new(), advert_now, schedule, steps)
+            } else {
+                None
+            };
+            if matches!(checked, Some((_, true))) {
+                return DeltaInstall::default(); // denied; stale rules stay
+            }
             let removed = self.retire_overlay(prefix);
-            self.incremental.delta_removed += removed as u64;
+            self.incremental.delta_removed = self
+                .incremental
+                .delta_removed
+                .saturating_add(removed as u64);
+            if let Some((ev, _)) = checked {
+                if let Some(c) = self.delta_checker.as_mut() {
+                    c.commit(&ev, &ev.schedule.order);
+                }
+            }
             return DeltaInstall {
                 installed: 0,
                 removed,
@@ -694,14 +874,15 @@ impl SdxRuntime {
         }
 
         let Some((vnh, vmac)) = self.alloc.allocate() else {
-            self.incremental.overlay_exhausted += 1;
+            self.incremental.overlay_exhausted =
+                self.incremental.overlay_exhausted.saturating_add(1);
             self.needs_reoptimize = true;
             return DeltaInstall::default();
         };
         let fragment = self.fragment_for(&prefix, vmac);
         let n = fragment.len() as u32;
         if self.delta_base.checked_add(n).is_none() {
-            self.incremental.install_errors += 1;
+            self.incremental.install_errors = self.incremental.install_errors.saturating_add(1);
             self.needs_reoptimize = true;
             return DeltaInstall::default();
         }
@@ -721,16 +902,27 @@ impl SdxRuntime {
             })
             .collect();
 
-        let old = self.overlays.iter().position(|o| o.prefix == prefix);
-        let old_state = match old {
-            Some(pos) => sdx_plan::state_of_cookie(
-                self.switch.master().table_at(0).expect("table 0"),
-                self.overlays[pos].cookie,
-            ),
-            None => TableState::new(),
-        };
+        let old_state = self.overlay_state(&prefix);
         let steps = sdx_plan::diff(&[old_state], &[new_state]);
         let schedule = sdx_plan::make_before_break(&steps);
+
+        // ---- Incremental safety gate --------------------------------------
+        // Statically certify (or reorder, or reject) the schedule before a
+        // single rule moves. A denied delta installs nothing: the stale
+        // overlay keeps forwarding and the scheduled full reoptimize
+        // recovers. (The VNH allocated above stays consumed until that
+        // reoptimize resets the pool — bounded by the deny window.)
+        let checked = if self.delta_check_active() {
+            let adverts = self.route_server.advert_map(&prefix);
+            let adds = self.delta_adds(&prefix, vmac, &adverts);
+            let advert_now = self.delta_advert_now(&adverts);
+            self.check_streamed_delta(prefix, adds, advert_now, schedule.clone(), steps)
+        } else {
+            None
+        };
+        if matches!(checked, Some((_, true))) {
+            return DeltaInstall::default();
+        }
 
         // Installs, then the barrier, then removals. Old and new fragments
         // never share rule content (distinct VMAC tags), so the diff never
@@ -753,9 +945,15 @@ impl SdxRuntime {
             "delta removal side diverged from the retiring cookie's rules"
         );
         self.arp.bind(vnh, vmac);
-        self.incremental.overlay_rules += installed;
-        self.incremental.delta_installed += installed as u64;
-        self.incremental.delta_removed += removed as u64;
+        self.incremental.overlay_rules = self.incremental.overlay_rules.saturating_add(installed);
+        self.incremental.delta_installed = self
+            .incremental
+            .delta_installed
+            .saturating_add(installed as u64);
+        self.incremental.delta_removed = self
+            .incremental
+            .delta_removed
+            .saturating_add(removed as u64);
         self.overlays.push(Overlay {
             prefix,
             vnh,
@@ -763,7 +961,179 @@ impl SdxRuntime {
             cookie,
             rules: installed,
         });
+        if let Some((ev, _)) = checked {
+            if let Some(c) = self.delta_checker.as_mut() {
+                c.commit(&ev, &ev.schedule.order);
+            }
+        }
         DeltaInstall { installed, removed }
+    }
+
+    /// Is the streamed-delta safety gate on and seeded?
+    fn delta_check_active(&self) -> bool {
+        self.options.delta_check != AnalysisMode::Off && self.delta_checker.is_some()
+    }
+
+    /// The live rule content of the overlay covering `prefix` (empty when
+    /// none is installed).
+    fn overlay_state(&self, prefix: &Prefix) -> TableState {
+        match self.overlays.iter().find(|o| o.prefix == *prefix) {
+            Some(o) => sdx_plan::state_of_cookie(
+                self.switch.master().table_at(0).expect("table 0"),
+                o.cookie,
+            ),
+            None => TableState::new(),
+        }
+    }
+
+    /// The emission keys that will carry `prefix` after it re-homes onto
+    /// `vmac`: every physical participant with a best route to it (and not
+    /// announcing it itself) emits it from each of its ports under the
+    /// fresh tag — mirroring what [`live_fib`](Self::live_fib) will resolve
+    /// once the overlay's ARP binding lands.
+    fn delta_adds(
+        &self,
+        prefix: &Prefix,
+        vmac: MacAddr,
+        adverts: &AdvertMap,
+    ) -> Vec<sdx_plan::EmissionKey> {
+        let tag = vmac.to_u64();
+        let mut adds = Vec::new();
+        for p in self.participants.values().filter(|p| p.is_physical()) {
+            // Point lookup, not `announced_by(..).contains(..)`: building a
+            // peer's full announced set per participant per event dominates
+            // the streamed check's cost at churn rate.
+            if self.route_server.route_from(p.id.peer(), prefix).is_some() {
+                continue;
+            }
+            // A viewer has a best route iff it has any feasible candidate.
+            if !adverts.contains_key(&p.id.peer()) {
+                continue;
+            }
+            for port in p.port_numbers() {
+                adds.push((p.id.0, port, tag));
+            }
+        }
+        adds
+    }
+
+    /// The post-event advertisement ground truth for `prefix`:
+    /// `(advertiser, viewer)` pairs per the route server's *current* (the
+    /// update is already ingested) reachability — the same relation
+    /// `sdx-verify`'s ground truth uses. `adverts` is one
+    /// [`RouteServer::advert_map`] snapshot, computed once per event and
+    /// shared with [`delta_adds`](Self::delta_adds) — per-viewer
+    /// reachability queries are too slow at churn rate.
+    fn delta_advert_now(&self, adverts: &AdvertMap) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for p in self.participants.values().filter(|p| p.is_physical()) {
+            if let Some(advertisers) = adverts.get(&p.id.peer()) {
+                for advertiser in advertisers {
+                    out.push((advertiser.0, p.id.0));
+                }
+            }
+        }
+        out
+    }
+
+    /// Build, check, record, and (on `Deny` + unsafe) veto one streamed
+    /// delta. Returns `(event, denied)`; the caller must install and
+    /// [`commit`](sdx_plan::IncrementalChecker::commit) the event unless
+    /// `denied`.
+    fn check_streamed_delta(
+        &mut self,
+        prefix: Prefix,
+        adds: Vec<sdx_plan::EmissionKey>,
+        advert_now: Vec<(u32, u32)>,
+        schedule: sdx_plan::Schedule,
+        naive: Vec<sdx_plan::PlanStep>,
+    ) -> Option<(sdx_plan::DeltaEvent, bool)> {
+        let mut ev = sdx_plan::DeltaEvent {
+            prefix,
+            adds,
+            advert_now,
+            schedule,
+            naive,
+        };
+        ev.normalize();
+        self.delta_events_checked = self.delta_events_checked.saturating_add(1);
+        let sample_due =
+            self.delta_sample > 0 && self.delta_events_checked.is_multiple_of(self.delta_sample);
+
+        let start = Instant::now();
+        let need = self
+            .delta_checker
+            .as_ref()
+            .map(|c| c.needs_tables(&ev))
+            .unwrap_or(false);
+        let tables = (need || sample_due || self.delta_judge_naive).then(|| self.installed_state());
+        let mut report = self
+            .delta_checker
+            .as_mut()
+            .expect("delta_check_active checked by caller")
+            .check_delta(&ev, tables.as_deref());
+        report.check_us = clamp_us(start.elapsed().as_micros());
+
+        let s = &mut self.incremental;
+        s.delta_checked = s.delta_checked.saturating_add(1);
+        match report.verdict {
+            sdx_plan::DeltaVerdict::Certified => {
+                s.delta_certified = s.delta_certified.saturating_add(1);
+                if report.structural {
+                    s.delta_structural = s.delta_structural.saturating_add(1);
+                }
+            }
+            sdx_plan::DeltaVerdict::Reordered => {
+                s.delta_reordered = s.delta_reordered.saturating_add(1);
+            }
+            sdx_plan::DeltaVerdict::Rejected => {
+                s.delta_rejected = s.delta_rejected.saturating_add(1);
+            }
+        }
+        s.delta_check_us = s.delta_check_us.saturating_add(report.check_us);
+        s.last_check_us = s.last_check_us.saturating_add(report.check_us);
+
+        // From-scratch oracle on sampled events: same verdict pipeline, no
+        // cache, no gate, full universe — the soundness cross-check.
+        let mut from_scratch = None;
+        let mut from_scratch_us = 0;
+        let mut agreed = None;
+        if sample_due {
+            let t = tables.as_deref().expect("sampled events carry tables");
+            let c = self.delta_checker.as_ref().expect("checker present");
+            let t0 = Instant::now();
+            let fs = c.check_from_scratch(&ev, t);
+            from_scratch_us = clamp_us(t0.elapsed().as_micros());
+            agreed = Some(report.agrees_with(&fs));
+            from_scratch = Some(fs);
+            if self.delta_samples.len() < DELTA_SAMPLE_CAP {
+                self.delta_samples.push((report.check_us, from_scratch_us));
+            }
+        }
+
+        let forced = self.delta_deny_next > 0;
+        if forced {
+            self.delta_deny_next -= 1;
+        }
+        let denied = self.options.delta_check == AnalysisMode::Deny && (!report.safe() || forced);
+        if denied {
+            self.incremental.delta_denied = self.incremental.delta_denied.saturating_add(1);
+            self.pending_deny_fallbacks = self.pending_deny_fallbacks.saturating_add(1);
+            self.needs_reoptimize = true;
+            if let Some(c) = self.delta_checker.as_mut() {
+                c.abort();
+            }
+        }
+        if self.delta_log.len() < self.delta_log_limit {
+            self.delta_log.push(DeltaRecord {
+                prefix,
+                report,
+                from_scratch,
+                from_scratch_us,
+                agreed,
+            });
+        }
+        Some((ev, denied))
     }
 
     /// The next hop the route server advertises to `viewer` for `prefix`:

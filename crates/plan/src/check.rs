@@ -108,21 +108,21 @@ pub struct Violation {
 /// One sender-side injection: everything one sender's router emits from one
 /// port under one destination-MAC tag, split by FIB generation.
 #[derive(Debug, Clone)]
-struct Injection {
-    sender: u32,
-    port: u32,
-    tag: u64,
+pub(crate) struct Injection {
+    pub(crate) sender: u32,
+    pub(crate) port: u32,
+    pub(crate) tag: u64,
     /// Destinations the *old* FIBs resolve to this tag (pre-barrier
     /// emissions).
-    old_prefixes: Vec<Prefix>,
+    pub(crate) old_prefixes: Vec<Prefix>,
     /// Destinations the *new* FIBs resolve to this tag (post-barrier
     /// emissions).
-    new_prefixes: Vec<Prefix>,
+    pub(crate) new_prefixes: Vec<Prefix>,
 }
 
-/// One injection's cached terminal-region partitions of the old and new
-/// pipelines; `None` records saturation.
-type RefPartitions = Option<(Vec<Region>, Vec<Region>)>;
+/// One injection's cached terminal-region partition of one pipeline;
+/// `None` records saturation.
+pub(crate) type SidePartition = Option<Vec<Region>>;
 
 /// The immutable context a plan is checked against.
 pub struct Checker {
@@ -137,8 +137,11 @@ pub struct Checker {
     vport_base: u32,
     /// Per-injection terminal-region partitions of the *old* and *new*
     /// pipelines, computed lazily (state-independent, so cacheable across
-    /// every intermediate state).
-    partitions: RefCell<BTreeMap<usize, RefPartitions>>,
+    /// every intermediate state). Split by side so an incremental caller
+    /// can seed the old side from a persistent cache and harvest the new
+    /// side after the event commits.
+    old_partitions: RefCell<BTreeMap<usize, SidePartition>>,
+    new_partitions: RefCell<BTreeMap<usize, SidePartition>>,
 }
 
 /// The concrete pipeline outcome of one packet: evaluate each table in
@@ -179,7 +182,7 @@ fn terminal_regions(tables: &[Classifier], region: Region) -> Option<Vec<Region>
 }
 
 /// Per-(sender, port, tag) prefix map of one FIB generation.
-fn emissions(vi: &VerifyInput) -> BTreeMap<(u32, u32, u64), BTreeSet<Prefix>> {
+pub(crate) fn emissions(vi: &VerifyInput) -> BTreeMap<(u32, u32, u64), BTreeSet<Prefix>> {
     let mut out: BTreeMap<(u32, u32, u64), BTreeSet<Prefix>> = BTreeMap::new();
     for fib in &vi.fibs {
         let ports = vi
@@ -241,15 +244,57 @@ impl Checker {
             }
         }
 
-        Checker {
-            old_tables: old.tables.clone(),
-            new_tables: new.tables.clone(),
+        Checker::from_parts(
+            old.tables.clone(),
+            new.tables.clone(),
             injections,
             advertised,
             port_owner,
-            vport_base: new.vport_base.max(old.vport_base),
-            partitions: RefCell::new(BTreeMap::new()),
+            new.vport_base.max(old.vport_base),
+        )
+    }
+
+    /// Build the checking context from already-resolved parts. This is the
+    /// entry the incremental verifier uses: it maintains emissions and
+    /// ground truth across events itself and materializes classifiers only
+    /// when a delta actually needs symbolic work.
+    pub(crate) fn from_parts(
+        old_tables: Vec<Classifier>,
+        new_tables: Vec<Classifier>,
+        injections: Vec<Injection>,
+        advertised: BTreeMap<(u32, u32), PrefixSet>,
+        port_owner: BTreeMap<u32, u32>,
+        vport_base: u32,
+    ) -> Checker {
+        Checker {
+            old_tables,
+            new_tables,
+            injections,
+            advertised,
+            port_owner,
+            vport_base,
+            old_partitions: RefCell::new(BTreeMap::new()),
+            new_partitions: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// The (sender, port, tag) key of `injections[idx]`.
+    pub(crate) fn injection_key(&self, idx: usize) -> (u32, u32, u64) {
+        let inj = &self.injections[idx];
+        (inj.sender, inj.port, inj.tag)
+    }
+
+    /// Seed the cached *old*-pipeline partition for one injection (from a
+    /// persistent cache computed against the identical tables earlier).
+    pub(crate) fn seed_old_partition(&self, idx: usize, parts: SidePartition) {
+        self.old_partitions.borrow_mut().insert(idx, parts);
+    }
+
+    /// Export every *new*-pipeline partition computed during checking, so
+    /// the caller can persist them once the delta commits (the new tables
+    /// become the current ones).
+    pub(crate) fn take_new_partitions(&self) -> BTreeMap<usize, SidePartition> {
+        std::mem::take(&mut *self.new_partitions.borrow_mut())
     }
 
     /// The injection region of `injections[idx]`: one sender port, one tag.
@@ -262,17 +307,27 @@ impl Checker {
         )
     }
 
+    /// One side's terminal-region partition for one injection, cached.
+    fn side_partition(
+        &self,
+        cache: &RefCell<BTreeMap<usize, SidePartition>>,
+        tables: &[Classifier],
+        idx: usize,
+    ) -> SidePartition {
+        if let Some(cached) = cache.borrow().get(&idx) {
+            return cached.clone();
+        }
+        let computed = terminal_regions(tables, self.injection_region(idx));
+        cache.borrow_mut().insert(idx, computed.clone());
+        computed
+    }
+
     /// Old/new terminal-region partitions for one injection, cached.
     /// `None` when either pipeline saturates on it.
     fn reference_partitions(&self, idx: usize) -> Option<(Vec<Region>, Vec<Region>)> {
-        if let Some(cached) = self.partitions.borrow().get(&idx) {
-            return cached.clone();
-        }
-        let region = self.injection_region(idx);
-        let computed = terminal_regions(&self.old_tables, region.clone())
-            .zip(terminal_regions(&self.new_tables, region));
-        self.partitions.borrow_mut().insert(idx, computed.clone());
-        computed
+        let old = self.side_partition(&self.old_partitions, &self.old_tables, idx);
+        let new = self.side_partition(&self.new_partitions, &self.new_tables, idx);
+        old.zip(new)
     }
 
     /// Is `tag` retired — emitted by the old FIBs but by no new FIB? Steps

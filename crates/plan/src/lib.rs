@@ -30,12 +30,16 @@ use sdx_analyze::{Diagnostic, PassKind, Severity, VerifyInput};
 
 pub mod check;
 pub mod delta;
+pub mod incremental;
 pub mod search;
 
 pub use check::{Checker, Phase, Violation, ViolationKind};
 pub use delta::{
     classifier_of, diff, state_of_classifier, state_of_cookie, state_of_table, DeltaOp, PlanRule,
     PlanStep, TableState,
+};
+pub use incremental::{
+    DeltaEvent, DeltaReport, DeltaVerdict, EmissionKey, IncStats, IncrementalChecker,
 };
 pub use search::{judge_order, make_before_break, synthesize, Schedule, SearchResult};
 

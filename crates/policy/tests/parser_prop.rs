@@ -1,0 +1,191 @@
+//! Parser properties (the seeded fuzz harness's proptest half):
+//!
+//! 1. **Round-trip** — rendering any policy with `Display` and parsing it
+//!    back preserves semantics exactly (same output packets for every
+//!    probe), and parsing is a *normalization*: the parsed form renders to
+//!    text the parser maps to itself (one trip may constant-fold, e.g.
+//!    `!true` → `false`; after that, printer and grammar agree verbatim).
+//! 2. **Token-soup robustness** — arbitrary concatenations of grammar
+//!    tokens never panic the parser: they parse or fail with an error
+//!    offset inside the input. Whatever *does* parse must itself
+//!    round-trip.
+//!
+//! Case count is `PROPTEST_CASES`-bounded (default 256 here), so ci.sh can
+//! run a quick sweep and a fuzzing session can crank it up.
+
+use proptest::prelude::*;
+use sdx_policy::{parse_policy, Field, Packet, Policy, Predicate};
+use std::net::Ipv4Addr;
+
+const PORTS: [u32; 4] = [1, 2, 101, 102];
+const DST_PORTS: [u16; 3] = [80, 443, 22];
+const IPS: [[u8; 4]; 4] = [
+    [10, 0, 0, 1],
+    [10, 200, 0, 1],
+    [128, 0, 0, 1],
+    [200, 1, 2, 3],
+];
+const PREFIXES: [&str; 5] = [
+    "0.0.0.0/0",
+    "0.0.0.0/1",
+    "128.0.0.0/1",
+    "10.0.0.0/8",
+    "10.0.0.0/16",
+];
+
+/// Field tests drawn from the printable subset of the grammar (set
+/// literals stay ≤8 entries — larger sets render as an elided summary the
+/// parser rightly refuses).
+fn arb_field_test() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        prop::sample::select(&PORTS[..]).prop_map(|p| Predicate::test(Field::Port, p)),
+        prop::sample::select(&DST_PORTS[..]).prop_map(|p| Predicate::test(Field::DstPort, p)),
+        prop::sample::select(&IPS[..])
+            .prop_map(|ip| Predicate::test(Field::SrcIp, Ipv4Addr::from(ip))),
+        prop::sample::select(&PREFIXES[..])
+            .prop_map(|s| Predicate::test_prefix(Field::SrcIp, s.parse().unwrap())),
+        prop::sample::select(&PREFIXES[..])
+            .prop_map(|s| Predicate::test_prefix(Field::DstIp, s.parse().unwrap())),
+        prop::collection::btree_set(prop::sample::select(&DST_PORTS[..]), 1..3)
+            .prop_map(|s| Predicate::in_set(Field::DstPort, s.into_iter().map(u64::from))),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        Just(Predicate::True),
+        Just(Predicate::False),
+        arb_field_test(),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Predicate::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Predicate::Or(a.into(), b.into())),
+            inner.prop_map(|p| Predicate::Not(p.into())),
+        ]
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let leaf = prop_oneof![
+        arb_predicate().prop_map(Policy::Filter),
+        prop::sample::select(&PORTS[..]).prop_map(Policy::fwd),
+        prop::sample::select(&DST_PORTS[..]).prop_map(|p| Policy::modify(Field::DstPort, p)),
+        prop::sample::select(&IPS[..])
+            .prop_map(|ip| Policy::modify(Field::DstIp, Ipv4Addr::from(ip))),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Policy::parallel),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Policy::sequential),
+            (arb_predicate(), inner.clone(), inner)
+                .prop_map(|(p, a, b)| Policy::if_then_else(p, a, b)),
+        ]
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        prop::sample::select(&PORTS[..]),
+        prop::sample::select(&IPS[..]),
+        prop::sample::select(&IPS[..]),
+        prop::sample::select(&DST_PORTS[..]),
+        any::<bool>(),
+    )
+        .prop_map(|(port, src, dst, dport, full)| {
+            if full {
+                Packet::udp(port, Ipv4Addr::from(src), Ipv4Addr::from(dst), 5000, dport)
+            } else {
+                Packet::new().with(Field::Port, port)
+            }
+        })
+}
+
+/// Grammar tokens for the soup: every keyword, operator, and a few values —
+/// plus some junk the tokenizer must reject cleanly.
+const TOKENS: [&str; 24] = [
+    "match",
+    "fwd",
+    "mod",
+    "drop",
+    "id",
+    "if_",
+    "true",
+    "false",
+    "(",
+    ")",
+    ">>",
+    "+",
+    "&&",
+    "||",
+    "!",
+    ",",
+    "=",
+    "in",
+    "{",
+    "}",
+    "dstport",
+    "80",
+    "10.0.0.0/8",
+    "\u{3bb}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        proptest::test_runner::Config::default().cases.min(256)
+    ))]
+
+    #[test]
+    fn rendered_policy_reparses_with_identical_semantics(
+        policy in arb_policy(),
+        packets in prop::collection::vec(arb_packet(), 1..8),
+    ) {
+        let text = policy.to_string();
+        let reparsed = parse_policy(&text)
+            .unwrap_or_else(|e| panic!("printer emitted unparseable text {text:?}: {e}"));
+        for pkt in &packets {
+            prop_assert_eq!(
+                reparsed.eval(pkt),
+                policy.eval(pkt),
+                "semantics drifted through the printer/parser pair\n\
+                 original: {}\nreparsed: {}\npacket: {}",
+                &policy, &reparsed, pkt
+            );
+        }
+        // Parsing normalizes (it may constant-fold); the normal form is a
+        // textual fixpoint of the printer/parser pair.
+        let normal = reparsed.to_string();
+        let again = parse_policy(&normal)
+            .unwrap_or_else(|e| panic!("normal form {normal:?} unparseable: {e}"));
+        prop_assert_eq!(again.to_string(), normal);
+    }
+
+    #[test]
+    fn token_soup_never_panics_the_parser(
+        soup in prop::collection::vec(prop::sample::select(&TOKENS[..]), 0..24),
+        spaces in any::<u32>(),
+    ) {
+        // Vary the gluing so token boundaries are fuzzed too.
+        let mut text = String::new();
+        for (i, t) in soup.iter().enumerate() {
+            if spaces & (1 << (i % 32)) != 0 && !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(t);
+        }
+        match parse_policy(&text) {
+            Ok(p) => {
+                // Accidentally valid soup must round-trip like anything else.
+                let rendered = p.to_string();
+                let again = parse_policy(&rendered).unwrap_or_else(|e| {
+                    panic!("parsed soup {text:?} rendered unparseable {rendered:?}: {e}")
+                });
+                prop_assert_eq!(again.to_string(), rendered);
+            }
+            Err(e) => prop_assert!(
+                e.at <= text.len(),
+                "error offset {} outside input {:?}", e.at, text
+            ),
+        }
+    }
+}

@@ -35,12 +35,14 @@ fn main() {
     let mut quiet = false;
     let mut verify = false;
     let mut plan = false;
+    let mut delta = false;
     let mut paths: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: sdx-lint [--deny] [--quiet] [--verify] [--plan] [SCENARIO-FILE…]"
+                    "usage: sdx-lint [--deny] [--quiet] [--verify] [--plan] [--delta] \
+                     [SCENARIO-FILE…]"
                 );
                 eprintln!("  --deny    compile with AnalysisMode::Deny: a defective");
                 eprintln!("            scenario fails at its `compile` line and no");
@@ -51,6 +53,12 @@ fn main() {
                 eprintln!("  --plan    additionally run the static update planner on");
                 eprintln!("            recompiles: naive-ordering violations (step +");
                 eprintln!("            witness packet) and the synthesized safe schedule");
+                eprintln!("  --delta   replay announce/withdraw lines after `compile`");
+                eprintln!("            through the streamed fast path with the");
+                eprintln!("            incremental header-space verifier: per-delta");
+                eprintln!("            certified/reordered/rejected verdicts with");
+                eprintln!("            witness packets (with --deny, unsafe deltas");
+                eprintln!("            are not installed)");
                 eprintln!("  --quiet   suppress the scenario transcripts");
                 eprintln!("  reads stdin when no file is given; with several files,");
                 eprintln!("  the worst exit status across all of them is returned");
@@ -60,6 +68,7 @@ fn main() {
             "--quiet" | "-q" => quiet = true,
             "--verify" => verify = true,
             "--plan" => plan = true,
+            "--delta" => delta = true,
             other if !other.starts_with('-') => paths.push(other.to_string()),
             other => {
                 eprintln!("sdx-lint: unknown argument {other:?}");
@@ -77,6 +86,7 @@ fn main() {
         analysis: mode,
         verify: if verify { mode } else { AnalysisMode::Off },
         plan: if plan { mode } else { AnalysisMode::Off },
+        delta_check: if delta { mode } else { AnalysisMode::Off },
         ..Default::default()
     };
 
@@ -105,10 +115,54 @@ fn main() {
         if many {
             println!("== {name} ==");
         }
-        let status = lint_one(options, deny, quiet, &name, &input);
+        let status = if delta {
+            delta_one(options, quiet, &name, &input)
+        } else {
+            lint_one(options, deny, quiet, &name, &input)
+        };
         worst = worst.max(status);
     }
     std::process::exit(worst);
+}
+
+/// Replay one scenario's updates through the checked streamed fast path;
+/// returns its exit status (0 when every delta certified or was safely
+/// reordered, 1 when any was rejected, 2 on scenario failure).
+fn delta_one(options: CompileOptions, quiet: bool, name: &str, input: &str) -> i32 {
+    match sdx::scenario::run_scenario_delta(options, input) {
+        Ok((transcript, records)) => {
+            if !quiet {
+                print!("{transcript}");
+            }
+            let certified = records
+                .iter()
+                .filter(|r| r.report.verdict == sdx::core::DeltaVerdict::Certified)
+                .count();
+            let reordered = records
+                .iter()
+                .filter(|r| r.report.verdict == sdx::core::DeltaVerdict::Reordered)
+                .count();
+            let rejected = records
+                .iter()
+                .filter(|r| r.report.verdict == sdx::core::DeltaVerdict::Rejected)
+                .count();
+            println!(
+                "sdx-lint: {} delta{}: {certified} certified, {reordered} reordered, \
+                 {rejected} rejected",
+                records.len(),
+                if records.len() == 1 { "" } else { "s" },
+            );
+            if rejected > 0 {
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("sdx-lint: {name}: {e}");
+            2
+        }
+    }
 }
 
 /// Lint one scenario; returns its exit status (0 clean, 1 findings/denied,

@@ -56,6 +56,13 @@ struct Interp {
     next_id: u32,
     pending_policies: BTreeMap<ParticipantId, ParticipantPolicy>,
     out: String,
+    /// Route `announce`/`withdraw` lines after the first `compile` through
+    /// the streamed delta path ([`SdxRuntime::apply_update_delta`]) instead
+    /// of the batch RIB mutation, emitting the incremental verifier's
+    /// per-delta verdict into the transcript.
+    delta: bool,
+    /// Delta-log records already rendered into the transcript.
+    delta_logged: usize,
 }
 
 /// Run a scenario, returning its transcript.
@@ -74,13 +81,52 @@ pub fn run_scenario_with(
     options: sdx_core::CompileOptions,
     input: &str,
 ) -> Result<(String, Option<sdx_core::Analysis>), ScenarioError> {
+    let (interp, _) = run_interp(options, input, false)?;
+    Ok(interp)
+}
+
+/// Run a scenario in *delta replay* mode: every `announce`/`withdraw` after
+/// the first `compile` is streamed through the incremental fast path
+/// ([`SdxRuntime::apply_update_delta`]) with the per-delta header-space
+/// verifier active (per `options.delta_check`), and the verifier's verdict
+/// for each delta lands in the transcript. Returns the transcript together
+/// with the full [`sdx_core::DeltaRecord`] log.
+///
+/// This is the engine behind `sdx-lint --delta`.
+pub fn run_scenario_delta(
+    options: sdx_core::CompileOptions,
+    input: &str,
+) -> Result<(String, Vec<sdx_core::DeltaRecord>), ScenarioError> {
+    let ((out, _), records) = run_interp(options, input, true)?;
+    Ok((out, records))
+}
+
+/// `run_interp`'s result: the transcript (with the last analysis, when one
+/// ran) plus the streamed-delta verdict records.
+type InterpOutput = (
+    (String, Option<sdx_core::Analysis>),
+    Vec<sdx_core::DeltaRecord>,
+);
+
+fn run_interp(
+    options: sdx_core::CompileOptions,
+    input: &str,
+    delta: bool,
+) -> Result<InterpOutput, ScenarioError> {
+    let mut runtime = SdxRuntime::new(options);
+    if delta {
+        runtime.set_delta_log_limit(4_096);
+        runtime.set_delta_judge_naive(true);
+    }
     let mut interp = Interp {
-        runtime: Some(SdxRuntime::new(options)),
+        runtime: Some(runtime),
         sim: None,
         names: BTreeMap::new(),
         next_id: 1,
         pending_policies: BTreeMap::new(),
         out: String::new(),
+        delta,
+        delta_logged: 0,
     };
     for (i, raw) in input.lines().enumerate() {
         let line = raw.trim();
@@ -97,7 +143,12 @@ pub fn run_scenario_with(
         .ok()
         .and_then(|r| r.compilation())
         .and_then(|c| c.analysis.clone());
-    Ok((interp.out, analysis))
+    let records = interp
+        .runtime()
+        .ok()
+        .map(|r| r.delta_log().to_vec())
+        .unwrap_or_default();
+    Ok(((interp.out, analysis), records))
 }
 
 impl Interp {
@@ -240,11 +291,11 @@ impl Interp {
             i += 2;
         }
         let nexthop = nexthop.ok_or("announce needs nexthop")?;
-        self.runtime_mut()?.announce(
-            id,
-            prefixes,
-            PathAttributes::new(AsPath::sequence(path), nexthop),
-        );
+        let attrs = PathAttributes::new(AsPath::sequence(path), nexthop);
+        if self.streaming() {
+            return self.apply_delta(id, sdx_bgp::Update::announce(prefixes, attrs));
+        }
+        self.runtime_mut()?.announce(id, prefixes, attrs);
         self.resync();
         Ok(())
     }
@@ -253,7 +304,54 @@ impl Interp {
         // withdraw NAME PREFIX[,PREFIX…]
         let id = self.lookup(t.get(1).ok_or("withdraw needs a participant")?)?;
         let prefixes = parse_prefix_list(t.get(2).ok_or("withdraw needs prefixes")?)?;
+        if self.streaming() {
+            return self.apply_delta(id, sdx_bgp::Update::withdraw(prefixes));
+        }
         self.runtime_mut()?.withdraw(id, prefixes);
+        self.resync();
+        Ok(())
+    }
+
+    /// Is the interpreter past the first `compile` in delta-replay mode?
+    fn streaming(&self) -> bool {
+        self.delta
+            && self
+                .runtime()
+                .ok()
+                .is_some_and(|r| r.compilation().is_some())
+    }
+
+    /// Stream one BGP update through the incremental fast path and render
+    /// the verifier's verdict(s) for it into the transcript.
+    fn apply_delta(&mut self, from: ParticipantId, update: sdx_bgp::Update) -> Result<(), String> {
+        let logged = self.delta_logged;
+        let (lines, installed, removed, needs_reoptimize) = {
+            let runtime = self.runtime_mut()?;
+            let (_, install) = runtime.apply_update_delta(from, &update);
+            let lines: Vec<String> = runtime.delta_log()[logged..]
+                .iter()
+                .map(render_delta_record)
+                .collect();
+            (
+                lines,
+                install.installed,
+                install.removed,
+                runtime.needs_reoptimize(),
+            )
+        };
+        self.delta_logged = logged + lines.len();
+        for l in lines {
+            let _ = writeln!(self.out, "{l}");
+        }
+        let _ = writeln!(
+            self.out,
+            "delta: +{installed} -{removed} rules{}",
+            if needs_reoptimize {
+                " (reoptimize needed)"
+            } else {
+                ""
+            }
+        );
         self.resync();
         Ok(())
     }
@@ -477,6 +575,47 @@ impl Interp {
         }
         Ok(())
     }
+}
+
+/// One transcript block for a checked streamed delta: the verdict line plus
+/// (capped) witness lines for the proposed and naive orderings.
+fn render_delta_record(r: &sdx_core::DeltaRecord) -> String {
+    const SHOWN: usize = 4;
+    let rep = &r.report;
+    let mut s = format!(
+        "delta {}: {}{} ({} dirty injections, {} states, {} µs)",
+        r.prefix,
+        rep.verdict.label(),
+        if rep.structural { " [structural]" } else { "" },
+        rep.dirty_injections,
+        rep.states_checked,
+        rep.check_us,
+    );
+    let mut witnesses = |label: &str, violations: &[sdx_core::Violation]| {
+        for v in violations.iter().take(SHOWN) {
+            let _ = write!(
+                s,
+                "\n  {label} {} after [{}]: {}",
+                v.kind.code_suffix(),
+                v.step_desc,
+                v.message
+            );
+        }
+        if violations.len() > SHOWN {
+            let _ = write!(s, "\n  {label} … {} more", violations.len() - SHOWN);
+        }
+    };
+    witnesses("proposed-order", &rep.violations);
+    witnesses("naive-order", &rep.naive_violations);
+    if let Some(agreed) = r.agreed {
+        let _ = write!(
+            s,
+            "\n  from-scratch oracle {} in {} µs",
+            if agreed { "agrees" } else { "DISAGREES" },
+            r.from_scratch_us
+        );
+    }
+    s
 }
 
 fn finish_port(

@@ -1,0 +1,105 @@
+//! Integration tests for the incremental delta-safety verifier's scenario
+//! surface (`sdx-lint --delta`): the adversarial streamed-churn fixture
+//! must have its naive rule ordering flagged with a concrete blackhole
+//! witness, while the checked make-before-break install certifies and the
+//! live fabric keeps forwarding correctly.
+
+use sdx::core::{AnalysisMode, CompileOptions, DeltaVerdict, ViolationKind};
+use sdx::scenario::run_scenario_delta;
+
+fn delta_options(mode: AnalysisMode) -> CompileOptions {
+    CompileOptions {
+        delta_check: mode,
+        ..Default::default()
+    }
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn inconsistent_fixture_flags_naive_order_with_witness() {
+    let script = fixture("delta-inconsistent.sdx");
+    let (transcript, records) =
+        run_scenario_delta(delta_options(AnalysisMode::Warn), &script).unwrap();
+
+    assert_eq!(records.len(), 2, "two streamed deltas: {transcript}");
+
+    // Churn 1 (fresh overlay, installs only) certifies with zero symbolic
+    // work and a clean naive order.
+    let first = &records[0];
+    assert_eq!(first.report.verdict, DeltaVerdict::Certified);
+    assert!(first.report.structural, "install-only delta is structural");
+
+    // Churn 2 (remove + install in one event): the proposed MBB schedule
+    // certifies, but the naive differ ordering transiently blackholes the
+    // tag A's border router still emits.
+    let second = &records[1];
+    assert_eq!(second.report.verdict, DeltaVerdict::Certified);
+    assert!(
+        second.report.violations.is_empty(),
+        "proposed schedule is safe: {:?}",
+        second.report.violations
+    );
+    let blackhole = second
+        .report
+        .naive_violations
+        .iter()
+        .find(|v| v.kind == ViolationKind::Blackhole)
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a naive-order blackhole, got {:?}",
+                second.report.naive_violations
+            )
+        });
+    assert_eq!(blackhole.sender, 1, "A's in-flight traffic is harmed");
+    assert!(
+        blackhole.step_desc.contains("remove"),
+        "the naive order dies on a removal step: {}",
+        blackhole.step_desc
+    );
+    let witness = blackhole.witness.as_ref().expect("blackhole has a witness");
+    let dst = witness.dst_ip().expect("witness has a destination");
+    assert_eq!(
+        dst.octets()[0],
+        20,
+        "witness hits the re-homed prefix: {dst}"
+    );
+
+    // The transcript surfaces the evidence and the installed (checked)
+    // schedule converges on the new best route.
+    assert!(transcript.contains("naive-order blackhole"), "{transcript}");
+    let last_send = transcript.rfind("send:").map(|i| &transcript[i..]);
+    assert_eq!(
+        last_send,
+        Some("send: delivered to B port 2\n"),
+        "{transcript}"
+    );
+}
+
+#[test]
+fn inconsistent_fixture_installs_under_deny() {
+    // Deny blocks only unsafe deltas. Every delta in the fixture has a
+    // certified schedule, so nothing is vetoed and forwarding converges
+    // exactly as in warn mode.
+    let script = fixture("delta-inconsistent.sdx");
+    let (transcript, records) =
+        run_scenario_delta(delta_options(AnalysisMode::Deny), &script).unwrap();
+    assert_eq!(records.len(), 2);
+    assert!(
+        records
+            .iter()
+            .all(|r| r.report.verdict == DeltaVerdict::Certified),
+        "{transcript}"
+    );
+    assert!(
+        !transcript.contains("reoptimize needed"),
+        "no delta was denied: {transcript}"
+    );
+    assert!(
+        transcript.ends_with("send: delivered to B port 2\n"),
+        "{transcript}"
+    );
+}
